@@ -1,0 +1,622 @@
+// Benchmarks: one per experiment row of DESIGN.md's index, exercising the
+// code path that regenerates the corresponding paper artifact. Run with
+//
+//	go test -bench=. -benchmem
+package datalaws_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	datalaws "datalaws"
+	"datalaws/internal/anomaly"
+	"datalaws/internal/aqp"
+	"datalaws/internal/capture"
+	"datalaws/internal/compress"
+	"datalaws/internal/exec"
+	"datalaws/internal/explore"
+	"datalaws/internal/expr"
+	"datalaws/internal/fit"
+	"datalaws/internal/histsyn"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/sampling"
+	"datalaws/internal/sql"
+	"datalaws/internal/synth"
+	"datalaws/internal/table"
+)
+
+// benchEngine builds an engine with a LOFAR table and a captured spectra
+// model; shared setup for most benchmarks.
+func benchEngine(b *testing.B, sources int, anomalyFrac float64) (*datalaws.Engine, *table.Table, *modelstore.CapturedModel, *synth.LOFARData) {
+	b.Helper()
+	d := synth.GenerateLOFAR(synth.LOFARConfig{
+		Sources: sources, ObsPerSource: 40, NoiseFrac: 0.05, AnomalyFrac: anomalyFrac, Seed: 1,
+	})
+	tb, err := synth.LOFARTable("measurements", d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := datalaws.NewEngine()
+	if err := e.RegisterTable(tb); err != nil {
+		b.Fatal(err)
+	}
+	m, err := e.Models.Capture(tb, modelstore.Spec{
+		Name: "spectra", Table: "measurements",
+		Formula: "intensity ~ p * pow(nu, alpha)",
+		Inputs:  []string{"nu"}, GroupBy: "source",
+		Start: map[string]float64{"p": 1, "alpha": -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, tb, m, d
+}
+
+// --- F1: single-source nonlinear fit ---
+
+func BenchmarkFigure1SourceFit(b *testing.B) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{Sources: 1, ObsPerSource: 160, NoiseFrac: 0.08, Seed: 1})
+	m, err := fit.ParseModel("intensity ~ p * pow(nu, alpha)", []string{"nu"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := map[string][]float64{"nu": d.Nu, "intensity": d.Intensity}
+	start := map[string]float64{"p": 1, "alpha": -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Fit(cols, start, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T1: grouped fit producing the parameter table ---
+
+func BenchmarkTable1GroupedFit(b *testing.B) {
+	for _, sources := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("sources=%d", sources), func(b *testing.B) {
+			d := synth.GenerateLOFAR(synth.LOFARConfig{
+				Sources: sources, ObsPerSource: 40, NoiseFrac: 0.05, Seed: 1,
+			})
+			m, err := fit.ParseModel("intensity ~ p * pow(nu, alpha)", []string{"nu"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gf := &fit.GroupedFit{Model: m, Start: map[string]float64{"p": 1, "alpha": -1}}
+			cols := map[string][]float64{"nu": d.Nu, "intensity": d.Intensity}
+			b.SetBytes(int64(16 * len(d.Nu)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gf.Run(d.Source, cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F2: interception round trips over TCP ---
+
+func BenchmarkFigure2Interception(b *testing.B) {
+	e, _, _, _ := benchEngine(b, 200, 0)
+	srv, err := capture.Serve("127.0.0.1:0", e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := capture.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	straw, err := capture.NewStrawman(cli, "measurements")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := straw.Point("spectra", int64(i%200+1), []float64{0.14}, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2a: semantic compression vs flate ---
+
+func BenchmarkSemanticCompressionLossless(b *testing.B) {
+	_, tb, m, _ := benchEngine(b, 500, 0)
+	b.SetBytes(int64(8 * tb.NumRows()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.CompressOutput(tb, m, compress.Lossless, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemanticCompressionBounded(b *testing.B) {
+	_, tb, m, _ := benchEngine(b, 500, 0)
+	eps := m.Quality.MedianResidualSE / 10
+	b.SetBytes(int64(8 * tb.NumRows()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.CompressOutput(tb, m, compress.BoundedLoss, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemanticDecompression(b *testing.B) {
+	_, tb, m, _ := benchEngine(b, 500, 0)
+	cc, err := compress.CompressOutput(tb, m, compress.BoundedLoss, m.Quality.MedianResidualSE/10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * tb.NumRows()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.Decompress(tb, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlateBaseline(b *testing.B) {
+	_, tb, _, _ := benchEngine(b, 500, 0)
+	vals, err := tb.FloatColumn("intensity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := compress.Float64Bytes(vals)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.FlateSize(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2b: zero-IO scan vs exact scan ---
+
+func BenchmarkZeroIOScan(b *testing.B) {
+	e, _, _, _ := benchEngine(b, 1000, 0)
+	const q = "APPROX SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactScanBaseline(b *testing.B) {
+	e, _, _, _ := benchEngine(b, 1000, 0)
+	const q = "SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2c: analytic vs enumerated aggregates ---
+
+func sensorModel(b *testing.B, steps int) (*table.Table, *modelstore.CapturedModel, []aqp.Domain) {
+	b.Helper()
+	d := synth.GenerateSensors(synth.SensorConfig{Sensors: 20, Steps: steps, Noise: 0.3, Seed: 2})
+	tb, err := synth.SensorTable("readings", d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := modelstore.NewStore()
+	m, err := store.Capture(tb, modelstore.Spec{
+		Name: "trend", Table: "readings",
+		Formula: "temp ~ a + b*t", Inputs: []string{"t"}, GroupBy: "sensor",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doms, err := aqp.DomainsFor(tb, []string{"t"}, steps+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb, m, doms
+}
+
+func BenchmarkAnalyticAggregates(b *testing.B) {
+	_, m, doms := sensorModel(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aqp.AnalyticAggregates(m, doms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumeratedAggregatesBaseline(b *testing.B) {
+	_, m, doms := sensorModel(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := aqp.NewModelScan(m, doms, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := exec.Drain(scan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r[2].F
+		}
+		_ = sum
+	}
+}
+
+// --- T2d: model exploration ---
+
+func BenchmarkModelExploration(b *testing.B) {
+	_, _, m, _ := benchEngine(b, 1000, 0)
+	doms := map[string][]float64{"nu": synth.Bands}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := explore.HighGradientRegions(m, doms, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2e: anomaly ranking ---
+
+func BenchmarkAnomalyDetection(b *testing.B) {
+	_, tb, m, _ := benchEngine(b, 1000, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := anomaly.RankGroups(m)
+		if len(ranked) == 0 {
+			b.Fatal("no groups")
+		}
+		if _, err := anomaly.PointOutliers(tb, m, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2f: refit on data change ---
+
+func BenchmarkModelRefitSwitch(b *testing.B) {
+	e, tb, _, _ := benchEngine(b, 300, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Models.Refit("spectra", tb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2g: hybrid partial-coverage plan ---
+
+func BenchmarkPartialCoverageRouting(b *testing.B) {
+	e, tb, _, _ := benchEngine(b, 300, 0)
+	w, err := expr.Parse("nu > 0.13")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Models.Capture(tb, modelstore.Spec{
+		Name: "partial", Table: "measurements",
+		Formula: "intensity ~ q * pow(nu, beta)",
+		Inputs:  []string{"nu"}, GroupBy: "source",
+		Where: w, Start: map[string]float64{"q": 1, "beta": -1},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	e.Models.Drop("spectra")
+	opts := aqp.DefaultOptions()
+	opts.Policy.MinMedianR2 = 0.5
+	st, err := sql.Parse("APPROX SELECT count(*) FROM measurements")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := st.(*sql.SelectStmt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := aqp.BuildApproxSelect(e.Catalog, e.Models, sel, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Drain(plan.Op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2h: grid materialization by domain size ---
+
+func BenchmarkParameterEnumeration(b *testing.B) {
+	for _, steps := range []int{250, 1000, 4000} {
+		b.Run(fmt.Sprintf("domain=%d", steps), func(b *testing.B) {
+			_, m, doms := sensorModel(b, steps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scan, err := aqp.NewModelScan(m, doms, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				if err := scan.Open(); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					row, err := scan.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if row == nil {
+						break
+					}
+					n++
+				}
+			}
+		})
+	}
+}
+
+// --- T2i: legal combination structures ---
+
+func BenchmarkLegalCombinationsExactBuild(b *testing.B) {
+	_, tb, _, _ := benchEngine(b, 1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aqp.BuildLegalSet(tb, "source", []string{"nu"}, false, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLegalCombinationsBloomBuild(b *testing.B) {
+	_, tb, _, _ := benchEngine(b, 1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aqp.BuildLegalSet(tb, "source", []string{"nu"}, true, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLegalCombinationsLookup(b *testing.B) {
+	_, tb, _, d := benchEngine(b, 1000, 0)
+	exact, err := aqp.BuildLegalSet(tb, "source", []string{"nu"}, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl, err := aqp.BuildLegalSet(tb, "source", []string{"nu"}, true, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{0.12}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exact.Contains(d.Source[i%len(d.Source)], probe)
+		}
+	})
+	b.Run("bloom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bl.Contains(d.Source[i%len(d.Source)], probe)
+		}
+	})
+}
+
+// --- S1: precision scaling with observation count ---
+
+func BenchmarkScalingPrecision(b *testing.B) {
+	for _, obs := range []int{40, 400} {
+		b.Run(fmt.Sprintf("obs=%d", obs), func(b *testing.B) {
+			d := synth.GenerateLOFAR(synth.LOFARConfig{Sources: 50, ObsPerSource: obs, NoiseFrac: 0.05, Seed: 1})
+			m, err := fit.ParseModel("intensity ~ p * pow(nu, alpha)", []string{"nu"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gf := &fit.GroupedFit{Model: m, Start: map[string]float64{"p": 1, "alpha": -1}}
+			cols := map[string][]float64{"nu": d.Nu, "intensity": d.Intensity}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gf.Run(d.Source, cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- S2: AQP estimate cost, model vs baselines ---
+
+func BenchmarkAQPBaselines(b *testing.B) {
+	e, tb, m, _ := benchEngine(b, 1000, 0)
+	vals, err := tb.FloatColumn("intensity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nus, err := tb.FloatColumn("nu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	frac := float64(m.ParamSizeBytes()) / float64(16*len(vals))
+	if frac > 1 {
+		frac = 1
+	}
+	b.Run("model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Exec("APPROX SELECT avg(intensity) FROM measurements WHERE nu = 0.12"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sample", func(b *testing.B) {
+		s, err := sampling.Uniform(vals, frac, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = nus
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			est := s.Mean()
+			if math.IsNaN(est.Value) {
+				b.Fatal("NaN estimate")
+			}
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		h, err := histsyn.BuildEquiDepth(vals, m.ParamSizeBytes()/24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if v := h.EstimateAvg(0, 100); math.IsNaN(v) {
+				b.Fatal("NaN estimate")
+			}
+		}
+	})
+}
+
+// --- Ablations: design choices DESIGN.md calls out ---
+
+// Analytic (symbolic) vs numeric Jacobians in the nonlinear optimizer.
+func BenchmarkAblationJacobian(b *testing.B) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{Sources: 1, ObsPerSource: 400, NoiseFrac: 0.05, Seed: 1})
+	xs := make([][]float64, len(d.Nu))
+	for i := range xs {
+		xs[i] = []float64{d.Nu[i]}
+	}
+	model := func(params, x []float64) float64 { return params[0] * math.Pow(x[0], params[1]) }
+	analytic := func(params, x, grad []float64) {
+		grad[0] = math.Pow(x[0], params[1])
+		grad[1] = params[0] * math.Pow(x[0], params[1]) * math.Log(x[0])
+	}
+	start := []float64{1, -1}
+	names := []string{"p", "alpha"}
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fit.NLS(model, xs, d.Intensity, start, names, &fit.NLSOptions{Jacobian: analytic}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("numeric", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fit.NLS(model, xs, d.Intensity, start, names, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Levenberg-Marquardt vs plain Gauss-Newton.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{Sources: 1, ObsPerSource: 400, NoiseFrac: 0.05, Seed: 1})
+	xs := make([][]float64, len(d.Nu))
+	for i := range xs {
+		xs[i] = []float64{d.Nu[i]}
+	}
+	model := func(params, x []float64) float64 { return params[0] * math.Pow(x[0], params[1]) }
+	start := []float64{1, -1}
+	names := []string{"p", "alpha"}
+	b.Run("levenberg-marquardt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fit.NLS(model, xs, d.Intensity, start, names, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gauss-newton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fit.NLS(model, xs, d.Intensity, start, names, &fit.NLSOptions{Method: fit.GaussNewton}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Compiled closures vs tree-walking evaluation for model formulas.
+func BenchmarkAblationExprEval(b *testing.B) {
+	e := expr.MustParse("p * pow(nu, alpha)")
+	index := map[string]int{"alpha": 0, "p": 1, "nu": 2}
+	compiled, err := expr.Compile(e, index)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := []float64{-0.7, 0.06, 0.14}
+	env := func(name string) (float64, bool) {
+		i, ok := index[name]
+		if !ok {
+			return 0, false
+		}
+		return row[i], true
+	}
+	b.Run("compiled", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += compiled(row)
+		}
+		_ = sink
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			v, err := expr.EvalFloat(e, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += v
+		}
+		_ = sink
+	})
+}
+
+// User model vs FunctionDB-style piecewise polynomial fit cost (A1's
+// storage/accuracy table measures quality; this measures fitting speed).
+func BenchmarkAblationModelClass(b *testing.B) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{Sources: 1, ObsPerSource: 400, NoiseFrac: 0.05, Seed: 1})
+	b.Run("user-power-law", func(b *testing.B) {
+		m, err := fit.ParseModel("intensity ~ p * pow(nu, alpha)", []string{"nu"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cols := map[string][]float64{"nu": d.Nu, "intensity": d.Intensity}
+		start := map[string]float64{"p": 1, "alpha": -1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Fit(cols, start, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("piecewise-poly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fit.FitPiecewisePoly(d.Nu, d.Intensity, 4, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Plan-artifact caching: repeated APPROX queries with and without the
+// version-aware cache (the engine enables it by default).
+func BenchmarkAblationPlanCache(b *testing.B) {
+	run := func(b *testing.B, cache *aqp.Cache) {
+		e, _, _, _ := benchEngine(b, 1000, 0)
+		e.AQP.Cache = cache
+		const q = "APPROX SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, aqp.NewCache()) })
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+}

@@ -1,0 +1,155 @@
+// Command datalaws is an interactive SQL shell over the model-harvesting
+// engine. It supports the full statement set — SELECT, APPROX SELECT ...
+// WITH ERROR, CREATE TABLE, INSERT, FIT MODEL, SHOW MODELS, REFIT MODEL,
+// DROP MODEL — plus shell commands:
+//
+//	\load lofar|sensors|retail   load a synthetic dataset
+//	\import NAME FILE.csv        load a CSV file as table NAME
+//	\serve ADDR                  expose the engine to strawman sessions
+//	\q                           quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	datalaws "datalaws"
+	"datalaws/internal/capture"
+	"datalaws/internal/synth"
+	"datalaws/internal/table"
+)
+
+func main() {
+	eng := datalaws.NewEngine()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("datalaws — capturing the laws of (data) nature. \\q to quit.")
+	var server *capture.Server
+	defer func() {
+		if server != nil {
+			server.Close()
+		}
+	}()
+	for {
+		fmt.Print("datalaws> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if line == "\\q" || line == "\\quit" {
+				return
+			}
+			if err := shellCommand(eng, line, &server); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			continue
+		}
+		start := time.Now()
+		res, err := eng.Exec(line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		fmt.Print(datalaws.FormatResult(res))
+		if res.Model != "" && len(res.Columns) > 0 {
+			fmt.Printf("(answered from model %q, grid %d rows", res.Model, res.ApproxGrid)
+			if res.Hybrid {
+				fmt.Print(", hybrid")
+			}
+			fmt.Println(")")
+		}
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+	}
+}
+
+func shellCommand(eng *datalaws.Engine, line string, server **capture.Server) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\load":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\load lofar|sensors|retail")
+		}
+		return loadDataset(eng, fields[1])
+	case "\\import":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: \\import NAME FILE.csv")
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err := table.ReadCSV(fields[1], f)
+		if err != nil {
+			return err
+		}
+		if err := eng.RegisterTable(t); err != nil {
+			return err
+		}
+		fmt.Printf("imported %d rows into %s\n", t.NumRows(), fields[1])
+		return nil
+	case "\\serve":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\serve ADDR (e.g. 127.0.0.1:7799)")
+		}
+		if *server != nil {
+			(*server).Close()
+		}
+		srv, err := capture.Serve(fields[1], eng)
+		if err != nil {
+			return err
+		}
+		*server = srv
+		fmt.Printf("serving strawman sessions on %s\n", srv.Addr())
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", fields[0])
+}
+
+func loadDataset(eng *datalaws.Engine, which string) error {
+	switch which {
+	case "lofar":
+		d := synth.GenerateLOFAR(synth.LOFARConfig{
+			Sources: 2000, ObsPerSource: 40, NoiseFrac: 0.05, AnomalyFrac: 0.01, Seed: 1,
+		})
+		t, err := synth.LOFARTable("measurements", d)
+		if err != nil {
+			return err
+		}
+		if err := eng.RegisterTable(t); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d measurements from %d sources into table measurements\n", t.NumRows(), 2000)
+	case "sensors":
+		d := synth.GenerateSensors(synth.DefaultSensors())
+		t, err := synth.SensorTable("readings", d)
+		if err != nil {
+			return err
+		}
+		if err := eng.RegisterTable(t); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d readings into table readings\n", t.NumRows())
+	case "retail":
+		d := synth.GenerateRetail(synth.DefaultRetail())
+		t, err := synth.RetailTable("sales", d)
+		if err != nil {
+			return err
+		}
+		if err := eng.RegisterTable(t); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d sales rows into table sales\n", t.NumRows())
+	default:
+		return fmt.Errorf("unknown dataset %q", which)
+	}
+	return nil
+}

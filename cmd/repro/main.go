@@ -1,0 +1,69 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	repro                  # run everything at small scale
+//	repro -scale full      # the paper's dataset sizes (35,692 sources)
+//	repro -exp T1,F2       # selected experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datalaws/internal/repro"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "dataset scale: small | full")
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	var sc repro.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = repro.SmallScale()
+	case "full":
+		sc = repro.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var selected []repro.Experiment
+	if *expFlag == "" {
+		selected = repro.Experiments
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ex, ok := repro.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (have %v)\n", id, repro.IDs())
+				os.Exit(2)
+			}
+			selected = append(selected, ex)
+		}
+	}
+
+	failed := 0
+	for _, ex := range selected {
+		start := time.Now()
+		rep, err := ex.Run(sc)
+		if rep != nil {
+			fmt.Println(rep.String())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "!! %s FAILED: %v\n\n", ex.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("-- %s done in %v\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,361 @@
+// Package datalaws is a proof-of-principle implementation of "Capturing the
+// Laws of (Data) Nature" (Mühleisen, Kersten, Manegold — CIDR 2015): a
+// relational engine that harvests the statistical models users fit to its
+// data and re-uses them for approximate query answering and model-based
+// storage optimization.
+//
+// The Engine bundles a columnar catalog, a SQL executor, and the captured
+// model store. Models enter the system either through the FIT MODEL SQL
+// extension or transparently through a capture.Strawman session (the
+// paper's Figure 2 workflow); APPROX SELECT then answers queries from the
+// model parameter tables without scanning the measurements, optionally
+// annotated WITH ERROR bounds.
+//
+//	eng := datalaws.NewEngine()
+//	eng.MustExec(`CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)`)
+//	...load data...
+//	eng.MustExec(`FIT MODEL spectra ON m AS 'intensity ~ p * pow(nu, alpha)'
+//	              INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+//	res, _ := eng.Exec(`APPROX SELECT intensity FROM m
+//	                    WHERE source = 42 AND nu = 0.14 WITH ERROR`)
+package datalaws
+
+import (
+	"fmt"
+	"strings"
+
+	"datalaws/internal/aqp"
+	"datalaws/internal/capture"
+	"datalaws/internal/exec"
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/sql"
+	"datalaws/internal/table"
+)
+
+// Engine is the top-level database handle.
+type Engine struct {
+	// Catalog holds the relational tables.
+	Catalog *table.Catalog
+	// Models is the captured model store.
+	Models *modelstore.Store
+	// AQP configures the approximate query path.
+	AQP aqp.Options
+}
+
+// NewEngine returns an empty engine with default approximate-query options.
+func NewEngine() *Engine {
+	opts := aqp.DefaultOptions()
+	opts.Cache = aqp.NewCache()
+	return &Engine{
+		Catalog: table.NewCatalog(),
+		Models:  modelstore.NewStore(),
+		AQP:     opts,
+	}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns and Rows are set for queries.
+	Columns []string
+	Rows    []exec.Row
+	// Info carries a human-readable summary for DDL/utility statements.
+	Info string
+	// Model names the captured model an approximate plan used ("" for exact
+	// plans); ApproxGrid is the model grid size before legality filtering.
+	Model      string
+	ApproxGrid int
+	Hybrid     bool
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(src string) (*Result, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		return e.execSelect(s)
+	case *sql.CreateTableStmt:
+		return e.execCreate(s)
+	case *sql.InsertStmt:
+		return e.execInsert(s)
+	case *sql.FitModelStmt:
+		return e.execFit(s)
+	case *sql.ShowModelsStmt:
+		return e.execShowModels()
+	case *sql.DropModelStmt:
+		if !e.Models.Drop(s.Name) {
+			return nil, fmt.Errorf("datalaws: model %q not found", s.Name)
+		}
+		return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
+	case *sql.RefitModelStmt:
+		return e.execRefit(s)
+	case *sql.ExplainStmt:
+		return e.execExplain(s)
+	}
+	return nil, fmt.Errorf("datalaws: unsupported statement %T", st)
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (e *Engine) MustExec(src string) *Result {
+	r, err := e.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (e *Engine) execSelect(s *sql.SelectStmt) (*Result, error) {
+	if s.Approx {
+		plan, err := aqp.BuildApproxSelect(e.Catalog, e.Models, s, e.AQP)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Drain(plan.Op)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Columns:    plan.Op.Columns(),
+			Rows:       rows,
+			Model:      plan.Model.Spec.Name,
+			ApproxGrid: plan.GridRows,
+			Hybrid:     plan.Hybrid,
+		}, nil
+	}
+	op, err := exec.BuildSelect(e.Catalog, s)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: op.Columns(), Rows: rows}, nil
+}
+
+func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
+	defs := make([]table.ColumnDef, len(s.Cols))
+	for i, c := range s.Cols {
+		defs[i] = table.ColumnDef{Name: c.Name, Type: c.Type}
+	}
+	schema, err := table.NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.Catalog.Create(s.Name, schema); err != nil {
+		return nil, err
+	}
+	return &Result{Info: fmt.Sprintf("table %s created", s.Name)}, nil
+}
+
+func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
+	t, ok := e.Catalog.Get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("datalaws: unknown table %q", s.Table)
+	}
+	env := expr.MapEnv{}
+	n := 0
+	for _, rowExprs := range s.Rows {
+		row := make([]expr.Value, len(rowExprs))
+		for i, re := range rowExprs {
+			v, err := expr.Eval(re, env)
+			if err != nil {
+				return nil, fmt.Errorf("datalaws: evaluating insert value: %w", err)
+			}
+			row[i] = v
+		}
+		if err := t.AppendRow(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Info: fmt.Sprintf("%d rows inserted", n)}, nil
+}
+
+func (e *Engine) execFit(s *sql.FitModelStmt) (*Result, error) {
+	t, ok := e.Catalog.Get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("datalaws: unknown table %q", s.Table)
+	}
+	spec := modelstore.Spec{
+		Name:    s.Name,
+		Table:   s.Table,
+		Formula: s.Formula,
+		Inputs:  s.Inputs,
+		GroupBy: s.GroupBy,
+		Where:   s.Where,
+		Start:   s.Start,
+		Method:  s.Method,
+	}
+	m, err := e.Models.Capture(t, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Model: m.Spec.Name,
+		Info: fmt.Sprintf("model %s captured: %d groups fitted (%d failed), median R²=%.4f, median residual SE=%.4g, parameter table %d bytes",
+			m.Spec.Name, m.Quality.GroupsOK, m.Quality.GroupsFailed,
+			m.Quality.MedianR2, m.Quality.MedianResidualSE, m.ParamSizeBytes()),
+	}, nil
+}
+
+func (e *Engine) execShowModels() (*Result, error) {
+	res := &Result{Columns: []string{"name", "table", "formula", "groups", "median_r2", "median_residual_se", "version", "param_bytes"}}
+	for _, m := range e.Models.List() {
+		res.Rows = append(res.Rows, exec.Row{
+			expr.Str(m.Spec.Name),
+			expr.Str(m.Spec.Table),
+			expr.Str(m.Spec.Formula),
+			expr.Int(int64(m.Quality.GroupsOK)),
+			expr.Float(m.Quality.MedianR2),
+			expr.Float(m.Quality.MedianResidualSE),
+			expr.Int(int64(m.Version)),
+			expr.Int(int64(m.ParamSizeBytes())),
+		})
+	}
+	return res, nil
+}
+
+func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
+	m, ok := e.Models.Get(s.Name)
+	if !ok {
+		return nil, fmt.Errorf("datalaws: model %q not found", s.Name)
+	}
+	t, ok := e.Catalog.Get(m.Spec.Table)
+	if !ok {
+		return nil, fmt.Errorf("datalaws: table %q no longer exists", m.Spec.Table)
+	}
+	nm, err := e.Models.Refit(s.Name, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Model: nm.Spec.Name,
+		Info: fmt.Sprintf("model %s refitted to version %d: median R²=%.4f",
+			nm.Spec.Name, nm.Version, nm.Quality.MedianR2),
+	}, nil
+}
+
+func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
+	if s.Inner.Approx {
+		plan, err := aqp.BuildApproxSelect(e.Catalog, e.Models, s.Inner, e.AQP)
+		if err != nil {
+			return nil, err
+		}
+		info := fmt.Sprintf("approximate plan (model %s", plan.Model.Spec.Name)
+		if plan.Hybrid {
+			info += ", hybrid"
+		}
+		info += ")\n" + exec.PlanString(plan.Op)
+		return &Result{Info: info, Model: plan.Model.Spec.Name, ApproxGrid: plan.GridRows, Hybrid: plan.Hybrid}, nil
+	}
+	op, err := exec.BuildSelect(e.Catalog, s.Inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Info: "exact plan\n" + exec.PlanString(op)}, nil
+}
+
+// RegisterTable adds an externally built table to the catalog.
+func (e *Engine) RegisterTable(t *table.Table) error { return e.Catalog.Add(t) }
+
+// --- capture.Backend implementation (Figure 2's database side) ---
+
+// TableInfo implements capture.Backend.
+func (e *Engine) TableInfo(name string) ([]string, int, error) {
+	t, ok := e.Catalog.Get(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("datalaws: unknown table %q", name)
+	}
+	return t.Schema().Names(), t.NumRows(), nil
+}
+
+// FitModel implements capture.Backend: the transparent server-side capture
+// of a user model fitted from a statistical session.
+func (e *Engine) FitModel(spec modelstore.Spec) (capture.FitSummary, error) {
+	t, ok := e.Catalog.Get(spec.Table)
+	if !ok {
+		return capture.FitSummary{}, fmt.Errorf("datalaws: unknown table %q", spec.Table)
+	}
+	m, err := e.Models.Capture(t, spec)
+	if err != nil {
+		return capture.FitSummary{}, err
+	}
+	return capture.SummaryFromModel(m), nil
+}
+
+// ApproxPoint implements capture.Backend: a zero-IO point lookup against a
+// captured model with error bounds.
+func (e *Engine) ApproxPoint(model string, group int64, inputs []float64, level float64) (capture.PointAnswer, error) {
+	m, ok := e.Models.Get(model)
+	if !ok {
+		return capture.PointAnswer{}, fmt.Errorf("datalaws: model %q not found", model)
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	v, lo, hi, err := aqp.PointLookup(m, group, inputs, level)
+	if err != nil {
+		return capture.PointAnswer{}, err
+	}
+	return capture.PointAnswer{Value: v, Lo: lo, Hi: hi, FromModel: true, ModelName: model}, nil
+}
+
+// FormatResult renders a result as an aligned text table for CLIs and
+// examples.
+func FormatResult(r *Result) string {
+	var sb strings.Builder
+	if r.Info != "" {
+		sb.WriteString(r.Info)
+		sb.WriteByte('\n')
+	}
+	if len(r.Columns) == 0 {
+		return sb.String()
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := renderCell(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], s)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func renderCell(v expr.Value) string {
+	switch v.K {
+	case expr.KindString:
+		return v.S
+	case expr.KindFloat:
+		return fmt.Sprintf("%.6g", v.F)
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,245 @@
+package datalaws
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datalaws/internal/capture"
+	"datalaws/internal/expr"
+	"datalaws/internal/synth"
+)
+
+// loadLOFAR builds an engine with a synthetic measurement table and returns
+// the generator truth.
+func loadLOFAR(t *testing.T, sources, obs int) (*Engine, *synth.LOFARData) {
+	t.Helper()
+	e := NewEngine()
+	d := synth.GenerateLOFAR(synth.LOFARConfig{
+		Sources: sources, ObsPerSource: obs, NoiseFrac: 0.03, AnomalyFrac: 0, Seed: 61,
+	})
+	tb, err := synth.LOFARTable("measurements", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	e := NewEngine()
+	e.MustExec("CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)")
+	e.MustExec("INSERT INTO m VALUES (1, 0.12, 2.3), (1, 0.15, 2.1), (2, 0.12, 5.0)")
+	res := e.MustExec("SELECT count(*), avg(intensity) FROM m WHERE source = 1")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if math.Abs(res.Rows[0][1].F-2.2) > 1e-12 {
+		t.Fatalf("avg = %v", res.Rows[0][1])
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	e := NewEngine()
+	for _, q := range []string{
+		"NOT SQL AT ALL",
+		"SELECT a FROM missing",
+		"INSERT INTO missing VALUES (1)",
+		"DROP MODEL none",
+		"REFIT MODEL none",
+		"FIT MODEL x ON missing AS 'y ~ a*x' INPUTS (x)",
+	} {
+		if _, err := e.Exec(q); err == nil {
+			t.Errorf("Exec(%q): want error", q)
+		}
+	}
+}
+
+func TestFitModelAndShowModels(t *testing.T) {
+	e, _ := loadLOFAR(t, 20, 40)
+	res := e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	if res.Model != "spectra" || !strings.Contains(res.Info, "captured") {
+		t.Fatalf("fit result = %+v", res)
+	}
+	show := e.MustExec("SHOW MODELS")
+	if len(show.Rows) != 1 || show.Rows[0][0].S != "spectra" {
+		t.Fatalf("show = %v", show.Rows)
+	}
+	// Median R² column should reflect a good fit.
+	if show.Rows[0][4].F < 0.8 {
+		t.Fatalf("median R² = %v", show.Rows[0][4])
+	}
+	e.MustExec("DROP MODEL spectra")
+	if len(e.MustExec("SHOW MODELS").Rows) != 0 {
+		t.Fatal("model not dropped")
+	}
+}
+
+func TestApproxSelectEndToEnd(t *testing.T) {
+	e, d := loadLOFAR(t, 20, 40)
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	// The paper's point query, approximately answered with error bounds.
+	res := e.MustExec(`APPROX SELECT intensity, intensity_lo, intensity_hi
+		FROM measurements WHERE source = 5 AND nu = 0.15 WITH ERROR`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Model != "spectra" {
+		t.Fatalf("model = %q", res.Model)
+	}
+	v, lo, hi := res.Rows[0][0].F, res.Rows[0][1].F, res.Rows[0][2].F
+	truth := d.Truth[5]
+	want := truth.P * math.Pow(0.15, truth.Alpha)
+	if math.Abs(v-want)/want > 0.2 {
+		t.Fatalf("value %g want %g", v, want)
+	}
+	if !(lo < v && v < hi) {
+		t.Fatalf("bounds [%g,%g] around %g", lo, hi, v)
+	}
+}
+
+func TestApproxRequiresTrustedModel(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	if _, err := e.Exec("APPROX SELECT intensity FROM measurements WHERE source = 1"); err == nil {
+		t.Fatal("want no-model error before any fit")
+	}
+}
+
+func TestRefitFlow(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	res := e.MustExec("REFIT MODEL spectra")
+	if !strings.Contains(res.Info, "version 2") {
+		t.Fatalf("refit info = %q", res.Info)
+	}
+}
+
+func TestEngineAsCaptureBackend(t *testing.T) {
+	e, d := loadLOFAR(t, 15, 40)
+	// The Figure 2 workflow against the real engine, in process.
+	s, err := capture.NewStrawman(e, "measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != len(d.Source) {
+		t.Fatalf("strawman rows = %d", s.NumRows())
+	}
+	sum, err := s.Fit("spectra", "intensity ~ p * pow(nu, alpha)", []string{"nu"}, &capture.FitOptions{
+		GroupBy: "source",
+		Start:   map[string]float64{"p": 1, "alpha": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Groups != 15 || sum.MedianR2 < 0.8 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The fit was transparently captured: APPROX works now.
+	res := e.MustExec("APPROX SELECT intensity FROM measurements WHERE source = 2 AND nu = 0.12")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// And the strawman can ask for points directly.
+	ans, err := s.Point("spectra", 2, []float64{0.12}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ans.Value-res.Rows[0][0].F) > 1e-9 {
+		t.Fatalf("strawman point %g vs approx select %g", ans.Value, res.Rows[0][0].F)
+	}
+}
+
+func TestEngineOverTCP(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	srv, err := capture.Serve("127.0.0.1:0", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := capture.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	s, err := capture.NewStrawman(cli, "measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Fit("remote", "intensity ~ p * pow(nu, alpha)", []string{"nu"}, &capture.FitOptions{
+		GroupBy: "source", Start: map[string]float64{"p": 1, "alpha": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Groups != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	ans, err := s.Point("remote", 1, []float64{0.16}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ans.Lo < ans.Value && ans.Value < ans.Hi) {
+		t.Fatalf("answer = %+v", ans)
+	}
+}
+
+func TestFormatResult(t *testing.T) {
+	e := NewEngine()
+	e.MustExec("CREATE TABLE t (a BIGINT, b VARCHAR)")
+	e.MustExec("INSERT INTO t VALUES (1, 'x'), (22, 'yy')")
+	out := FormatResult(e.MustExec("SELECT a, b FROM t ORDER BY a"))
+	if !strings.Contains(out, "a") || !strings.Contains(out, "yy") {
+		t.Fatalf("format:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestInsertNullAndSelectIsNull(t *testing.T) {
+	e := NewEngine()
+	e.MustExec("CREATE TABLE t (a BIGINT, b DOUBLE)")
+	e.MustExec("INSERT INTO t VALUES (1, NULL), (2, 5.0)")
+	res := e.MustExec("SELECT a FROM t WHERE b IS NULL")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestApproxGridMetadata(t *testing.T) {
+	e, _ := loadLOFAR(t, 12, 40)
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	res := e.MustExec("APPROX SELECT count(*) FROM measurements")
+	if res.ApproxGrid != 12*4 {
+		t.Fatalf("grid = %d, want 48", res.ApproxGrid)
+	}
+	// All (source, band) combinations occur in the generator, so the
+	// zero-IO count equals the grid.
+	if res.Rows[0][0].I != 48 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestExprValueRoundTripThroughEngine(t *testing.T) {
+	e := NewEngine()
+	e.MustExec("CREATE TABLE t (s VARCHAR, f DOUBLE)")
+	e.MustExec("INSERT INTO t VALUES ('it''s', -1.5)")
+	res := e.MustExec("SELECT s, f FROM t")
+	if res.Rows[0][0].S != "it's" {
+		t.Fatalf("string = %q", res.Rows[0][0].S)
+	}
+	if res.Rows[0][1].K != expr.KindFloat || res.Rows[0][1].F != -1.5 {
+		t.Fatalf("float = %v", res.Rows[0][1])
+	}
+}

@@ -1,0 +1,134 @@
+package aqp
+
+import (
+	"fmt"
+	"math"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+)
+
+// AggStats are analytic aggregate solutions over the model's input grid,
+// computed without materializing any tuples — the paper's "analytic
+// solutions for linear models" opportunity (§4.2).
+type AggStats struct {
+	Min, Max float64
+	Sum, Avg float64
+	Count    int
+}
+
+// IsLinearInInputs reports whether the captured model is affine in its input
+// variables (so extremes over a box domain occur at corners and sums
+// decompose by input).
+func IsLinearInInputs(m *modelstore.CapturedModel) bool {
+	for _, in := range m.Model.Inputs {
+		d, err := expr.Diff(m.Model.RHS, in)
+		if err != nil {
+			return false
+		}
+		// The derivative must not mention any input variable.
+		for _, v := range expr.Vars(d) {
+			for _, in2 := range m.Model.Inputs {
+				if v == in2 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// AnalyticAggregates computes min/max/sum/avg/count of the model output over
+// the full (groups × domains) grid analytically for models affine in their
+// inputs:
+//
+//	f(x) = c + Σ bᵢ·xᵢ  ⇒  extremes at domain corners chosen per sign(bᵢ),
+//	Σ_grid f = |grid|·c + Σ bᵢ·(Σ xᵢ)·∏_{j≠i}|domain_j|.
+//
+// It returns an error for models that are not affine in inputs; callers
+// fall back to grid enumeration (ModelScan + HashAggregate).
+func AnalyticAggregates(m *modelstore.CapturedModel, domains []Domain) (*AggStats, error) {
+	if !IsLinearInInputs(m) {
+		return nil, fmt.Errorf("aqp: model %q is not linear in its inputs", m.Spec.Name)
+	}
+	if len(domains) != len(m.Model.Inputs) {
+		return nil, fmt.Errorf("aqp: %d domains for %d inputs", len(domains), len(m.Model.Inputs))
+	}
+	grid := GridSize(domains)
+	if grid == 0 {
+		return nil, fmt.Errorf("aqp: empty grid")
+	}
+
+	// Per-domain precomputation.
+	mins := make([]float64, len(domains))
+	maxs := make([]float64, len(domains))
+	sums := make([]float64, len(domains))
+	for i, d := range domains {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		var s float64
+		for _, v := range d.Vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			s += v
+		}
+		mins[i], maxs[i], sums[i] = mn, mx, s
+	}
+
+	out := &AggStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	zeroInputs := make([]float64, len(domains))
+	grad := make([]float64, len(m.Model.Params))
+	_ = grad
+	for _, key := range m.Order {
+		g := m.Groups[key]
+		if !g.OK() {
+			continue
+		}
+		// Affine decomposition at the group's parameters: evaluate the
+		// constant term and each input coefficient by finite evaluation —
+		// exact for affine functions.
+		c := m.Model.Eval(g.Params, zeroInputs)
+		coefs := make([]float64, len(domains))
+		probe := make([]float64, len(domains))
+		for i := range domains {
+			copy(probe, zeroInputs)
+			probe[i] = 1
+			coefs[i] = m.Model.Eval(g.Params, probe) - c
+		}
+
+		// Extremes at corners.
+		lo, hi := c, c
+		for i, b := range coefs {
+			if b >= 0 {
+				lo += b * mins[i]
+				hi += b * maxs[i]
+			} else {
+				lo += b * maxs[i]
+				hi += b * mins[i]
+			}
+		}
+		if lo < out.Min {
+			out.Min = lo
+		}
+		if hi > out.Max {
+			out.Max = hi
+		}
+
+		// Sum over the grid decomposes per input.
+		gsum := float64(grid) * c
+		for i, b := range coefs {
+			others := grid / len(domains[i].Vals)
+			gsum += b * sums[i] * float64(others)
+		}
+		out.Sum += gsum
+		out.Count += grid
+	}
+	if out.Count == 0 {
+		return nil, fmt.Errorf("aqp: no fitted groups")
+	}
+	out.Avg = out.Sum / float64(out.Count)
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package aqp
+
+import (
+	"fmt"
+	"sync"
+
+	"datalaws/internal/modelstore"
+	"datalaws/internal/table"
+)
+
+// Cache memoizes the expensive per-plan artifacts of approximate planning —
+// enumerated input domains and legal-combination sets — keyed by model
+// identity/version and table version, so repeated APPROX queries against
+// unchanged data skip the table scans that build them. Appends bump the
+// table version and naturally invalidate stale entries.
+type Cache struct {
+	mu      sync.Mutex
+	domains map[string]cachedDomains
+	legal   map[string]cachedLegal
+
+	hits, misses int
+}
+
+type cachedDomains struct {
+	tableVersion uint64
+	domains      []Domain
+}
+
+type cachedLegal struct {
+	tableVersion uint64
+	legal        LegalSet
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{domains: map[string]cachedDomains{}, legal: map[string]cachedLegal{}}
+}
+
+// Stats reports cache effectiveness.
+func (c *Cache) Stats() (hits, misses int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func domainsKey(m *modelstore.CapturedModel, maxDistinct int) string {
+	return fmt.Sprintf("%s|v%d|d%d", m.Spec.Name, m.Version, maxDistinct)
+}
+
+func legalKey(m *modelstore.CapturedModel, useBloom bool, fpRate float64) string {
+	return fmt.Sprintf("%s|v%d|b%v|f%g", m.Spec.Name, m.Version, useBloom, fpRate)
+}
+
+// domainsFor returns (possibly cached) enumerated domains for the model's
+// inputs at the table's current version.
+func (c *Cache) domainsFor(t *table.Table, m *modelstore.CapturedModel, maxDistinct int) ([]Domain, error) {
+	if c == nil {
+		return DomainsFor(t, m.Model.Inputs, maxDistinct)
+	}
+	v := t.Version()
+	key := domainsKey(m, maxDistinct)
+	c.mu.Lock()
+	if e, ok := c.domains[key]; ok && e.tableVersion == v {
+		c.hits++
+		c.mu.Unlock()
+		return e.domains, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	doms, err := DomainsFor(t, m.Model.Inputs, maxDistinct)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.domains[key] = cachedDomains{tableVersion: v, domains: doms}
+	c.mu.Unlock()
+	return doms, nil
+}
+
+// legalFor returns a (possibly cached) legal set for the model at the
+// table's current version.
+func (c *Cache) legalFor(t *table.Table, m *modelstore.CapturedModel, useBloom bool, fpRate float64) (LegalSet, error) {
+	if c == nil {
+		return BuildLegalSet(t, m.Spec.GroupBy, m.Model.Inputs, useBloom, fpRate)
+	}
+	v := t.Version()
+	key := legalKey(m, useBloom, fpRate)
+	c.mu.Lock()
+	if e, ok := c.legal[key]; ok && e.tableVersion == v {
+		c.hits++
+		c.mu.Unlock()
+		return e.legal, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	ls, err := BuildLegalSet(t, m.Spec.GroupBy, m.Model.Inputs, useBloom, fpRate)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.legal[key] = cachedLegal{tableVersion: v, legal: ls}
+	c.mu.Unlock()
+	return ls, nil
+}

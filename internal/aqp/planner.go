@@ -1,0 +1,229 @@
+package aqp
+
+import (
+	"fmt"
+	"strings"
+
+	"datalaws/internal/exec"
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/sql"
+	"datalaws/internal/table"
+)
+
+// Options configures approximate planning.
+type Options struct {
+	// Policy filters which stored models are trusted.
+	Policy modelstore.SelectionPolicy
+	// MaxDistinct bounds enumerable-domain detection.
+	MaxDistinct int
+	// UseBloom selects the Bloom-filter legal set; FPRate its target rate.
+	UseBloom bool
+	FPRate   float64
+	// Level is the confidence level for WITH ERROR bounds.
+	Level float64
+	// AllowIllegal disables legal-combination filtering entirely (emit the
+	// full grid, accepting rows that never existed).
+	AllowIllegal bool
+	// Cache memoizes domains and legal sets across queries (nil disables).
+	Cache *Cache
+}
+
+// DefaultOptions are sensible defaults: exact legal set, 95 % intervals.
+func DefaultOptions() Options {
+	return Options{Policy: modelstore.DefaultPolicy, MaxDistinct: DefaultMaxDistinct, FPRate: 0.01, Level: 0.95}
+}
+
+// Plan is an approximate query plan with its provenance.
+type Plan struct {
+	Op    exec.Operator
+	Model *modelstore.CapturedModel
+	// Hybrid reports partial-coverage routing (model region ∪ raw rest).
+	Hybrid bool
+	// GridRows is the full model grid size before legality filtering.
+	GridRows int
+}
+
+// BuildApproxSelect plans an APPROX SELECT: it picks the best applicable
+// captured model for the queried table, replaces the raw scan with a
+// ModelScan over the enumerated input grid (zero IO against the
+// measurements), and reuses the exact relational pipeline on top. When the
+// chosen model was fitted on a restricted subset (Spec.Where), the plan is
+// hybrid: model tuples inside the region are concatenated with raw tuples
+// outside it (§4.1 "multiple, partial or grouped models").
+func BuildApproxSelect(cat *table.Catalog, store *modelstore.Store, st *sql.SelectStmt, opts Options) (*Plan, error) {
+	if len(st.Joins) > 0 {
+		return nil, fmt.Errorf("aqp: APPROX SELECT with JOIN is not supported; run the exact query")
+	}
+	t, ok := cat.Get(st.From)
+	if !ok {
+		return nil, fmt.Errorf("aqp: unknown table %q", st.From)
+	}
+	refs := queryColumnRefs(st)
+	model, err := chooseModel(store, st.From, t, refs, st.WithError, opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	domains, err := opts.Cache.domainsFor(t, model, opts.MaxDistinct)
+	if err != nil {
+		return nil, err
+	}
+	var legal LegalSet
+	if !opts.AllowIllegal {
+		legal, err = opts.Cache.legalFor(t, model, opts.UseBloom, opts.FPRate)
+		if err != nil {
+			return nil, err
+		}
+	}
+	scan, err := NewModelScan(model, domains, legal)
+	if err != nil {
+		return nil, err
+	}
+	scan.WithError = st.WithError
+	scan.Level = opts.Level
+	scan.TableName = st.From
+
+	var source exec.Operator = scan
+	hybrid := false
+	if model.Spec.Where != nil {
+		// Partial coverage: model rows must satisfy the fitted region, raw
+		// rows cover its complement.
+		hybrid = true
+		modelSide := &exec.Filter{Child: scan, Pred: model.Spec.Where}
+		rawSide, err := rawProjection(t, st.From, model, st.WithError)
+		if err != nil {
+			return nil, err
+		}
+		notWhere := &expr.Unary{Op: expr.OpNot, X: model.Spec.Where}
+		source = &exec.Concat{Children: []exec.Operator{
+			modelSide,
+			&exec.Filter{Child: rawSide, Pred: notWhere},
+		}}
+	}
+
+	op, err := exec.BuildSelectOver(cat, st, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Op: op, Model: model, Hybrid: hybrid, GridRows: GridSize(domains) * model.Quality.GroupsOK}, nil
+}
+
+// queryColumnRefs collects the identifiers a query references, with alias
+// references removed (they resolve to projected expressions, not columns).
+func queryColumnRefs(st *sql.SelectStmt) map[string]bool {
+	aliases := map[string]bool{}
+	for _, it := range st.Items {
+		if it.Alias != "" {
+			aliases[it.Alias] = true
+		}
+	}
+	refs := map[string]bool{}
+	add := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		for _, v := range expr.Vars(e) {
+			refs[v] = true
+		}
+	}
+	for _, it := range st.Items {
+		if !it.Star {
+			add(it.Expr)
+		}
+	}
+	add(st.Where)
+	for _, g := range st.GroupBy {
+		add(g)
+	}
+	add(st.Having)
+	for _, k := range st.OrderBy {
+		if id, ok := k.Expr.(*expr.Ident); ok && aliases[id.Name] {
+			continue
+		}
+		add(k.Expr)
+	}
+	return refs
+}
+
+// chooseModel picks the best stored model whose generated columns cover the
+// query's references.
+func chooseModel(store *modelstore.Store, tableName string, t *table.Table, refs map[string]bool, withError bool, pol modelstore.SelectionPolicy) (*modelstore.CapturedModel, error) {
+	var best *modelstore.CapturedModel
+	for _, m := range store.ForTable(tableName) {
+		if m.Quality.MedianR2 < pol.MinMedianR2 {
+			continue
+		}
+		if pol.MaxStalenessFrac > 0 && m.StalenessAgainst(t).GrowthFrac > pol.MaxStalenessFrac {
+			continue
+		}
+		if !covers(m, tableName, refs, withError) {
+			continue
+		}
+		if best == nil || m.Quality.MedianR2 > best.Quality.MedianR2 ||
+			(m.Quality.MedianR2 == best.Quality.MedianR2 &&
+				m.Quality.MedianResidualSE < best.Quality.MedianResidualSE) {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no trusted model covers the referenced columns of %q", modelstore.ErrNoModel, tableName)
+	}
+	return best, nil
+}
+
+func covers(m *modelstore.CapturedModel, tableName string, refs map[string]bool, withError bool) bool {
+	avail := map[string]bool{}
+	if m.Grouped() {
+		avail[m.Spec.GroupBy] = true
+	}
+	for _, in := range m.Model.Inputs {
+		avail[in] = true
+	}
+	avail[m.Model.Output] = true
+	if withError {
+		avail[m.Model.Output+"_lo"] = true
+		avail[m.Model.Output+"_hi"] = true
+	}
+	for r := range refs {
+		name := r
+		if i := strings.LastIndexByte(r, '.'); i >= 0 {
+			if r[:i] != tableName {
+				return false
+			}
+			name = r[i+1:]
+		}
+		if !avail[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// rawProjection shapes a raw table scan to the model scan's column list so
+// the two sides of a hybrid plan concatenate. Raw rows are exact, so their
+// error bounds collapse to the value itself.
+func rawProjection(t *table.Table, tableName string, m *modelstore.CapturedModel, withError bool) (exec.Operator, error) {
+	scan := exec.NewTableScan(t)
+	var exprs []expr.Expr
+	var names []string
+	addCol := func(col string) {
+		exprs = append(exprs, &expr.Ident{Name: tableName + "." + col})
+		names = append(names, tableName+"."+col)
+	}
+	if m.Grouped() {
+		addCol(m.Spec.GroupBy)
+	}
+	for _, in := range m.Model.Inputs {
+		addCol(in)
+	}
+	addCol(m.Model.Output)
+	if withError {
+		out := &expr.Ident{Name: tableName + "." + m.Model.Output}
+		exprs = append(exprs, out, out)
+		names = append(names,
+			tableName+"."+m.Model.Output+"_lo",
+			tableName+"."+m.Model.Output+"_hi")
+	}
+	return &exec.Project{Child: scan, Exprs: exprs, Names: names}, nil
+}

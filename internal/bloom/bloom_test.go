@@ -1,0 +1,82 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddUint64s(uint64(i), uint64(i*7))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.ContainsUint64s(uint64(i), uint64(i*7)) {
+			t.Fatalf("false negative at %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	target := 0.01
+	f := New(10000, target)
+	for i := 0; i < 10000; i++ {
+		f.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	fp := 0
+	probes := 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("nonmember-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > target*3 {
+		t.Fatalf("observed FP rate %.4f far above target %.4f", rate, target)
+	}
+	if est := f.EstimatedFPRate(); est > target*2 {
+		t.Fatalf("estimated FP rate %.4f above target", est)
+	}
+}
+
+func TestSizeScalesWithTarget(t *testing.T) {
+	loose := New(10000, 0.1)
+	tight := New(10000, 0.001)
+	if tight.SizeBytes() <= loose.SizeBytes() {
+		t.Fatalf("tighter target must use more bits: %d vs %d", tight.SizeBytes(), loose.SizeBytes())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	f := New(0, -1) // clamped internally
+	f.Add([]byte("x"))
+	if !f.Contains([]byte("x")) {
+		t.Fatal("clamped filter broken")
+	}
+	if f.N() != 1 {
+		t.Fatalf("N = %d", f.N())
+	}
+}
+
+func TestMembershipProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := New(100, 0.01)
+		keys := make([][]byte, 50)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("k%d-%d", seed, rng.Int63()))
+			fl.Add(keys[i])
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package capture
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"datalaws/internal/modelstore"
+)
+
+// fakeBackend is an in-memory Backend double recording calls.
+type fakeBackend struct {
+	mu     sync.Mutex
+	fits   []modelstore.Spec
+	points int
+}
+
+func (f *fakeBackend) TableInfo(name string) ([]string, int, error) {
+	if name != "measurements" {
+		return nil, 0, fmt.Errorf("unknown table %q", name)
+	}
+	return []string{"source", "nu", "intensity"}, 1452824, nil
+}
+
+func (f *fakeBackend) FitModel(spec modelstore.Spec) (FitSummary, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if spec.Formula == "" {
+		return FitSummary{}, fmt.Errorf("empty formula")
+	}
+	f.fits = append(f.fits, spec)
+	return FitSummary{
+		Name: spec.Name, Formula: spec.Formula,
+		Params: []string{"alpha", "p"}, Groups: 35692,
+		MedianR2: 0.92, MeanR2: 0.9, WorstR2: 0.4,
+		MedianResidSE: 0.0066, ParamTableBytes: 640 * 1024, ModelVersion: 1,
+	}, nil
+}
+
+func (f *fakeBackend) ApproxPoint(model string, group int64, inputs []float64, level float64) (PointAnswer, error) {
+	f.mu.Lock()
+	f.points++
+	f.mu.Unlock()
+	if model != "spectra" {
+		return PointAnswer{}, fmt.Errorf("model %q not found", model)
+	}
+	return PointAnswer{Value: 3.0, Lo: 2.95, Hi: 3.05, FromModel: true, ModelName: model}, nil
+}
+
+func TestStrawmanLooksLikeLocalData(t *testing.T) {
+	b := &fakeBackend{}
+	s, err := NewStrawman(b, "measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 1452824 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+	cols := s.Columns()
+	if len(cols) != 3 || cols[2] != "intensity" {
+		t.Fatalf("cols = %v", cols)
+	}
+	// Mutating the returned slice must not corrupt the strawman.
+	cols[0] = "hacked"
+	if s.Columns()[0] != "source" {
+		t.Fatal("Columns aliases internal state")
+	}
+}
+
+func TestStrawmanUnknownTable(t *testing.T) {
+	if _, err := NewStrawman(&fakeBackend{}, "nope"); err == nil {
+		t.Fatal("want error for unknown table")
+	}
+}
+
+func TestStrawmanFitOffloads(t *testing.T) {
+	b := &fakeBackend{}
+	s, _ := NewStrawman(b, "measurements")
+	sum, err := s.Fit("spectra", "intensity ~ p * pow(nu, alpha)", []string{"nu"}, &FitOptions{
+		GroupBy: "source",
+		Start:   map[string]float64{"p": 1, "alpha": -1},
+		Where:   "nu > 0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MedianR2 != 0.92 || sum.Groups != 35692 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(b.fits) != 1 {
+		t.Fatal("fit not forwarded")
+	}
+	spec := b.fits[0]
+	if spec.Table != "measurements" || spec.GroupBy != "source" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Where == nil || !strings.Contains(spec.Where.String(), ">") {
+		t.Fatalf("where = %v", spec.Where)
+	}
+}
+
+func TestStrawmanFitBadWhere(t *testing.T) {
+	s, _ := NewStrawman(&fakeBackend{}, "measurements")
+	if _, err := s.Fit("m", "y ~ a*x", []string{"x"}, &FitOptions{Where: "((("}); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestStrawmanPoint(t *testing.T) {
+	b := &fakeBackend{}
+	s, _ := NewStrawman(b, "measurements")
+	ans, err := s.Point("spectra", 42, []float64{0.14}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Value != 3.0 || !ans.FromModel {
+		t.Fatalf("answer = %+v", ans)
+	}
+	if b.points != 1 {
+		t.Fatal("point not forwarded")
+	}
+}
+
+// --- TCP transport ---
+
+func TestWireRoundTrip(t *testing.T) {
+	b := &fakeBackend{}
+	srv, err := Serve("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// The full Figure 2 sequence over the wire.
+	s, err := NewStrawman(cli, "measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 1452824 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+	sum, err := s.Fit("spectra", "intensity ~ p * pow(nu, alpha)", []string{"nu"}, &FitOptions{
+		GroupBy: "source", Where: "nu > 0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MedianR2 != 0.92 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	ans, err := s.Point("spectra", 42, []float64{0.14}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ans.Value-3.0) > 1e-12 || ans.Lo >= ans.Hi {
+		t.Fatalf("answer = %+v", ans)
+	}
+	// Server-side where must have survived serialization.
+	if len(b.fits) != 1 || b.fits[0].Where == nil {
+		t.Fatalf("server spec = %+v", b.fits)
+	}
+}
+
+func TestWireErrorsPropagate(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", &fakeBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, err := cli.TableInfo("nope"); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cli.ApproxPoint("nomodel", 1, []float64{1}, 0.95); err == nil {
+		t.Fatal("want model error")
+	}
+}
+
+func TestWireConcurrentClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", &fakeBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 20; j++ {
+				if _, _, err := cli.TableInfo("measurements"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cli.ApproxPoint("spectra", int64(j), []float64{0.14}, 0.9); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("want connection error")
+	}
+}

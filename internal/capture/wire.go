@@ -1,0 +1,256 @@
+package capture
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+)
+
+// The wire protocol carries one gob-encoded request and one response per
+// round trip over a persistent TCP connection. Model WHERE predicates
+// travel in source form (the paper stores models "in their source code
+// form"; the same applies on the wire).
+
+type wireRequest struct {
+	Kind string // "info" | "fit" | "point"
+
+	// info
+	Table string
+
+	// fit
+	Name     string
+	Formula  string
+	Inputs   []string
+	GroupBy  string
+	WhereSrc string
+	Start    map[string]float64
+	Method   string
+
+	// point
+	Model string
+	Group int64
+	Point []float64
+	Level float64
+}
+
+type wireResponse struct {
+	Err string
+
+	// info
+	Cols []string
+	Rows int
+
+	// fit
+	Summary FitSummary
+
+	// point
+	Answer PointAnswer
+}
+
+// Server exposes a Backend over TCP.
+type Server struct {
+	backend Backend
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Serve starts listening on addr (use "127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, b Backend) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("capture: listen: %w", err)
+	}
+	s := &Server{backend: b, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level failure; drop the session.
+				return
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *wireRequest) *wireResponse {
+	resp := &wireResponse{}
+	switch req.Kind {
+	case "info":
+		cols, rows, err := s.backend.TableInfo(req.Table)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Cols, resp.Rows = cols, rows
+	case "fit":
+		spec := modelstore.Spec{
+			Name:    req.Name,
+			Table:   req.Table,
+			Formula: req.Formula,
+			Inputs:  req.Inputs,
+			GroupBy: req.GroupBy,
+			Start:   req.Start,
+			Method:  req.Method,
+		}
+		if req.WhereSrc != "" {
+			w, err := expr.Parse(req.WhereSrc)
+			if err != nil {
+				resp.Err = fmt.Sprintf("parsing where: %v", err)
+				return resp
+			}
+			spec.Where = w
+		}
+		sum, err := s.backend.FitModel(spec)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Summary = sum
+	case "point":
+		ans, err := s.backend.ApproxPoint(req.Model, req.Group, req.Point, req.Level)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Answer = ans
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %q", req.Kind)
+	}
+	return resp
+}
+
+// Client implements Backend over a TCP connection, so a Strawman in another
+// process behaves identically to an in-process one.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a capture server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("capture: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req *wireRequest) (*wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("capture: send: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("capture: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// TableInfo implements Backend.
+func (c *Client) TableInfo(name string) ([]string, int, error) {
+	resp, err := c.call(&wireRequest{Kind: "info", Table: name})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Cols, resp.Rows, nil
+}
+
+// FitModel implements Backend. The spec's Where predicate is rendered to
+// source and re-parsed server-side.
+func (c *Client) FitModel(spec modelstore.Spec) (FitSummary, error) {
+	req := &wireRequest{
+		Kind:    "fit",
+		Table:   spec.Table,
+		Name:    spec.Name,
+		Formula: spec.Formula,
+		Inputs:  spec.Inputs,
+		GroupBy: spec.GroupBy,
+		Start:   spec.Start,
+		Method:  spec.Method,
+	}
+	if spec.Where != nil {
+		req.WhereSrc = spec.Where.String()
+	}
+	resp, err := c.call(req)
+	if err != nil {
+		return FitSummary{}, err
+	}
+	return resp.Summary, nil
+}
+
+// ApproxPoint implements Backend.
+func (c *Client) ApproxPoint(model string, group int64, inputs []float64, level float64) (PointAnswer, error) {
+	resp, err := c.call(&wireRequest{
+		Kind: "point", Model: model, Group: group, Point: inputs, Level: level,
+	})
+	if err != nil {
+		return PointAnswer{}, err
+	}
+	return resp.Answer, nil
+}

@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"datalaws/internal/expr"
+)
+
+// AggKind enumerates supported aggregate functions.
+type AggKind uint8
+
+// Aggregates. Var and StdDev use Welford's online algorithm with the
+// unbiased (n−1) denominator.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggVar
+	AggStdDev
+)
+
+// aggKindByName maps lower-case function names to aggregate kinds.
+// count with zero args is COUNT(*).
+var aggKindByName = map[string]AggKind{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg,
+	"min": AggMin, "max": AggMax, "var": AggVar, "stddev": AggStdDev,
+}
+
+// IsAggregateCall reports whether a call expression denotes an aggregate in
+// select-list position. min/max with more than one argument remain scalar
+// functions.
+func IsAggregateCall(c *expr.Call) (AggKind, bool) {
+	k, ok := aggKindByName[strings.ToLower(c.Name)]
+	if !ok {
+		return 0, false
+	}
+	switch k {
+	case AggCount:
+		return k, len(c.Args) <= 1
+	default:
+		return k, len(c.Args) == 1
+	}
+}
+
+// AggSpec is one aggregate computation: Kind over Arg (nil for COUNT(*)).
+type AggSpec struct {
+	Kind AggKind
+	Arg  expr.Expr
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	mean  float64
+	m2    float64
+	min   expr.Value
+	max   expr.Value
+	seen  bool
+}
+
+func (st *aggState) update(kind AggKind, v expr.Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	switch kind {
+	case AggCount:
+		st.count++
+	case AggSum, AggAvg, AggVar, AggStdDev:
+		f, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		st.count++
+		st.sum += f
+		d := f - st.mean
+		st.mean += d / float64(st.count)
+		st.m2 += d * (f - st.mean)
+	case AggMin:
+		if !st.seen {
+			st.min, st.seen = v, true
+			return nil
+		}
+		c, err := expr.Compare(v, st.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			st.min = v
+		}
+	case AggMax:
+		if !st.seen {
+			st.max, st.seen = v, true
+			return nil
+		}
+		c, err := expr.Compare(v, st.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func (st *aggState) final(kind AggKind) expr.Value {
+	switch kind {
+	case AggCount:
+		return expr.Int(st.count)
+	case AggSum:
+		if st.count == 0 {
+			return expr.Null()
+		}
+		return expr.Float(st.sum)
+	case AggAvg:
+		if st.count == 0 {
+			return expr.Null()
+		}
+		return expr.Float(st.sum / float64(st.count))
+	case AggMin:
+		if !st.seen {
+			return expr.Null()
+		}
+		return st.min
+	case AggMax:
+		if !st.seen {
+			return expr.Null()
+		}
+		return st.max
+	case AggVar:
+		if st.count < 2 {
+			return expr.Null()
+		}
+		return expr.Float(st.m2 / float64(st.count-1))
+	case AggStdDev:
+		if st.count < 2 {
+			return expr.Null()
+		}
+		return expr.Float(math.Sqrt(st.m2 / float64(st.count-1)))
+	}
+	return expr.Null()
+}
+
+// HashAggregate groups rows by GroupExprs and computes Aggs per group. Its
+// output columns are "$grp0…$grpN" followed by "$agg0…$aggM", which the
+// planner's post-projection maps back to user-visible expressions.
+type HashAggregate struct {
+	Child      Operator
+	GroupExprs []expr.Expr
+	Aggs       []AggSpec
+
+	cols   []string
+	groups []*aggGroup
+	pos    int
+}
+
+type aggGroup struct {
+	key    []expr.Value
+	states []aggState
+}
+
+// Columns implements Operator.
+func (h *HashAggregate) Columns() []string {
+	if h.cols == nil {
+		cols := make([]string, 0, len(h.GroupExprs)+len(h.Aggs))
+		for i := range h.GroupExprs {
+			cols = append(cols, fmt.Sprintf("$grp%d", i))
+		}
+		for i := range h.Aggs {
+			cols = append(cols, fmt.Sprintf("$agg%d", i))
+		}
+		h.cols = cols
+	}
+	return h.cols
+}
+
+// Open implements Operator: it fully consumes the child and builds groups.
+func (h *HashAggregate) Open() error {
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	h.groups = nil
+	h.pos = 0
+	env := newRowEnv(h.Child.Columns())
+	index := map[string]*aggGroup{}
+	var order []*aggGroup
+	for {
+		row, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		env.bind(row)
+		key := make([]expr.Value, len(h.GroupExprs))
+		var kb strings.Builder
+		for i, g := range h.GroupExprs {
+			v, err := expr.Eval(g, env)
+			if err != nil {
+				return fmt.Errorf("exec: GROUP BY: %w", err)
+			}
+			key[i] = v
+			kb.WriteString(v.String())
+			kb.WriteByte('\x00')
+		}
+		ks := kb.String()
+		grp, ok := index[ks]
+		if !ok {
+			grp = &aggGroup{key: key, states: make([]aggState, len(h.Aggs))}
+			index[ks] = grp
+			order = append(order, grp)
+		}
+		for i, spec := range h.Aggs {
+			var v expr.Value
+			if spec.Arg == nil {
+				v = expr.Int(1) // COUNT(*): any non-null marker
+			} else {
+				v, err = expr.Eval(spec.Arg, env)
+				if err != nil {
+					return fmt.Errorf("exec: aggregate arg: %w", err)
+				}
+			}
+			if err := grp.states[i].update(spec.Kind, v); err != nil {
+				return fmt.Errorf("exec: aggregate: %w", err)
+			}
+		}
+	}
+	// A global aggregate over zero rows still yields one output row.
+	if len(order) == 0 && len(h.GroupExprs) == 0 {
+		order = append(order, &aggGroup{states: make([]aggState, len(h.Aggs))})
+	}
+	h.groups = order
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (Row, error) {
+	if h.pos >= len(h.groups) {
+		return nil, nil
+	}
+	g := h.groups[h.pos]
+	h.pos++
+	out := make(Row, 0, len(g.key)+len(h.Aggs))
+	out = append(out, g.key...)
+	for i, spec := range h.Aggs {
+		out = append(out, g.states[i].final(spec.Kind))
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	return h.Child.Close()
+}

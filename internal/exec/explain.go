@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explainer lets external operators (e.g. the model scan) describe
+// themselves in EXPLAIN output.
+type Explainer interface {
+	ExplainInfo() string
+}
+
+// PlanString renders an operator tree as an indented plan, one operator per
+// line, children indented below their parent.
+func PlanString(op Operator) string {
+	var sb strings.Builder
+	writePlan(&sb, op, 0)
+	return sb.String()
+}
+
+func writePlan(sb *strings.Builder, op Operator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch o := op.(type) {
+	case *TableScan:
+		fmt.Fprintf(sb, "%sTableScan %s (%d rows)\n", indent, o.Table.Name, o.Table.NumRows())
+	case *ValuesScan:
+		fmt.Fprintf(sb, "%sValuesScan (%d rows)\n", indent, len(o.Rows))
+	case *Filter:
+		fmt.Fprintf(sb, "%sFilter %s\n", indent, o.Pred)
+		writePlan(sb, o.Child, depth+1)
+	case *Project:
+		fmt.Fprintf(sb, "%sProject %s\n", indent, strings.Join(o.Names, ", "))
+		writePlan(sb, o.Child, depth+1)
+	case *HashAggregate:
+		var parts []string
+		for _, g := range o.GroupExprs {
+			parts = append(parts, g.String())
+		}
+		fmt.Fprintf(sb, "%sHashAggregate group=[%s] aggs=%d\n", indent, strings.Join(parts, ", "), len(o.Aggs))
+		writePlan(sb, o.Child, depth+1)
+	case *HashJoin:
+		fmt.Fprintf(sb, "%sHashJoin on %s\n", indent, o.On)
+		writePlan(sb, o.Left, depth+1)
+		writePlan(sb, o.Right, depth+1)
+	case *Sort:
+		fmt.Fprintf(sb, "%sSort keys=%d\n", indent, len(o.Keys))
+		writePlan(sb, o.Child, depth+1)
+	case *Limit:
+		fmt.Fprintf(sb, "%sLimit %d\n", indent, o.N)
+		writePlan(sb, o.Child, depth+1)
+	case *Concat:
+		fmt.Fprintf(sb, "%sConcat (%d children)\n", indent, len(o.Children))
+		for _, c := range o.Children {
+			writePlan(sb, c, depth+1)
+		}
+	case *sliceOp:
+		fmt.Fprintf(sb, "%sStripHiddenColumns keep=%d\n", indent, o.N)
+		writePlan(sb, o.Child, depth+1)
+	default:
+		if ex, ok := op.(Explainer); ok {
+			fmt.Fprintf(sb, "%s%s\n", indent, ex.ExplainInfo())
+			return
+		}
+		fmt.Fprintf(sb, "%s%T\n", indent, op)
+	}
+}

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"datalaws/internal/expr"
+)
+
+// HashJoin is an inner equi-join. The ON condition must be a conjunction of
+// equalities, each comparing one left column with one right column.
+type HashJoin struct {
+	Left, Right Operator
+	On          expr.Expr
+
+	cols      []string
+	leftKeys  []int
+	rightKeys []int
+	built     map[string][]Row
+	cur       []Row // pending matches for the current left row
+	curLeft   Row
+	leftDone  bool
+}
+
+// Columns implements Operator.
+func (j *HashJoin) Columns() []string {
+	if j.cols == nil {
+		j.cols = append(append([]string{}, j.Left.Columns()...), j.Right.Columns()...)
+	}
+	return j.cols
+}
+
+// Open implements Operator: it extracts the equi-keys, builds a hash table
+// on the right input, and prepares to stream the left input.
+func (j *HashJoin) Open() error {
+	lcols, rcols := j.Left.Columns(), j.Right.Columns()
+	lk, rk, err := extractEquiKeys(j.On, lcols, rcols)
+	if err != nil {
+		return err
+	}
+	j.leftKeys, j.rightKeys = lk, rk
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.built = map[string][]Row{}
+	for {
+		row, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key, ok := joinKey(row, j.rightKeys)
+		if !ok {
+			continue // NULL keys never match in an inner join
+		}
+		j.built[key] = append(j.built[key], row)
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+	j.cur = nil
+	j.leftDone = false
+	return j.Left.Open()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (Row, error) {
+	for {
+		if len(j.cur) > 0 {
+			r := j.cur[0]
+			j.cur = j.cur[1:]
+			out := make(Row, 0, len(j.curLeft)+len(r))
+			out = append(out, j.curLeft...)
+			out = append(out, r...)
+			return out, nil
+		}
+		if j.leftDone {
+			return nil, nil
+		}
+		row, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			j.leftDone = true
+			return nil, nil
+		}
+		key, ok := joinKey(row, j.leftKeys)
+		if !ok {
+			continue
+		}
+		j.curLeft = row
+		j.cur = j.built[key]
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.built = nil
+	return j.Left.Close()
+}
+
+func joinKey(row Row, keys []int) (string, bool) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v := row[k]
+		if v.IsNull() {
+			return "", false
+		}
+		// Normalize numerics so 1 (int) joins 1.0 (float).
+		if v.K == expr.KindInt {
+			v = expr.Float(float64(v.I))
+		}
+		sb.WriteString(v.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String(), true
+}
+
+// extractEquiKeys decomposes an ON conjunction into aligned left/right
+// column index lists.
+func extractEquiKeys(on expr.Expr, lcols, rcols []string) (left, right []int, err error) {
+	conjuncts := splitConjuncts(on)
+	if len(conjuncts) == 0 {
+		return nil, nil, fmt.Errorf("exec: empty join condition")
+	}
+	for _, c := range conjuncts {
+		b, ok := c.(*expr.Binary)
+		if !ok || b.Op != expr.OpEq {
+			return nil, nil, fmt.Errorf("exec: join condition %s is not an equality", c)
+		}
+		li, ri, ok := sideIndexes(b.L, b.R, lcols, rcols)
+		if !ok {
+			li, ri, ok = sideIndexes(b.R, b.L, lcols, rcols)
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: join condition %s must compare a left column with a right column", c)
+		}
+		left = append(left, li)
+		right = append(right, ri)
+	}
+	return left, right, nil
+}
+
+func sideIndexes(l, r expr.Expr, lcols, rcols []string) (int, int, bool) {
+	li, lok := identIndex(l, lcols)
+	ri, rok := identIndex(r, rcols)
+	return li, ri, lok && rok
+}
+
+func identIndex(e expr.Expr, cols []string) (int, bool) {
+	id, ok := e.(*expr.Ident)
+	if !ok {
+		return 0, false
+	}
+	i, err := ResolveColumn(cols, id.Name)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Binary); ok && b.Op == expr.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}

@@ -1,0 +1,272 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"datalaws/internal/expr"
+)
+
+// Filter passes through rows for which Pred evaluates to TRUE.
+type Filter struct {
+	Child Operator
+	Pred  expr.Expr
+
+	env *rowEnv
+}
+
+// Columns implements Operator.
+func (f *Filter) Columns() []string { return f.Child.Columns() }
+
+// Open implements Operator.
+func (f *Filter) Open() error {
+	f.env = newRowEnv(f.Child.Columns())
+	return f.Child.Open()
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (Row, error) {
+	for {
+		row, err := f.Child.Next()
+		if err != nil || row == nil {
+			return row, err
+		}
+		f.env.bind(row)
+		ok, err := EvalPredicate(f.Pred, f.env)
+		if err != nil {
+			return nil, fmt.Errorf("exec: WHERE: %w", err)
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project computes one output column per expression.
+type Project struct {
+	Child Operator
+	Exprs []expr.Expr
+	Names []string
+
+	env *rowEnv
+}
+
+// Columns implements Operator.
+func (p *Project) Columns() []string { return p.Names }
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	if len(p.Exprs) != len(p.Names) {
+		return fmt.Errorf("exec: project has %d exprs, %d names", len(p.Exprs), len(p.Names))
+	}
+	p.env = newRowEnv(p.Child.Columns())
+	return p.Child.Open()
+}
+
+// Next implements Operator.
+func (p *Project) Next() (Row, error) {
+	row, err := p.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	p.env.bind(row)
+	out := make(Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := expr.Eval(e, p.env)
+		if err != nil {
+			return nil, fmt.Errorf("exec: projecting %s: %w", e, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Limit stops after N rows.
+type Limit struct {
+	Child Operator
+	N     int
+
+	seen int
+}
+
+// Columns implements Operator.
+func (l *Limit) Columns() []string { return l.Child.Columns() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.Child.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (Row, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// SortKey orders by a column index with direction.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materializes the child and emits rows ordered by Keys. NULLs sort
+// first ascending (last descending).
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+
+	rows []Row
+	pos  int
+}
+
+// Columns implements Operator.
+func (s *Sort) Columns() []string { return s.Child.Columns() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	if err := s.Child.Open(); err != nil {
+		return err
+	}
+	s.rows = nil
+	s.pos = 0
+	for {
+		row, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	var sortErr error
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, k := range s.Keys {
+			a, b := s.rows[i][k.Col], s.rows[j][k.Col]
+			c, err := compareNullable(a, b)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}
+
+func compareNullable(a, b expr.Value) (int, error) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, nil
+	case a.IsNull():
+		return -1, nil
+	case b.IsNull():
+		return 1, nil
+	}
+	return expr.Compare(a, b)
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.Child.Close()
+}
+
+// Concat emits all rows of its children in order. Children must have
+// identical column lists; the approximate query layer uses it to stitch a
+// model scan over the covered region to a raw scan over the rest (the
+// paper's "partial models" routing).
+type Concat struct {
+	Children []Operator
+	idx      int
+}
+
+// Columns implements Operator.
+func (c *Concat) Columns() []string {
+	if len(c.Children) == 0 {
+		return nil
+	}
+	return c.Children[0].Columns()
+}
+
+// Open implements Operator.
+func (c *Concat) Open() error {
+	if len(c.Children) == 0 {
+		return fmt.Errorf("exec: empty concat")
+	}
+	want := c.Children[0].Columns()
+	for _, ch := range c.Children[1:] {
+		got := ch.Columns()
+		if len(got) != len(want) {
+			return fmt.Errorf("exec: concat children have %d vs %d columns", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("exec: concat column %d mismatch: %q vs %q", i, got[i], want[i])
+			}
+		}
+	}
+	c.idx = 0
+	return c.Children[0].Open()
+}
+
+// Next implements Operator.
+func (c *Concat) Next() (Row, error) {
+	for {
+		row, err := c.Children[c.idx].Next()
+		if err != nil {
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+		if err := c.Children[c.idx].Close(); err != nil {
+			return nil, err
+		}
+		c.idx++
+		if c.idx >= len(c.Children) {
+			return nil, nil
+		}
+		if err := c.Children[c.idx].Open(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close implements Operator.
+func (c *Concat) Close() error {
+	if c.idx < len(c.Children) {
+		return c.Children[c.idx].Close()
+	}
+	return nil
+}

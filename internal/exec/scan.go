@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"fmt"
+
+	"datalaws/internal/table"
+)
+
+// TableScan reads every row of a base table, snapshotting the row count at
+// Open so concurrent appends do not tear the scan.
+type TableScan struct {
+	Table *table.Table
+
+	cols []string
+	n    int
+	pos  int
+}
+
+// NewTableScan builds a scan over t with qualified output columns.
+func NewTableScan(t *table.Table) *TableScan {
+	names := t.Schema().Names()
+	cols := make([]string, len(names))
+	for i, n := range names {
+		cols[i] = t.Name + "." + n
+	}
+	return &TableScan{Table: t, cols: cols}
+}
+
+// Columns implements Operator.
+func (s *TableScan) Columns() []string { return s.cols }
+
+// Open implements Operator.
+func (s *TableScan) Open() error {
+	if s.Table == nil {
+		return fmt.Errorf("exec: scan over nil table")
+	}
+	s.n = s.Table.NumRows()
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next() (Row, error) {
+	if s.pos >= s.n {
+		return nil, nil
+	}
+	row := s.Table.Row(s.pos)
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *TableScan) Close() error { return nil }
+
+// ValuesScan replays pre-materialized rows; used for model scans' grids and
+// tests.
+type ValuesScan struct {
+	Cols []string
+	Rows []Row
+	pos  int
+}
+
+// Columns implements Operator.
+func (s *ValuesScan) Columns() []string { return s.Cols }
+
+// Open implements Operator.
+func (s *ValuesScan) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *ValuesScan) Next() (Row, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, nil
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *ValuesScan) Close() error { return nil }

@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"datalaws/internal/modelstore"
+	"datalaws/internal/synth"
+)
+
+func TestHighGradientRegionsPowerLaw(t *testing.T) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{
+		Sources: 10, ObsPerSource: 40, NoiseFrac: 0.02, AnomalyFrac: 0, Seed: 51,
+	})
+	tb, err := synth.LOFARTable("m", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := modelstore.NewStore()
+	m, err := store.Capture(tb, modelstore.Spec{
+		Name: "spectra", Table: "m",
+		Formula: "intensity ~ p * pow(nu, alpha)",
+		Inputs:  []string{"nu"}, GroupBy: "source",
+		Start: map[string]float64{"p": 1, "alpha": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := HighGradientRegions(m, map[string][]float64{"nu": synth.Bands}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10*len(synth.Bands) {
+		t.Fatalf("points = %d, want full grid", len(pts))
+	}
+	// For I = p·ν^α with α<0, |dI/dν| within each source is largest at the
+	// lowest frequency (sources differ in brightness, so the global ranking
+	// interleaves them).
+	bestPerGroup := map[int64]GradientPoint{}
+	for _, p := range pts {
+		if cur, ok := bestPerGroup[p.Group]; !ok || p.GradNorm > cur.GradNorm {
+			bestPerGroup[p.Group] = p
+		}
+	}
+	for g, p := range bestPerGroup {
+		if p.Inputs[0] != 0.12 {
+			t.Fatalf("group %d: steepest at nu=%g, want 0.12", g, p.Inputs[0])
+		}
+	}
+	// The global top point is the lowest band of its own source too.
+	if pts[0].Inputs[0] != 0.12 {
+		t.Fatalf("global top at nu=%g", pts[0].Inputs[0])
+	}
+	// Gradient magnitude should match the analytic derivative.
+	top := pts[0]
+	g := m.Groups[top.Group]
+	var alpha, pconst float64
+	for i, name := range m.Model.Params {
+		switch name {
+		case "alpha":
+			alpha = g.Params[i]
+		case "p":
+			pconst = g.Params[i]
+		}
+	}
+	want := math.Abs(pconst * alpha * math.Pow(0.12, alpha-1))
+	if math.Abs(top.GradNorm-want)/want > 1e-9 {
+		t.Fatalf("gradient %g, analytic %g", top.GradNorm, want)
+	}
+	// Ordering is descending.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].GradNorm > pts[i-1].GradNorm {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestHighGradientErrors(t *testing.T) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{Sources: 3, ObsPerSource: 20, Seed: 5})
+	tb, _ := synth.LOFARTable("m", d)
+	store := modelstore.NewStore()
+	m, err := store.Capture(tb, modelstore.Spec{
+		Name: "s", Table: "m",
+		Formula: "intensity ~ p * pow(nu, alpha)",
+		Inputs:  []string{"nu"}, GroupBy: "source",
+		Start: map[string]float64{"p": 1, "alpha": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HighGradientRegions(m, map[string][]float64{}, 5); err == nil {
+		t.Fatal("want missing-domain error")
+	}
+}

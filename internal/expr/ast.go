@@ -1,0 +1,189 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates unary and binary operators.
+type Op uint8
+
+// Operators. Comparison operators yield booleans under SQL three-valued
+// logic; arithmetic operators propagate NULL.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpNeg
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub, OpNeg:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpPow:
+		return "^"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNot:
+		return "NOT"
+	}
+	return "?"
+}
+
+// Expr is a parsed expression node.
+type Expr interface {
+	String() string
+}
+
+// Lit is a literal constant.
+type Lit struct{ Val Value }
+
+func (l *Lit) String() string { return l.Val.String() }
+
+// Ident references a column or free variable by name.
+type Ident struct{ Name string }
+
+func (i *Ident) String() string { return i.Name }
+
+// Unary applies OpNeg or OpNot to X.
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+func (u *Unary) String() string {
+	if u.Op == OpNot {
+		return fmt.Sprintf("NOT (%s)", u.X)
+	}
+	return fmt.Sprintf("(-%s)", u.X)
+}
+
+// Binary applies a binary operator to L and R.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Call invokes a built-in function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+// IsNullExpr tests X IS NULL (or IS NOT NULL when Negate is set).
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// Vars returns the sorted set of identifier names referenced by e.
+func Vars(e Expr) []string {
+	set := map[string]struct{}{}
+	collectVars(e, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectVars(e Expr, set map[string]struct{}) {
+	switch n := e.(type) {
+	case *Ident:
+		set[n.Name] = struct{}{}
+	case *Unary:
+		collectVars(n.X, set)
+	case *Binary:
+		collectVars(n.L, set)
+		collectVars(n.R, set)
+	case *Call:
+		for _, a := range n.Args {
+			collectVars(a, set)
+		}
+	case *IsNullExpr:
+		collectVars(n.X, set)
+	}
+}
+
+// Substitute returns a copy of e with identifiers replaced per subs. Names
+// not present in subs are left untouched.
+func Substitute(e Expr, subs map[string]Expr) Expr {
+	switch n := e.(type) {
+	case *Lit:
+		return n
+	case *Ident:
+		if r, ok := subs[n.Name]; ok {
+			return r
+		}
+		return n
+	case *Unary:
+		return &Unary{Op: n.Op, X: Substitute(n.X, subs)}
+	case *Binary:
+		return &Binary{Op: n.Op, L: Substitute(n.L, subs), R: Substitute(n.R, subs)}
+	case *Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Substitute(a, subs)
+		}
+		return &Call{Name: n.Name, Args: args}
+	case *IsNullExpr:
+		return &IsNullExpr{X: Substitute(n.X, subs), Negate: n.Negate}
+	}
+	return e
+}

@@ -1,0 +1,277 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diff returns the symbolic partial derivative of e with respect to the
+// identifier v. It supports the numeric fragment of the language
+// (+ − × ÷ ^, pow, exp, log, sqrt, sin, cos, tan, abs) and returns an error
+// for non-differentiable constructs. The result is simplified by constant
+// folding so the fitting engine can evaluate analytic Jacobians cheaply.
+func Diff(e Expr, v string) (Expr, error) {
+	d, err := diff(e, v)
+	if err != nil {
+		return nil, err
+	}
+	return Simplify(d), nil
+}
+
+func lit(f float64) Expr { return &Lit{Val: Float(f)} }
+
+func diff(e Expr, v string) (Expr, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return lit(0), nil
+	case *Ident:
+		if n.Name == v {
+			return lit(1), nil
+		}
+		return lit(0), nil
+	case *Unary:
+		if n.Op != OpNeg {
+			return nil, fmt.Errorf("expr: cannot differentiate %s", n.Op)
+		}
+		dx, err := diff(n.X, v)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, X: dx}, nil
+	case *Binary:
+		return diffBinary(n, v)
+	case *Call:
+		return diffCall(n, v)
+	}
+	return nil, fmt.Errorf("expr: cannot differentiate %T", e)
+}
+
+func diffBinary(n *Binary, v string) (Expr, error) {
+	dl, err := diff(n.L, v)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := diff(n.R, v)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case OpAdd:
+		return &Binary{Op: OpAdd, L: dl, R: dr}, nil
+	case OpSub:
+		return &Binary{Op: OpSub, L: dl, R: dr}, nil
+	case OpMul:
+		// (fg)' = f'g + fg'
+		return &Binary{Op: OpAdd,
+			L: &Binary{Op: OpMul, L: dl, R: n.R},
+			R: &Binary{Op: OpMul, L: n.L, R: dr},
+		}, nil
+	case OpDiv:
+		// (f/g)' = (f'g − fg') / g²
+		return &Binary{Op: OpDiv,
+			L: &Binary{Op: OpSub,
+				L: &Binary{Op: OpMul, L: dl, R: n.R},
+				R: &Binary{Op: OpMul, L: n.L, R: dr},
+			},
+			R: &Binary{Op: OpMul, L: n.R, R: n.R},
+		}, nil
+	case OpPow:
+		return diffPow(n.L, n.R, dl, dr)
+	}
+	return nil, fmt.Errorf("expr: cannot differentiate %s", n.Op)
+}
+
+// diffPow handles f^g. When g is constant: g·f^(g−1)·f'. When f is constant:
+// f^g·ln(f)·g'. General case uses f^g·(g'·ln f + g·f'/f).
+func diffPow(f, g, df, dg Expr) (Expr, error) {
+	if isZeroConst(dg) {
+		// d/dv f^c = c·f^(c−1)·f'
+		return &Binary{Op: OpMul,
+			L: &Binary{Op: OpMul,
+				L: g,
+				R: &Binary{Op: OpPow, L: f, R: &Binary{Op: OpSub, L: g, R: lit(1)}},
+			},
+			R: df,
+		}, nil
+	}
+	if isZeroConst(df) {
+		// d/dv c^g = c^g·ln(c)·g'
+		return &Binary{Op: OpMul,
+			L: &Binary{Op: OpMul,
+				L: &Binary{Op: OpPow, L: f, R: g},
+				R: &Call{Name: "log", Args: []Expr{f}},
+			},
+			R: dg,
+		}, nil
+	}
+	// General case.
+	return &Binary{Op: OpMul,
+		L: &Binary{Op: OpPow, L: f, R: g},
+		R: &Binary{Op: OpAdd,
+			L: &Binary{Op: OpMul, L: dg, R: &Call{Name: "log", Args: []Expr{f}}},
+			R: &Binary{Op: OpDiv, L: &Binary{Op: OpMul, L: g, R: df}, R: f},
+		},
+	}, nil
+}
+
+func diffCall(n *Call, v string) (Expr, error) {
+	if n.Name == "pow" && len(n.Args) == 2 {
+		df, err := diff(n.Args[0], v)
+		if err != nil {
+			return nil, err
+		}
+		dg, err := diff(n.Args[1], v)
+		if err != nil {
+			return nil, err
+		}
+		return diffPow(n.Args[0], n.Args[1], df, dg)
+	}
+	if len(n.Args) != 1 {
+		return nil, fmt.Errorf("expr: cannot differentiate %s/%d", n.Name, len(n.Args))
+	}
+	x := n.Args[0]
+	dx, err := diff(x, v)
+	if err != nil {
+		return nil, err
+	}
+	var outer Expr
+	switch n.Name {
+	case "exp":
+		outer = &Call{Name: "exp", Args: []Expr{x}}
+	case "log":
+		outer = &Binary{Op: OpDiv, L: lit(1), R: x}
+	case "sqrt":
+		outer = &Binary{Op: OpDiv, L: lit(0.5), R: &Call{Name: "sqrt", Args: []Expr{x}}}
+	case "sin":
+		outer = &Call{Name: "cos", Args: []Expr{x}}
+	case "cos":
+		outer = &Unary{Op: OpNeg, X: &Call{Name: "sin", Args: []Expr{x}}}
+	case "tan":
+		c := &Call{Name: "cos", Args: []Expr{x}}
+		outer = &Binary{Op: OpDiv, L: lit(1), R: &Binary{Op: OpMul, L: c, R: c}}
+	case "abs":
+		outer = &Call{Name: "sign", Args: []Expr{x}}
+	default:
+		return nil, fmt.Errorf("expr: cannot differentiate function %q", n.Name)
+	}
+	return &Binary{Op: OpMul, L: outer, R: dx}, nil
+}
+
+func isZeroConst(e Expr) bool {
+	l, ok := e.(*Lit)
+	if !ok {
+		return false
+	}
+	f, err := l.Val.AsFloat()
+	return err == nil && f == 0
+}
+
+func constVal(e Expr) (float64, bool) {
+	l, ok := e.(*Lit)
+	if !ok {
+		return 0, false
+	}
+	f, err := l.Val.AsFloat()
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// Simplify performs constant folding and identity elimination
+// (x+0, x·1, x·0, x^1, …) on the numeric fragment of e.
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case *Unary:
+		x := Simplify(n.X)
+		if n.Op == OpNeg {
+			if c, ok := constVal(x); ok {
+				return lit(-c)
+			}
+			if inner, ok := x.(*Unary); ok && inner.Op == OpNeg {
+				return inner.X
+			}
+		}
+		return &Unary{Op: n.Op, X: x}
+	case *Binary:
+		l, r := Simplify(n.L), Simplify(n.R)
+		lc, lok := constVal(l)
+		rc, rok := constVal(r)
+		if lok && rok {
+			switch n.Op {
+			case OpAdd:
+				return lit(lc + rc)
+			case OpSub:
+				return lit(lc - rc)
+			case OpMul:
+				return lit(lc * rc)
+			case OpDiv:
+				if rc != 0 {
+					return lit(lc / rc)
+				}
+			case OpPow:
+				return lit(math.Pow(lc, rc))
+			}
+		}
+		switch n.Op {
+		case OpAdd:
+			if lok && lc == 0 {
+				return r
+			}
+			if rok && rc == 0 {
+				return l
+			}
+		case OpSub:
+			if rok && rc == 0 {
+				return l
+			}
+			if lok && lc == 0 {
+				return &Unary{Op: OpNeg, X: r}
+			}
+		case OpMul:
+			if (lok && lc == 0) || (rok && rc == 0) {
+				return lit(0)
+			}
+			if lok && lc == 1 {
+				return r
+			}
+			if rok && rc == 1 {
+				return l
+			}
+		case OpDiv:
+			if lok && lc == 0 {
+				return lit(0)
+			}
+			if rok && rc == 1 {
+				return l
+			}
+		case OpPow:
+			if rok && rc == 1 {
+				return l
+			}
+			if rok && rc == 0 {
+				return lit(1)
+			}
+		}
+		return &Binary{Op: n.Op, L: l, R: r}
+	case *Call:
+		args := make([]Expr, len(n.Args))
+		allConst := true
+		vals := make([]float64, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Simplify(a)
+			if c, ok := constVal(args[i]); ok {
+				vals[i] = c
+			} else {
+				allConst = false
+			}
+		}
+		if allConst {
+			if b, ok := builtins[n.Name]; ok && (b.arity < 0 || b.arity == len(vals)) && len(vals) > 0 {
+				return lit(b.fn(vals))
+			}
+		}
+		return &Call{Name: n.Name, Args: args}
+	}
+	return e
+}

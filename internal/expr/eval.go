@@ -1,0 +1,433 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env resolves identifier names to values during evaluation.
+type Env interface {
+	Lookup(name string) (Value, bool)
+}
+
+// MapEnv is an Env backed by a map.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// FloatEnv resolves identifiers to float64, the fast path for fitting loops.
+type FloatEnv func(name string) (float64, bool)
+
+// Eval evaluates e under env with SQL semantics: NULL propagates through
+// arithmetic and comparison; AND/OR use three-valued logic collapsed to
+// (value, isNull).
+func Eval(e Expr, env Env) (Value, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val, nil
+	case *Ident:
+		v, ok := env.Lookup(n.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("expr: unknown identifier %q", n.Name)
+		}
+		return v, nil
+	case *Unary:
+		return evalUnary(n, env)
+	case *Binary:
+		return evalBinary(n, env)
+	case *Call:
+		return evalCall(n, env)
+	case *IsNullExpr:
+		v, err := Eval(n.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		isNull := v.IsNull()
+		if n.Negate {
+			isNull = !isNull
+		}
+		return Bool(isNull), nil
+	}
+	return Value{}, fmt.Errorf("expr: cannot evaluate %T", e)
+}
+
+func evalUnary(n *Unary, env Env) (Value, error) {
+	v, err := Eval(n.X, env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	switch n.Op {
+	case OpNeg:
+		switch v.K {
+		case KindInt:
+			return Int(-v.I), nil
+		default:
+			f, err := v.AsFloat()
+			if err != nil {
+				return Value{}, err
+			}
+			return Float(-f), nil
+		}
+	case OpNot:
+		b, err := v.AsBool()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(!b), nil
+	}
+	return Value{}, fmt.Errorf("expr: bad unary op %s", n.Op)
+}
+
+func evalBinary(n *Binary, env Env) (Value, error) {
+	// Short-circuit logic with SQL three-valued semantics.
+	if n.Op == OpAnd || n.Op == OpOr {
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsNull() {
+			lb, err := l.AsBool()
+			if err != nil {
+				return Value{}, err
+			}
+			if n.Op == OpAnd && !lb {
+				return Bool(false), nil
+			}
+			if n.Op == OpOr && lb {
+				return Bool(true), nil
+			}
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.IsNull() || l.IsNull() {
+			// FALSE AND NULL = FALSE handled above; remaining combinations
+			// involving NULL are NULL.
+			if !r.IsNull() {
+				rb, _ := r.AsBool()
+				if n.Op == OpAnd && !rb {
+					return Bool(false), nil
+				}
+				if n.Op == OpOr && rb {
+					return Bool(true), nil
+				}
+			}
+			return Null(), nil
+		}
+		rb, err := r.AsBool()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(rb), nil
+	}
+
+	l, err := Eval(n.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := Eval(n.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	switch n.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		c, err := Compare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case OpEq:
+			return Bool(c == 0), nil
+		case OpNe:
+			return Bool(c != 0), nil
+		case OpLt:
+			return Bool(c < 0), nil
+		case OpLe:
+			return Bool(c <= 0), nil
+		case OpGt:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	}
+	// Arithmetic. Integer ops stay integral except division and power.
+	if l.K == KindInt && r.K == KindInt {
+		switch n.Op {
+		case OpAdd:
+			return Int(l.I + r.I), nil
+		case OpSub:
+			return Int(l.I - r.I), nil
+		case OpMul:
+			return Int(l.I * r.I), nil
+		case OpMod:
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("expr: integer modulo by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	lf, err := l.AsFloat()
+	if err != nil {
+		return Value{}, err
+	}
+	rf, err := r.AsFloat()
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpAdd:
+		return Float(lf + rf), nil
+	case OpSub:
+		return Float(lf - rf), nil
+	case OpMul:
+		return Float(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return Value{}, fmt.Errorf("expr: division by zero")
+		}
+		return Float(lf / rf), nil
+	case OpMod:
+		if rf == 0 {
+			return Value{}, fmt.Errorf("expr: modulo by zero")
+		}
+		return Float(math.Mod(lf, rf)), nil
+	case OpPow:
+		return Float(math.Pow(lf, rf)), nil
+	}
+	return Value{}, fmt.Errorf("expr: bad binary op %s", n.Op)
+}
+
+// funcTable maps built-in function names to float implementations, with the
+// number of expected arguments (-1 means variadic, at least one).
+type builtin struct {
+	arity int
+	fn    func(args []float64) float64
+}
+
+var builtins = map[string]builtin{
+	"abs":   {1, func(a []float64) float64 { return math.Abs(a[0]) }},
+	"sqrt":  {1, func(a []float64) float64 { return math.Sqrt(a[0]) }},
+	"exp":   {1, func(a []float64) float64 { return math.Exp(a[0]) }},
+	"log":   {1, func(a []float64) float64 { return math.Log(a[0]) }},
+	"log2":  {1, func(a []float64) float64 { return math.Log2(a[0]) }},
+	"log10": {1, func(a []float64) float64 { return math.Log10(a[0]) }},
+	"pow":   {2, func(a []float64) float64 { return math.Pow(a[0], a[1]) }},
+	"sin":   {1, func(a []float64) float64 { return math.Sin(a[0]) }},
+	"cos":   {1, func(a []float64) float64 { return math.Cos(a[0]) }},
+	"tan":   {1, func(a []float64) float64 { return math.Tan(a[0]) }},
+	"atan":  {1, func(a []float64) float64 { return math.Atan(a[0]) }},
+	"floor": {1, func(a []float64) float64 { return math.Floor(a[0]) }},
+	"ceil":  {1, func(a []float64) float64 { return math.Ceil(a[0]) }},
+	"round": {1, func(a []float64) float64 { return math.Round(a[0]) }},
+	"sign": {1, func(a []float64) float64 {
+		switch {
+		case a[0] > 0:
+			return 1
+		case a[0] < 0:
+			return -1
+		}
+		return 0
+	}},
+	"min": {-1, func(a []float64) float64 {
+		m := a[0]
+		for _, v := range a[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}},
+	"max": {-1, func(a []float64) float64 {
+		m := a[0]
+		for _, v := range a[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}},
+}
+
+func evalCall(n *Call, env Env) (Value, error) {
+	b, ok := builtins[n.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("expr: unknown function %q", n.Name)
+	}
+	if b.arity >= 0 && len(n.Args) != b.arity {
+		return Value{}, fmt.Errorf("expr: %s expects %d args, got %d", n.Name, b.arity, len(n.Args))
+	}
+	if b.arity < 0 && len(n.Args) == 0 {
+		return Value{}, fmt.Errorf("expr: %s expects at least one arg", n.Name)
+	}
+	args := make([]float64, len(n.Args))
+	for i, a := range n.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			return Null(), nil
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = f
+	}
+	return Float(b.fn(args)), nil
+}
+
+// EvalFloat evaluates e as a float64 under a FloatEnv, without Value boxing.
+// It is the inner loop of the fitting engine and model scans; unresolvable
+// names or non-numeric constructs return an error.
+func EvalFloat(e Expr, env FloatEnv) (float64, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val.AsFloat()
+	case *Ident:
+		v, ok := env(n.Name)
+		if !ok {
+			return 0, fmt.Errorf("expr: unknown identifier %q", n.Name)
+		}
+		return v, nil
+	case *Unary:
+		x, err := EvalFloat(n.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if n.Op == OpNeg {
+			return -x, nil
+		}
+		return 0, fmt.Errorf("expr: operator %s not numeric", n.Op)
+	case *Binary:
+		l, err := EvalFloat(n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := EvalFloat(n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			return l / r, nil
+		case OpMod:
+			return math.Mod(l, r), nil
+		case OpPow:
+			return math.Pow(l, r), nil
+		}
+		return 0, fmt.Errorf("expr: operator %s not numeric", n.Op)
+	case *Call:
+		b, ok := builtins[n.Name]
+		if !ok {
+			return 0, fmt.Errorf("expr: unknown function %q", n.Name)
+		}
+		args := make([]float64, len(n.Args))
+		for i, a := range n.Args {
+			v, err := EvalFloat(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		if b.arity >= 0 && len(args) != b.arity {
+			return 0, fmt.Errorf("expr: %s expects %d args, got %d", n.Name, b.arity, len(args))
+		}
+		return b.fn(args), nil
+	}
+	return 0, fmt.Errorf("expr: cannot numerically evaluate %T", e)
+}
+
+// Compile lowers e into a closure evaluating against a positional slice,
+// given a name→index binding. It avoids per-row map lookups in hot loops.
+func Compile(e Expr, index map[string]int) (func(row []float64) float64, error) {
+	switch n := e.(type) {
+	case *Lit:
+		v, err := n.Val.AsFloat()
+		if err != nil {
+			return nil, err
+		}
+		return func([]float64) float64 { return v }, nil
+	case *Ident:
+		idx, ok := index[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("expr: unbound identifier %q", n.Name)
+		}
+		return func(row []float64) float64 { return row[idx] }, nil
+	case *Unary:
+		if n.Op != OpNeg {
+			return nil, fmt.Errorf("expr: operator %s not numeric", n.Op)
+		}
+		x, err := Compile(n.X, index)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []float64) float64 { return -x(row) }, nil
+	case *Binary:
+		l, err := Compile(n.L, index)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(n.R, index)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return func(row []float64) float64 { return l(row) + r(row) }, nil
+		case OpSub:
+			return func(row []float64) float64 { return l(row) - r(row) }, nil
+		case OpMul:
+			return func(row []float64) float64 { return l(row) * r(row) }, nil
+		case OpDiv:
+			return func(row []float64) float64 { return l(row) / r(row) }, nil
+		case OpMod:
+			return func(row []float64) float64 { return math.Mod(l(row), r(row)) }, nil
+		case OpPow:
+			return func(row []float64) float64 { return math.Pow(l(row), r(row)) }, nil
+		}
+		return nil, fmt.Errorf("expr: operator %s not numeric", n.Op)
+	case *Call:
+		b, ok := builtins[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown function %q", n.Name)
+		}
+		if b.arity >= 0 && len(n.Args) != b.arity {
+			return nil, fmt.Errorf("expr: %s expects %d args, got %d", n.Name, b.arity, len(n.Args))
+		}
+		argFns := make([]func([]float64) float64, len(n.Args))
+		for i, a := range n.Args {
+			f, err := Compile(a, index)
+			if err != nil {
+				return nil, err
+			}
+			argFns[i] = f
+		}
+		fn := b.fn
+		return func(row []float64) float64 {
+			args := make([]float64, len(argFns))
+			for i, f := range argFns {
+				args[i] = f(row)
+			}
+			return fn(args)
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: cannot compile %T", e)
+}

@@ -1,0 +1,152 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp   // punctuation operator: + - * / % ^ ( ) , = <> < <= > >=
+	tokKeyw // AND OR NOT TRUE FALSE NULL IS
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes expression source. Keywords are case-insensitive;
+// identifiers keep their original spelling.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+var keywords = map[string]struct{}{
+	"AND": {}, "OR": {}, "NOT": {}, "TRUE": {}, "FALSE": {}, "NULL": {}, "IS": {},
+	"IN": {}, "BETWEEN": {}, "LIKE": {},
+}
+
+// lexAll splits src into tokens or returns a positioned error.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if _, ok := keywords[strings.ToUpper(text)]; ok {
+			return token{kind: tokKeyw, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	default:
+		// Multi-char operators first.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			switch two {
+			case "<=", ">=", "<>", "!=", "==":
+				l.pos += 2
+				if two == "!=" {
+					two = "<>"
+				}
+				if two == "==" {
+					two = "="
+				}
+				return token{kind: tokOp, text: two, pos: start}, nil
+			}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '^', '(', ')', ',', '=', '<', '>':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("expr: unexpected character %q at offset %d", rune(c), start)
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// Doubled quote is an escaped quote (SQL style).
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				sb.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("expr: unterminated string literal at offset %d", start)
+}
+
+func isSpace(c byte) bool      { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || c == '.' || unicode.IsLetter(rune(c)) || isDigit(c) }

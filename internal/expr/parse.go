@@ -1,0 +1,323 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses src into an expression tree.
+//
+// Grammar (precedence from lowest to highest):
+//
+//	or     := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | cmp
+//	cmp    := add ((= | <> | < | <= | > | >=) add)? | add IS [NOT] NULL
+//	add    := mul ((+|-) mul)*
+//	mul    := unary ((*|/|%) unary)*
+//	unary  := - unary | pow
+//	pow    := primary (^ unary)?          (right associative)
+//	primary:= number | string | ident | ident(args) | TRUE|FALSE|NULL | (or)
+func Parse(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected trailing input %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and package literals.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectOp(text string) error {
+	t := p.peek()
+	if t.kind != tokOp || t.text != text {
+		return fmt.Errorf("expr: expected %q at offset %d, found %q", text, t.pos, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyw && p.peek().text == "OR" {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyw && p.peek().text == "AND" {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().kind == tokKeyw && p.peek().text == "NOT" {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]Op{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if t.kind == tokKeyw && t.text == "IS" {
+		p.advance()
+		neg := false
+		if p.peek().kind == tokKeyw && p.peek().text == "NOT" {
+			neg = true
+			p.advance()
+		}
+		if p.peek().kind != tokKeyw || p.peek().text != "NULL" {
+			return nil, fmt.Errorf("expr: expected NULL after IS at offset %d", p.peek().pos)
+		}
+		p.advance()
+		return &IsNullExpr{X: l, Negate: neg}, nil
+	}
+	if t.kind == tokKeyw && t.text == "BETWEEN" {
+		p.advance()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokKeyw || p.peek().text != "AND" {
+			return nil, fmt.Errorf("expr: expected AND in BETWEEN at offset %d", p.peek().pos)
+		}
+		p.advance()
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{
+			Op: OpAnd,
+			L:  &Binary{Op: OpGe, L: l, R: lo},
+			R:  &Binary{Op: OpLe, L: l, R: hi},
+		}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		op := OpAdd
+		if t.text == "-" {
+			op = OpSub
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		var op Op
+		switch t.text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && t.text == "-" {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	}
+	if t.kind == tokOp && t.text == "+" {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePow()
+}
+
+func (p *parser) parsePow() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp && t.text == "^" {
+		p.advance()
+		exp, err := p.parseUnary() // right associative, allows -x exponents
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpPow, L: base, R: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if !strings.ContainsAny(t.text, ".eE") {
+			if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+				return &Lit{Val: Int(i)}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at offset %d", t.text, t.pos)
+		}
+		return &Lit{Val: Float(f)}, nil
+	case tokString:
+		p.advance()
+		return &Lit{Val: Str(t.text)}, nil
+	case tokKeyw:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return &Lit{Val: Bool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Lit{Val: Bool(false)}, nil
+		case "NULL":
+			p.advance()
+			return &Lit{Val: Null()}, nil
+		}
+		return nil, fmt.Errorf("expr: unexpected keyword %q at offset %d", t.text, t.pos)
+	case tokIdent:
+		p.advance()
+		if n := p.peek(); n.kind == tokOp && n.text == "(" {
+			p.advance()
+			var args []Expr
+			if !(p.peek().kind == tokOp && p.peek().text == ")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tokOp && p.peek().text == "," {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Call{Name: strings.ToLower(t.text), Args: args}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q at offset %d", t.text, t.pos)
+}

@@ -1,0 +1,310 @@
+package fit
+
+import (
+	"fmt"
+	"strings"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/mat"
+)
+
+// Model is a user-supplied statistical model: a formula "output ~ f(inputs,
+// params)" where the free identifiers of the right-hand side that are not
+// input columns are the unknown parameters to estimate (§3: "models consist
+// of two parts, an arbitrary function of the input variables and various
+// constant but unknown parameters").
+type Model struct {
+	// Output is the response column name (left of "~").
+	Output string
+	// RHS is the parsed model function.
+	RHS expr.Expr
+	// Inputs are the identifiers bound to data columns, in declaration
+	// order.
+	Inputs []string
+	// Params are the identifiers to be estimated, sorted.
+	Params []string
+
+	// grads[j] is the analytic partial ∂RHS/∂Params[j], when the formula is
+	// symbolically differentiable; otherwise nil and fitting falls back to
+	// numeric differences.
+	grads []expr.Expr
+	// linear reports whether RHS is linear in Params, enabling the direct
+	// OLS path.
+	linear bool
+
+	// Compiled evaluators against rows laid out as params followed by
+	// inputs.
+	fn      func(row []float64) float64
+	gradFns []func(row []float64) float64
+}
+
+// ParseModel parses a formula of the form "output ~ expression". inputs
+// names the identifiers that will be bound to data columns; every other
+// identifier in the expression becomes a model parameter.
+func ParseModel(formula string, inputs []string) (*Model, error) {
+	parts := strings.SplitN(formula, "~", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("fit: formula %q must have the form \"output ~ expression\"", formula)
+	}
+	output := strings.TrimSpace(parts[0])
+	if output == "" {
+		return nil, fmt.Errorf("fit: formula %q has empty output", formula)
+	}
+	rhs, err := expr.Parse(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("fit: parsing model body: %w", err)
+	}
+	return NewModel(output, rhs, inputs)
+}
+
+// NewModel builds a Model from an already parsed right-hand side.
+func NewModel(output string, rhs expr.Expr, inputs []string) (*Model, error) {
+	inputSet := map[string]bool{}
+	for _, in := range inputs {
+		inputSet[in] = true
+	}
+	var params []string
+	for _, v := range expr.Vars(rhs) {
+		if !inputSet[v] {
+			params = append(params, v)
+		}
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("fit: model %q has no free parameters", rhs)
+	}
+	m := &Model{Output: output, RHS: rhs, Inputs: append([]string(nil), inputs...), Params: params}
+
+	index := map[string]int{}
+	for j, p := range params {
+		index[p] = j
+	}
+	for k, in := range inputs {
+		index[in] = len(params) + k
+	}
+	fn, err := expr.Compile(rhs, index)
+	if err != nil {
+		return nil, fmt.Errorf("fit: model body is not numeric: %w", err)
+	}
+	m.fn = fn
+
+	// Attempt analytic gradients; on failure the numeric Jacobian is used.
+	m.grads = make([]expr.Expr, len(params))
+	m.gradFns = make([]func([]float64) float64, len(params))
+	analytic := true
+	for j, p := range params {
+		d, err := expr.Diff(rhs, p)
+		if err != nil {
+			analytic = false
+			break
+		}
+		g, err := expr.Compile(d, index)
+		if err != nil {
+			analytic = false
+			break
+		}
+		m.grads[j] = d
+		m.gradFns[j] = g
+	}
+	if !analytic {
+		m.grads = nil
+		m.gradFns = nil
+	}
+
+	// Linearity: the model is linear in its parameters iff no partial
+	// derivative references any parameter.
+	if analytic {
+		m.linear = true
+		for _, d := range m.grads {
+			for _, v := range expr.Vars(d) {
+				if _, isParam := index[v]; isParam && index[v] < len(params) {
+					m.linear = false
+					break
+				}
+			}
+			if !m.linear {
+				break
+			}
+		}
+	}
+	return m, nil
+}
+
+// IsLinear reports whether the model is linear in its parameters, which
+// admits the analytic OLS solution of §3 (and the analytic aggregate
+// opportunities of §4.2).
+func (m *Model) IsLinear() bool { return m.linear }
+
+// HasAnalyticJacobian reports whether symbolic differentiation succeeded.
+func (m *Model) HasAnalyticJacobian() bool { return m.gradFns != nil }
+
+// Gradients returns the symbolic partials ∂f/∂param (nil when unavailable).
+func (m *Model) Gradients() []expr.Expr { return m.grads }
+
+// Formula renders the model back to "output ~ rhs" source form, the shape
+// the model store persists ("store the models in their source code form").
+func (m *Model) Formula() string { return m.Output + " ~ " + m.RHS.String() }
+
+// Eval computes f(params, inputs) for one observation.
+func (m *Model) Eval(params, inputs []float64) float64 {
+	row := make([]float64, len(params)+len(inputs))
+	copy(row, params)
+	copy(row[len(params):], inputs)
+	return m.fn(row)
+}
+
+// EvalInto is Eval with a caller-provided scratch row to avoid allocation in
+// scan loops. row must have length len(Params)+len(Inputs).
+func (m *Model) EvalInto(row, params, inputs []float64) float64 {
+	copy(row, params)
+	copy(row[len(params):], inputs)
+	return m.fn(row)
+}
+
+// Grad fills out with the parameter gradient at (params, inputs) using
+// analytic derivatives when available and central differences otherwise.
+func (m *Model) Grad(params, inputs, out []float64) {
+	if m.gradFns != nil {
+		row := make([]float64, len(params)+len(inputs))
+		copy(row, params)
+		copy(row[len(params):], inputs)
+		for j, g := range m.gradFns {
+			out[j] = g(row)
+		}
+		return
+	}
+	numericJacobian(func(p, x []float64) float64 { return m.Eval(p, x) })(params, inputs, out)
+}
+
+// modelFunc adapts the model to the NLS interface.
+func (m *Model) modelFunc() ModelFunc {
+	np := len(m.Params)
+	return func(params, x []float64) float64 {
+		row := make([]float64, np+len(x))
+		copy(row, params)
+		copy(row[np:], x)
+		return m.fn(row)
+	}
+}
+
+func (m *Model) jacFunc() JacFunc {
+	if m.gradFns == nil {
+		return nil
+	}
+	np := len(m.Params)
+	return func(params, x, grad []float64) {
+		row := make([]float64, np+len(x))
+		copy(row, params)
+		copy(row[np:], x)
+		for j, g := range m.gradFns {
+			grad[j] = g(row)
+		}
+	}
+}
+
+// Fit estimates the model parameters from columnar data. data must contain
+// the output column and every input column, all of equal length. start maps
+// parameter names to starting values (missing entries default to 1, which
+// the caller — per the paper, the user — is responsible for overriding when
+// convergence demands it).
+//
+// Linear-in-parameters models are solved directly by OLS on the analytic
+// design matrix; nonlinear models run Levenberg-Marquardt (or the method in
+// opts) seeded from start.
+func (m *Model) Fit(data map[string][]float64, start map[string]float64, opts *NLSOptions) (*Result, error) {
+	y, ok := data[m.Output]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing output column %q", ErrBadInput, m.Output)
+	}
+	n := len(y)
+	xs := make([][]float64, n)
+	inputCols := make([][]float64, len(m.Inputs))
+	for k, in := range m.Inputs {
+		c, ok := data[in]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing input column %q", ErrBadInput, in)
+		}
+		if len(c) != n {
+			return nil, fmt.Errorf("%w: column %q has %d rows, want %d", ErrBadInput, in, len(c), n)
+		}
+		inputCols[k] = c
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(m.Inputs))
+		for k := range m.Inputs {
+			row[k] = inputCols[k][i]
+		}
+		xs[i] = row
+	}
+	return m.FitRows(xs, y, start, opts)
+}
+
+// FitRows is Fit on row-major inputs, used by grouped fitting to avoid
+// re-slicing columns.
+func (m *Model) FitRows(xs [][]float64, y []float64, start map[string]float64, opts *NLSOptions) (*Result, error) {
+	if m.linear {
+		return m.fitLinear(xs, y)
+	}
+	s := make([]float64, len(m.Params))
+	for j, p := range m.Params {
+		if v, ok := start[p]; ok {
+			s[j] = v
+		} else {
+			s[j] = 1
+		}
+	}
+	o := opts.withDefaults()
+	if o.Jacobian == nil {
+		o.Jacobian = m.jacFunc()
+	}
+	return NLS(m.modelFunc(), xs, y, s, m.Params, &o)
+}
+
+// fitLinear solves a linear-in-parameters model directly. Writing
+// f(β, x) = f(0, x) + Σ βj·gj(x) with gj = ∂f/∂βj, OLS on the gj columns
+// against y − f(0, x) yields the exact least-squares estimate.
+func (m *Model) fitLinear(xs [][]float64, y []float64) (*Result, error) {
+	n := len(y)
+	p := len(m.Params)
+	if n <= p {
+		return nil, fmt.Errorf("%w: n=%d, p=%d", ErrTooFewObservations, n, p)
+	}
+	zero := make([]float64, p)
+	design := make([][]float64, n)
+	adj := make([]float64, n)
+	grad := make([]float64, p)
+	hasIntercept := false
+	for i := 0; i < n; i++ {
+		m.Grad(zero, xs[i], grad)
+		row := append([]float64(nil), grad...)
+		design[i] = row
+		adj[i] = y[i] - m.Eval(zero, xs[i])
+	}
+	// Detect a constant design column, which plays the intercept role.
+	for j := 0; j < p; j++ {
+		constant := true
+		for i := 1; i < n; i++ {
+			if design[i][j] != design[0][j] {
+				constant = false
+				break
+			}
+		}
+		if constant && design[0][j] != 0 {
+			hasIntercept = true
+			break
+		}
+	}
+	x, err := mat.NewFromRows(design)
+	if err != nil {
+		return nil, err
+	}
+	res, err := OLS(x, adj, m.Params, hasIntercept)
+	if err != nil {
+		return nil, err
+	}
+	// Restore fitted/residuals on the original y scale.
+	for i := range res.Fitted {
+		res.Fitted[i] = m.Eval(res.Params, xs[i])
+		res.Residuals[i] = y[i] - res.Fitted[i]
+	}
+	return res, nil
+}

@@ -1,0 +1,280 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"datalaws/internal/mat"
+)
+
+// ModelFunc evaluates a model at one observation: params are the current
+// parameter estimates, x the input values for the observation.
+type ModelFunc func(params, x []float64) float64
+
+// JacFunc fills grad with ∂f/∂params at one observation.
+type JacFunc func(params, x, grad []float64)
+
+// Method selects the nonlinear optimizer.
+type Method uint8
+
+// Optimizer methods. Levenberg-Marquardt is the default: it is Gauss-Newton
+// with adaptive damping, so it degrades gracefully when the Gauss-Newton step
+// overshoots — the convergence fragility the paper warns about in §3.
+const (
+	LevenbergMarquardt Method = iota
+	GaussNewton
+)
+
+func (m Method) String() string {
+	if m == GaussNewton {
+		return "gauss-newton"
+	}
+	return "levenberg-marquardt"
+}
+
+// NLSOptions configures the nonlinear solver. The zero value selects
+// Levenberg-Marquardt with sensible defaults.
+type NLSOptions struct {
+	Method   Method
+	MaxIter  int     // default 100
+	TolRSS   float64 // relative RSS improvement threshold, default 1e-10
+	TolStep  float64 // relative parameter step threshold, default 1e-10
+	Jacobian JacFunc // analytic Jacobian; nil selects central differences
+	// Levenberg-Marquardt damping schedule.
+	LambdaInit, LambdaUp, LambdaDown float64 // defaults 1e-3, 10, 0.1
+}
+
+func (o *NLSOptions) withDefaults() NLSOptions {
+	out := NLSOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIter == 0 {
+		out.MaxIter = 100
+	}
+	if out.TolRSS == 0 {
+		out.TolRSS = 1e-10
+	}
+	if out.TolStep == 0 {
+		out.TolStep = 1e-10
+	}
+	if out.LambdaInit == 0 {
+		out.LambdaInit = 1e-3
+	}
+	if out.LambdaUp == 0 {
+		out.LambdaUp = 10
+	}
+	if out.LambdaDown == 0 {
+		out.LambdaDown = 0.1
+	}
+	return out
+}
+
+// NLS fits a nonlinear least-squares model f(β, x) ≈ y starting from start.
+// xs holds one input row per observation. names labels the parameters.
+//
+// Gauss-Newton solves min‖J·δ − r‖ each step via QR; Levenberg-Marquardt
+// augments the system with the damped rows √λ·diag(JᵀJ)^½ and adapts λ,
+// accepting only steps that reduce the residual sum of squares.
+func NLS(f ModelFunc, xs [][]float64, y []float64, start []float64, names []string, opts *NLSOptions) (*Result, error) {
+	o := opts.withDefaults()
+	n, p := len(y), len(start)
+	if len(xs) != n {
+		return nil, fmt.Errorf("%w: %d input rows vs %d responses", ErrBadInput, len(xs), n)
+	}
+	if len(names) != p {
+		return nil, fmt.Errorf("%w: %d names for %d params", ErrBadInput, len(names), p)
+	}
+	if n <= p {
+		return nil, fmt.Errorf("%w: n=%d, p=%d", ErrTooFewObservations, n, p)
+	}
+	if err := checkFinite(y); err != nil {
+		return nil, err
+	}
+	if err := checkFinite(start); err != nil {
+		return nil, err
+	}
+
+	beta := append([]float64(nil), start...)
+	resid := make([]float64, n)
+	rss := residuals(f, beta, xs, y, resid)
+	if math.IsNaN(rss) || math.IsInf(rss, 0) {
+		return nil, fmt.Errorf("%w: model not finite at starting parameters", ErrBadInput)
+	}
+	jac := o.Jacobian
+	if jac == nil {
+		jac = numericJacobian(f)
+	}
+
+	lambda := o.LambdaInit
+	if o.Method == GaussNewton {
+		lambda = 0
+	}
+	var iter int
+	converged := false
+	grad := make([]float64, p)
+	trial := make([]float64, p)
+	trialResid := make([]float64, n)
+
+	for iter = 1; iter <= o.MaxIter; iter++ {
+		// Build the Jacobian J (n×p) of the model, so residual Jacobian is −J.
+		j := mat.New(n, p)
+		for i := 0; i < n; i++ {
+			jac(beta, xs[i], grad)
+			copy(j.Data[i*p:(i+1)*p], grad)
+		}
+
+		var step []float64
+		var err error
+		if o.Method == GaussNewton {
+			step, err = mat.SolveLS(j, resid)
+			if err != nil {
+				return nil, fmt.Errorf("fit: gauss-newton step failed at iteration %d: %w", iter, err)
+			}
+		} else {
+			step, err = lmStep(j, resid, lambda)
+			if err != nil {
+				// Increase damping and retry on singular systems.
+				lambda *= o.LambdaUp
+				continue
+			}
+		}
+
+		for k := range trial {
+			trial[k] = beta[k] + step[k]
+		}
+		newRSS := residuals(f, trial, xs, y, trialResid)
+
+		accepted := !math.IsNaN(newRSS) && !math.IsInf(newRSS, 0) && newRSS <= rss
+		if o.Method == GaussNewton {
+			// Classic Gauss-Newton always takes the step; divergence
+			// surfaces as non-convergence.
+			if math.IsNaN(newRSS) || math.IsInf(newRSS, 0) {
+				return nil, fmt.Errorf("%w: diverged at iteration %d", ErrNoConverge, iter)
+			}
+			accepted = true
+		}
+		if accepted {
+			relImprove := 0.0
+			if rss > 0 {
+				relImprove = (rss - newRSS) / rss
+			}
+			relStep := relativeStep(step, beta)
+			copy(beta, trial)
+			copy(resid, trialResid)
+			rss = newRSS
+			lambda *= o.LambdaDown
+			if lambda < 1e-12 {
+				lambda = 1e-12
+			}
+			if relImprove >= 0 && relImprove < o.TolRSS || relStep < o.TolStep {
+				converged = true
+				break
+			}
+		} else {
+			lambda *= o.LambdaUp
+			if lambda > 1e12 {
+				// Damping saturated: we are at a (possibly local) minimum.
+				converged = true
+				break
+			}
+		}
+	}
+
+	if !converged {
+		return nil, fmt.Errorf("%w after %d iterations (rss=%g)", ErrNoConverge, o.MaxIter, rss)
+	}
+
+	// Final Jacobian at the solution for the covariance estimate.
+	j := mat.New(n, p)
+	for i := 0; i < n; i++ {
+		jac(beta, xs[i], grad)
+		copy(j.Data[i*p:(i+1)*p], grad)
+	}
+	fitted := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fitted[i] = f(beta, xs[i])
+	}
+	var fqr *mat.QR
+	if q, err := mat.Factor(j); err == nil {
+		fqr = q
+	}
+	r := &Result{
+		ParamNames: append([]string(nil), names...),
+		Params:     beta,
+		Converged:  true,
+		Iterations: iter,
+		Lambda:     lambda,
+	}
+	finishResult(r, y, fitted, fqr, false)
+	return r, nil
+}
+
+// residuals fills out with y − f(β, x) and returns the RSS.
+func residuals(f ModelFunc, beta []float64, xs [][]float64, y []float64, out []float64) float64 {
+	var rss float64
+	for i := range y {
+		r := y[i] - f(beta, xs[i])
+		out[i] = r
+		rss += r * r
+	}
+	return rss
+}
+
+func relativeStep(step, beta []float64) float64 {
+	var m float64
+	for k := range step {
+		d := math.Abs(step[k]) / (math.Abs(beta[k]) + 1e-12)
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// numericJacobian returns a central-difference Jacobian for f.
+func numericJacobian(f ModelFunc) JacFunc {
+	return func(params, x, grad []float64) {
+		tmp := append([]float64(nil), params...)
+		for j := range params {
+			h := 1e-7 * (math.Abs(params[j]) + 1e-7)
+			tmp[j] = params[j] + h
+			fp := f(tmp, x)
+			tmp[j] = params[j] - h
+			fm := f(tmp, x)
+			tmp[j] = params[j]
+			grad[j] = (fp - fm) / (2 * h)
+		}
+	}
+}
+
+// lmStep solves the damped system (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr by augmenting
+// the least-squares problem with scaled unit rows, preserving QR stability.
+func lmStep(j *mat.Matrix, resid []float64, lambda float64) ([]float64, error) {
+	n, p := j.Rows, j.Cols
+	if lambda == 0 {
+		return mat.SolveLS(j, resid)
+	}
+	// Column norms give diag(JᵀJ).
+	diag := make([]float64, p)
+	for c := 0; c < p; c++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			v := j.At(i, c)
+			s += v * v
+		}
+		// Guard zero columns so the augmented matrix keeps full rank.
+		if s == 0 {
+			s = 1e-12
+		}
+		diag[c] = s
+	}
+	aug := mat.New(n+p, p)
+	copy(aug.Data[:n*p], j.Data)
+	for c := 0; c < p; c++ {
+		aug.Set(n+c, c, math.Sqrt(lambda*diag[c]))
+	}
+	rhs := make([]float64, n+p)
+	copy(rhs, resid)
+	return mat.SolveLS(aug, rhs)
+}

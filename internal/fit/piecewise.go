@@ -1,0 +1,158 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"datalaws/internal/stats"
+)
+
+// PiecewisePoly is a FunctionDB-style model (Thiagarajan & Madden, SIGMOD
+// 2008, one of the paper's comparison systems): the input range is split
+// into segments and a low-degree polynomial is fitted per segment by OLS.
+// It serves as the fixed-model-class baseline the paper argues user models
+// should outgrow.
+type PiecewisePoly struct {
+	// Breaks are the segment boundaries, len(Segments)+1 of them, covering
+	// [Breaks[0], Breaks[len]]; segment i spans [Breaks[i], Breaks[i+1]).
+	Breaks []float64
+	// Degree is the per-segment polynomial degree.
+	Degree int
+	// Segments hold the per-segment fits (nil where a segment had too few
+	// points; Eval falls back to the nearest fitted neighbour).
+	Segments []*Result
+
+	rss, tss float64
+	ymean    float64
+	n        int
+}
+
+// FitPiecewisePoly fits a piecewise polynomial with equal-width segments
+// over the x range.
+func FitPiecewisePoly(x, y []float64, segments, degree int) (*PiecewisePoly, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d x vs %d y", ErrBadInput, len(x), len(y))
+	}
+	if segments < 1 || degree < 0 {
+		return nil, fmt.Errorf("%w: segments=%d degree=%d", ErrBadInput, segments, degree)
+	}
+	if len(x) <= (degree+2)*1 {
+		return nil, fmt.Errorf("%w: %d points for degree %d", ErrTooFewObservations, len(x), degree)
+	}
+	lo, hi := stats.MinMax(x)
+	if math.IsNaN(lo) || hi == lo {
+		hi = lo + 1
+	}
+	p := &PiecewisePoly{
+		Breaks:   make([]float64, segments+1),
+		Degree:   degree,
+		Segments: make([]*Result, segments),
+		n:        len(x),
+	}
+	w := (hi - lo) / float64(segments)
+	for i := 0; i <= segments; i++ {
+		p.Breaks[i] = lo + float64(i)*w
+	}
+	// Partition points by segment.
+	segX := make([][]float64, segments)
+	segY := make([][]float64, segments)
+	for i := range x {
+		s := p.segmentOf(x[i])
+		segX[s] = append(segX[s], x[i])
+		segY[s] = append(segY[s], y[i])
+	}
+	ymean := stats.Mean(y)
+	p.ymean = ymean
+	for _, v := range y {
+		p.tss += (v - ymean) * (v - ymean)
+	}
+	for s := 0; s < segments; s++ {
+		if len(segX[s]) <= degree+1 {
+			// Too few points: account residuals against the global mean.
+			for _, v := range segY[s] {
+				p.rss += (v - ymean) * (v - ymean)
+			}
+			continue
+		}
+		design, names := PolynomialDesign(segX[s], degree)
+		res, err := OLS(design, segY[s], names, true)
+		if err != nil {
+			for _, v := range segY[s] {
+				p.rss += (v - ymean) * (v - ymean)
+			}
+			continue
+		}
+		p.Segments[s] = res
+		p.rss += res.RSS
+	}
+	return p, nil
+}
+
+func (p *PiecewisePoly) segmentOf(x float64) int {
+	n := len(p.Segments)
+	w := (p.Breaks[n] - p.Breaks[0]) / float64(n)
+	s := int((x - p.Breaks[0]) / w)
+	if s < 0 {
+		s = 0
+	}
+	if s >= n {
+		s = n - 1
+	}
+	return s
+}
+
+// Eval evaluates the piecewise polynomial at x; unfitted segments fall back
+// to the nearest fitted one.
+func (p *PiecewisePoly) Eval(x float64) float64 {
+	s := p.segmentOf(x)
+	res := p.Segments[s]
+	if res == nil {
+		// Nearest fitted neighbour.
+		for d := 1; d < len(p.Segments); d++ {
+			if s-d >= 0 && p.Segments[s-d] != nil {
+				res = p.Segments[s-d]
+				break
+			}
+			if s+d < len(p.Segments) && p.Segments[s+d] != nil {
+				res = p.Segments[s+d]
+				break
+			}
+		}
+		if res == nil {
+			return math.NaN()
+		}
+	}
+	v := 0.0
+	pow := 1.0
+	for _, c := range res.Params {
+		v += c * pow
+		pow *= x
+	}
+	return v
+}
+
+// R2 is the global coefficient of determination across all segments.
+// Constant responses count as perfectly explained when the residuals are
+// zero to working precision.
+func (p *PiecewisePoly) R2() float64 {
+	if p.tss == 0 {
+		scale := 1 + math.Abs(p.ymean)
+		if math.Sqrt(p.rss/float64(p.n)) < 1e-9*scale {
+			return 1
+		}
+		return 0
+	}
+	return 1 - p.rss/p.tss
+}
+
+// ParamBytes is the storage footprint: breaks plus per-segment coefficient
+// vectors.
+func (p *PiecewisePoly) ParamBytes() int {
+	n := 8 * len(p.Breaks)
+	for _, s := range p.Segments {
+		if s != nil {
+			n += 8 * len(s.Params)
+		}
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPiecewisePolyFitsSmoothCurve(t *testing.T) {
+	// A sine over one period: a global line fails, piecewise cubics track it.
+	rng := rand.New(rand.NewSource(1))
+	n := 800
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := float64(i) / float64(n) * 2 * math.Pi
+		xs[i] = x
+		ys[i] = math.Sin(x) + 0.02*rng.NormFloat64()
+	}
+	p, err := FitPiecewisePoly(xs, ys, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R2() < 0.99 {
+		t.Fatalf("piecewise R² = %g", p.R2())
+	}
+	// Pointwise accuracy.
+	for _, x := range []float64{0.5, 1.5, 3.0, 5.0} {
+		if d := math.Abs(p.Eval(x) - math.Sin(x)); d > 0.05 {
+			t.Fatalf("Eval(%g) off by %g", x, d)
+		}
+	}
+}
+
+func TestPiecewiseBeatsGlobalLineOnNonlinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 600
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := float64(i) / float64(n) * 10
+		xs[i] = x
+		ys[i] = math.Exp(-x/3)*math.Cos(2*x) + 0.01*rng.NormFloat64()
+	}
+	pw, err := FitPiecewisePoly(xs, ys, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, names := PolynomialDesign(xs, 1)
+	line, err := OLS(design, ys, names, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.R2() <= line.R2 {
+		t.Fatalf("piecewise R² %g not above line R² %g", pw.R2(), line.R2)
+	}
+}
+
+func TestPiecewiseErrors(t *testing.T) {
+	if _, err := FitPiecewisePoly([]float64{1, 2}, []float64{1}, 2, 1); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := FitPiecewisePoly([]float64{1, 2, 3}, []float64{1, 2, 3}, 0, 1); err == nil {
+		t.Fatal("want segment error")
+	}
+	if _, err := FitPiecewisePoly([]float64{1, 2, 3}, []float64{1, 2, 3}, 1, 5); err == nil {
+		t.Fatal("want too-few-observations error")
+	}
+}
+
+func TestPiecewiseConstantData(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 7
+	}
+	p, err := FitPiecewisePoly(xs, ys, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Eval(25)-7) > 1e-9 {
+		t.Fatalf("Eval = %g", p.Eval(25))
+	}
+	if p.R2() != 1 {
+		t.Fatalf("R² = %g for perfectly explained constant data", p.R2())
+	}
+}
+
+func TestPiecewiseSparseSegmentsFallBack(t *testing.T) {
+	// All data in the left half: right-half segments have no points, Eval
+	// there falls back to the nearest fitted segment.
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 5.0}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * x
+	}
+	p, err := FitPiecewisePoly(xs, ys, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p.Eval(3.0)) {
+		t.Fatal("Eval in sparse region returned NaN")
+	}
+	if p.ParamBytes() <= 0 {
+		t.Fatal("ParamBytes")
+	}
+}

@@ -1,0 +1,66 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"datalaws/internal/stats"
+)
+
+// Prediction is a model prediction annotated with uncertainty — the error
+// bounds the paper requires for approximate answers ("annotate data
+// approximated through the model with an indication of the error that is to
+// be expected", §2).
+type Prediction struct {
+	// Value is the point prediction ŷ.
+	Value float64
+	// SE is the standard error of the mean response at this input.
+	SE float64
+	// PredSE includes the residual noise: sqrt(SE² + s²).
+	PredSE float64
+	// Lo and Hi bound the prediction interval at the requested level.
+	Lo, Hi float64
+	// Level is the confidence level used for Lo/Hi.
+	Level float64
+}
+
+// HalfWidth returns the prediction interval half-width.
+func (p Prediction) HalfWidth() float64 { return (p.Hi - p.Lo) / 2 }
+
+// Predict evaluates the fitted model at inputs and returns the prediction
+// with a level-confidence prediction interval, using the delta method:
+// Var(ŷ) ≈ gᵀ·Cov·g with g the parameter gradient at the input point.
+func (m *Model) Predict(res *Result, inputs []float64, level float64) (Prediction, error) {
+	if len(inputs) != len(m.Inputs) {
+		return Prediction{}, fmt.Errorf("%w: %d inputs, want %d", ErrBadInput, len(inputs), len(m.Inputs))
+	}
+	if level <= 0 || level >= 1 {
+		return Prediction{}, fmt.Errorf("%w: level %g outside (0,1)", ErrBadInput, level)
+	}
+	yhat := m.Eval(res.Params, inputs)
+	p := Prediction{Value: yhat, Level: level}
+
+	if res.Cov == nil || res.DF <= 0 {
+		p.Lo, p.Hi = math.Inf(-1), math.Inf(1)
+		p.SE, p.PredSE = math.NaN(), math.NaN()
+		return p, nil
+	}
+	g := make([]float64, len(m.Params))
+	m.Grad(res.Params, inputs, g)
+	// gᵀ·Cov·g
+	var v float64
+	for i := range g {
+		for j := range g {
+			v += g[i] * res.Cov.At(i, j) * g[j]
+		}
+	}
+	if v < 0 {
+		v = 0
+	}
+	p.SE = math.Sqrt(v)
+	p.PredSE = math.Sqrt(v + res.ResidualSE*res.ResidualSE)
+	tcrit := stats.StudentT{Nu: float64(res.DF)}.Quantile(0.5 + level/2)
+	p.Lo = yhat - tcrit*p.PredSE
+	p.Hi = yhat + tcrit*p.PredSE
+	return p, nil
+}

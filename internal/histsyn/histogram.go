@@ -1,0 +1,157 @@
+// Package histsyn implements histogram synopses, the classic approximate
+// query answering baseline the paper positions itself against (§1:
+// "synopses are compressed lossy approximations of the data"; Ioannidis &
+// Poosala's histogram-based approximation). Equi-width and equi-depth
+// variants estimate range aggregates under the uniform-within-bucket
+// assumption; the S2 experiment compares their accuracy against captured
+// user models at equal storage budgets.
+package histsyn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram summarizes one numeric column with per-bucket counts and sums.
+type Histogram struct {
+	// Bounds has len(Counts)+1 entries; bucket i covers
+	// [Bounds[i], Bounds[i+1]) with the last bucket closed on both sides.
+	Bounds []float64
+	Counts []float64
+	Sums   []float64
+}
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.Counts) }
+
+// SizeBytes is the storage footprint (bounds + counts + sums as float64).
+func (h *Histogram) SizeBytes() int {
+	return 8 * (len(h.Bounds) + len(h.Counts) + len(h.Sums))
+}
+
+// BuildEquiWidth builds a histogram with equal-width buckets.
+func BuildEquiWidth(vals []float64, buckets int) (*Histogram, error) {
+	if len(vals) == 0 || buckets < 1 {
+		return nil, fmt.Errorf("histsyn: need data and at least one bucket")
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := &Histogram{
+		Bounds: make([]float64, buckets+1),
+		Counts: make([]float64, buckets),
+		Sums:   make([]float64, buckets),
+	}
+	w := (hi - lo) / float64(buckets)
+	for i := 0; i <= buckets; i++ {
+		h.Bounds[i] = lo + float64(i)*w
+	}
+	for _, v := range vals {
+		b := int((v - lo) / w)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+		h.Sums[b] += v
+	}
+	return h, nil
+}
+
+// BuildEquiDepth builds a histogram whose buckets hold (approximately)
+// equally many values.
+func BuildEquiDepth(vals []float64, buckets int) (*Histogram, error) {
+	if len(vals) == 0 || buckets < 1 {
+		return nil, fmt.Errorf("histsyn: need data and at least one bucket")
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if buckets > n {
+		buckets = n
+	}
+	h := &Histogram{
+		Bounds: make([]float64, 0, buckets+1),
+		Counts: make([]float64, 0, buckets),
+		Sums:   make([]float64, 0, buckets),
+	}
+	h.Bounds = append(h.Bounds, s[0])
+	per := n / buckets
+	idx := 0
+	for b := 0; b < buckets; b++ {
+		end := idx + per
+		if b == buckets-1 {
+			end = n
+		}
+		var cnt, sum float64
+		for ; idx < end; idx++ {
+			cnt++
+			sum += s[idx]
+		}
+		h.Counts = append(h.Counts, cnt)
+		h.Sums = append(h.Sums, sum)
+		if idx < n {
+			h.Bounds = append(h.Bounds, s[idx])
+		} else {
+			h.Bounds = append(h.Bounds, s[n-1])
+		}
+	}
+	return h, nil
+}
+
+// overlap returns the fraction of bucket [blo, bhi) covered by [qlo, qhi].
+func overlap(blo, bhi, qlo, qhi float64) float64 {
+	if bhi <= blo {
+		// Degenerate bucket: counts either in or out by its position.
+		if blo >= qlo && blo <= qhi {
+			return 1
+		}
+		return 0
+	}
+	lo := math.Max(blo, qlo)
+	hi := math.Min(bhi, qhi)
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / (bhi - blo)
+}
+
+// EstimateCount estimates how many values fall in [qlo, qhi].
+func (h *Histogram) EstimateCount(qlo, qhi float64) float64 {
+	var c float64
+	for i := range h.Counts {
+		c += h.Counts[i] * overlap(h.Bounds[i], h.Bounds[i+1], qlo, qhi)
+	}
+	return c
+}
+
+// EstimateSum estimates the sum of values in [qlo, qhi].
+func (h *Histogram) EstimateSum(qlo, qhi float64) float64 {
+	var s float64
+	for i := range h.Sums {
+		s += h.Sums[i] * overlap(h.Bounds[i], h.Bounds[i+1], qlo, qhi)
+	}
+	return s
+}
+
+// EstimateAvg estimates the mean of values in [qlo, qhi]; NaN when the
+// estimated count is zero.
+func (h *Histogram) EstimateAvg(qlo, qhi float64) float64 {
+	c := h.EstimateCount(qlo, qhi)
+	if c == 0 {
+		return math.NaN()
+	}
+	return h.EstimateSum(qlo, qhi) / c
+}

@@ -1,0 +1,158 @@
+package histsyn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniformData(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 100
+	}
+	return out
+}
+
+func TestEquiWidthCounts(t *testing.T) {
+	vals := uniformData(10000, 1)
+	h, err := BuildEquiWidth(vals, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 20 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	var total float64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("total count = %g", total)
+	}
+	// Full range covers everything.
+	if got := h.EstimateCount(-1, 101); math.Abs(got-10000) > 1e-9 {
+		t.Fatalf("full-range count = %g", got)
+	}
+}
+
+func TestEquiWidthRangeEstimates(t *testing.T) {
+	vals := uniformData(50000, 2)
+	h, err := BuildEquiWidth(vals, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On uniform data the estimates should be close to truth.
+	exactCount := 0
+	var exactSum float64
+	for _, v := range vals {
+		if v >= 20 && v <= 60 {
+			exactCount++
+			exactSum += v
+		}
+	}
+	gotCount := h.EstimateCount(20, 60)
+	if math.Abs(gotCount-float64(exactCount))/float64(exactCount) > 0.05 {
+		t.Fatalf("count %g vs %d", gotCount, exactCount)
+	}
+	gotSum := h.EstimateSum(20, 60)
+	if math.Abs(gotSum-exactSum)/exactSum > 0.05 {
+		t.Fatalf("sum %g vs %g", gotSum, exactSum)
+	}
+	gotAvg := h.EstimateAvg(20, 60)
+	if math.Abs(gotAvg-exactSum/float64(exactCount)) > 2 {
+		t.Fatalf("avg %g", gotAvg)
+	}
+}
+
+func TestEquiDepthBucketsBalanced(t *testing.T) {
+	// Heavily skewed data: equi-depth adapts, equi-width does not.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	h, err := BuildEquiDepth(vals, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range h.Counts {
+		if c < 300 || c > 500 {
+			t.Fatalf("bucket %d holds %g values; equi-depth should balance", i, c)
+		}
+	}
+}
+
+func TestEquiDepthEstimates(t *testing.T) {
+	vals := uniformData(20000, 4)
+	h, err := BuildEquiDepth(vals, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	for _, v := range vals {
+		if v >= 30 && v <= 70 {
+			exact++
+		}
+	}
+	got := h.EstimateCount(30, 70)
+	if math.Abs(got-float64(exact))/float64(exact) > 0.05 {
+		t.Fatalf("count %g vs %d", got, exact)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := BuildEquiWidth(nil, 5); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := BuildEquiWidth([]float64{1}, 0); err == nil {
+		t.Fatal("want error for zero buckets")
+	}
+	if _, err := BuildEquiDepth(nil, 5); err == nil {
+		t.Fatal("want error for empty data")
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	vals := []float64{5, 5, 5, 5}
+	h, err := BuildEquiWidth(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateCount(4, 6); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("constant column count = %g", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	h, _ := BuildEquiWidth(uniformData(100, 5), 10)
+	want := 8 * (11 + 10 + 10)
+	if h.SizeBytes() != want {
+		t.Fatalf("size = %d, want %d", h.SizeBytes(), want)
+	}
+}
+
+func TestEstimateAvgEmptyRange(t *testing.T) {
+	h, _ := BuildEquiWidth(uniformData(100, 6), 10)
+	if !math.IsNaN(h.EstimateAvg(1000, 2000)) {
+		t.Fatal("want NaN outside data range")
+	}
+}
+
+func TestCountMonotoneProperty(t *testing.T) {
+	vals := uniformData(5000, 7)
+	h, _ := BuildEquiWidth(vals, 32)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := rng.Float64() * 100
+		hi := lo + rng.Float64()*(100-lo)
+		wider := h.EstimateCount(lo-5, hi+5)
+		narrower := h.EstimateCount(lo, hi)
+		return wider+1e-9 >= narrower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

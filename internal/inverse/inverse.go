@@ -1,0 +1,119 @@
+// Package inverse implements inverse prediction on captured models — the
+// direction the paper highlights in related work (Zimmer et al., SSDBM
+// 2014): given a desired output value, find the inputs likely to produce
+// it. Two strategies are provided, mirroring that work's split:
+//
+//   - GridInverse restricts the input space to the enumerable legal domain
+//     and returns the combinations whose prediction falls in the requested
+//     output range ("restraint optimization" over a discrete domain).
+//   - ContinuousInverse solves f(x) = y for a single continuous input by
+//     monotone bisection between domain bounds, for models monotone on the
+//     bracket.
+package inverse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"datalaws/internal/aqp"
+	"datalaws/internal/modelstore"
+)
+
+// Match is one input combination whose predicted output lies in the query
+// range.
+type Match struct {
+	Group  int64
+	Inputs []float64
+	Value  float64
+}
+
+// GridInverse returns every (group, inputs) combination in the enumerated
+// domains whose model prediction falls within [lo, hi], ordered by
+// predicted value. legal (optional) restricts to combinations observed in
+// the data, preserving relational semantics.
+func GridInverse(m *modelstore.CapturedModel, domains []aqp.Domain, legal aqp.LegalSet, lo, hi float64) ([]Match, error) {
+	if len(domains) != len(m.Model.Inputs) {
+		return nil, fmt.Errorf("inverse: %d domains for %d inputs", len(domains), len(m.Model.Inputs))
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("inverse: empty output range [%g, %g]", lo, hi)
+	}
+	var out []Match
+	idx := make([]int, len(domains))
+	inputs := make([]float64, len(domains))
+	row := make([]float64, len(m.Model.Params)+len(domains))
+	for _, key := range m.Order {
+		g := m.Groups[key]
+		if !g.OK() {
+			continue
+		}
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			for i := range domains {
+				inputs[i] = domains[i].Vals[idx[i]]
+			}
+			if legal == nil || legal.Contains(key, inputs) {
+				v := m.Model.EvalInto(row, g.Params, inputs)
+				if v >= lo && v <= hi {
+					out = append(out, Match{Group: key, Inputs: append([]float64(nil), inputs...), Value: v})
+				}
+			}
+			i := len(idx) - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(domains[i].Vals) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out, nil
+}
+
+// ContinuousInverse solves f(group, x) = y for a single-input model over
+// the bracket [xlo, xhi] by bisection. The model must be monotone on the
+// bracket (checked at the endpoints); tol bounds |f(x) − y|.
+func ContinuousInverse(m *modelstore.CapturedModel, group int64, y, xlo, xhi, tol float64) (float64, error) {
+	if len(m.Model.Inputs) != 1 {
+		return 0, fmt.Errorf("inverse: continuous inversion needs a single-input model, have %d", len(m.Model.Inputs))
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	g, ok := m.GroupFor(group)
+	if !ok {
+		return 0, fmt.Errorf("inverse: no fitted parameters for group %d", group)
+	}
+	f := func(x float64) float64 { return m.Model.Eval(g.Params, []float64{x}) }
+	flo, fhi := f(xlo), f(xhi)
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return 0, fmt.Errorf("inverse: model not finite on the bracket")
+	}
+	// Require y between the endpoint values (monotone bracket).
+	if (y-flo)*(y-fhi) > 0 {
+		return 0, fmt.Errorf("inverse: y=%g outside model range [%g, %g] on the bracket", y, math.Min(flo, fhi), math.Max(flo, fhi))
+	}
+	increasing := fhi >= flo
+	lo, hi := xlo, xhi
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		v := f(mid)
+		if math.Abs(v-y) <= tol {
+			return mid, nil
+		}
+		if (v < y) == increasing {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

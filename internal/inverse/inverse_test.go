@@ -1,0 +1,144 @@
+package inverse
+
+import (
+	"math"
+	"testing"
+
+	"datalaws/internal/aqp"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/synth"
+	"datalaws/internal/table"
+)
+
+func fixture(t *testing.T) (*table.Table, *modelstore.CapturedModel, *synth.LOFARData) {
+	t.Helper()
+	d := synth.GenerateLOFAR(synth.LOFARConfig{
+		Sources: 20, ObsPerSource: 40, NoiseFrac: 0.02, AnomalyFrac: 0, Seed: 71,
+	})
+	tb, err := synth.LOFARTable("measurements", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := modelstore.NewStore()
+	m, err := store.Capture(tb, modelstore.Spec{
+		Name: "spectra", Table: "measurements",
+		Formula: "intensity ~ p * pow(nu, alpha)",
+		Inputs:  []string{"nu"}, GroupBy: "source",
+		Start: map[string]float64{"p": 1, "alpha": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, m, d
+}
+
+func TestGridInverseFindsProducingInputs(t *testing.T) {
+	tb, m, _ := fixture(t)
+	doms, err := aqp.DomainsFor(tb, []string{"nu"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Which (source, band) combinations predict intensity in [2, 3]?
+	matches, err := GridInverse(m, doms, nil, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range matches {
+		if mt.Value < 2 || mt.Value > 3 {
+			t.Fatalf("match %v outside range", mt)
+		}
+	}
+	// Sorted ascending by value.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Value < matches[i-1].Value {
+			t.Fatal("matches not sorted")
+		}
+	}
+	// Completeness: every grid combination predicting inside the range is
+	// reported.
+	count := 0
+	for _, key := range m.Order {
+		g, ok := m.GroupFor(key)
+		if !ok {
+			continue
+		}
+		for _, nu := range doms[0].Vals {
+			v := m.Model.Eval(g.Params, []float64{nu})
+			if v >= 2 && v <= 3 {
+				count++
+			}
+		}
+	}
+	if count != len(matches) {
+		t.Fatalf("found %d matches, expected %d", len(matches), count)
+	}
+}
+
+func TestGridInverseRespectsLegalSet(t *testing.T) {
+	tb, m, _ := fixture(t)
+	doms, _ := aqp.DomainsFor(tb, []string{"nu"}, 100)
+	legal, err := aqp.BuildLegalSet(tb, "source", []string{"nu"}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := GridInverse(m, doms, nil, 0, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := GridInverse(m, doms, legal, 0, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restricted) > len(all) {
+		t.Fatal("legal set grew the result")
+	}
+	for _, mt := range restricted {
+		if !legal.Contains(mt.Group, mt.Inputs) {
+			t.Fatal("illegal combination leaked")
+		}
+	}
+}
+
+func TestGridInverseErrors(t *testing.T) {
+	_, m, _ := fixture(t)
+	if _, err := GridInverse(m, nil, nil, 0, 1); err == nil {
+		t.Fatal("want domain-arity error")
+	}
+	doms := []aqp.Domain{{Col: "nu", Vals: synth.Bands}}
+	if _, err := GridInverse(m, doms, nil, 5, 2); err == nil {
+		t.Fatal("want empty-range error")
+	}
+}
+
+func TestContinuousInverse(t *testing.T) {
+	_, m, d := fixture(t)
+	// Pick a target intensity inside source 3's range and invert for ν.
+	truth := d.Truth[3]
+	yTarget := truth.P * math.Pow(0.145, truth.Alpha)
+	x, err := ContinuousInverse(m, 3, yTarget, 0.12, 0.18, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted model differs slightly from truth; check self-consistency:
+	// f(x) == yTarget.
+	g, _ := m.GroupFor(3)
+	back := m.Model.Eval(g.Params, []float64{x})
+	if math.Abs(back-yTarget) > 1e-8 {
+		t.Fatalf("f(%g) = %g, want %g", x, back, yTarget)
+	}
+	// The recovered ν is near 0.145 because the fit tracks the truth.
+	if math.Abs(x-0.145) > 0.01 {
+		t.Fatalf("inverted nu = %g, want ≈0.145", x)
+	}
+}
+
+func TestContinuousInverseErrors(t *testing.T) {
+	_, m, _ := fixture(t)
+	// Outside the model's range on the bracket.
+	if _, err := ContinuousInverse(m, 3, 1e9, 0.12, 0.18, 1e-9); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := ContinuousInverse(m, 424242, 1, 0.12, 0.18, 1e-9); err == nil {
+		t.Fatal("want unknown-group error")
+	}
+}

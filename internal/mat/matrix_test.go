@@ -1,0 +1,405 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("got %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %g, want 6", m.At(2, 1))
+	}
+}
+
+func TestNewFromRowsRagged(t *testing.T) {
+	if _, err := NewFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged rows")
+	}
+}
+
+func TestNewFromRowsEmpty(t *testing.T) {
+	m, err := NewFromRows(nil)
+	if err != nil || m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty input: m=%v err=%v", m, err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T()
+	if tt.Rows != 3 || tt.Cols != 2 {
+		t.Fatalf("got %dx%d, want 3x2", tt.Rows, tt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tt.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	got, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 6 {
+		t.Fatalf("MulVec = %v, want [7 6]", got)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		c, err := Mul(a, Identity(n))
+		if err != nil {
+			return false
+		}
+		for i := range a.Data {
+			if a.Data[i] != c.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{4, 3}, {2, 1}})
+	s, _ := Add(a, b)
+	for _, v := range s.Data {
+		if v != 5 {
+			t.Fatalf("Add: got %v", s.Data)
+		}
+	}
+	d, _ := Sub(s, b)
+	for i := range d.Data {
+		if d.Data[i] != a.Data[i] {
+			t.Fatalf("Sub: got %v, want %v", d.Data, a.Data)
+		}
+	}
+	d.Scale(2)
+	for i := range d.Data {
+		if d.Data[i] != 2*a.Data[i] {
+			t.Fatalf("Scale: got %v", d.Data)
+		}
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square nonsingular system.
+	a, _ := NewFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLS(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("solve = %v, want [1 3]", x)
+	}
+}
+
+func TestQRLeastSquaresRecoversLine(t *testing.T) {
+	// y = 3 + 2x with noise-free overdetermined data.
+	rows := [][]float64{}
+	ys := []float64{}
+	for i := 0; i < 50; i++ {
+		x := float64(i) * 0.1
+		rows = append(rows, []float64{1, x})
+		ys = append(ys, 3+2*x)
+	}
+	a, _ := NewFromRows(rows)
+	beta, err := SolveLS(a, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(beta[0], 3, 1e-10) || !almostEq(beta[1], 2, 1e-10) {
+		t.Fatalf("beta = %v, want [3 2]", beta)
+	}
+}
+
+func TestQRResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space of A.
+	rng := rand.New(rand.NewSource(7))
+	m, n := 40, 4
+	a := New(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := a.MulVec(x)
+	resid := make([]float64, m)
+	for i := range resid {
+		resid[i] = b[i] - pred[i]
+	}
+	for j := 0; j < n; j++ {
+		if d := Dot(a.Col(j), resid); math.Abs(d) > 1e-9 {
+			t.Fatalf("residual not orthogonal to column %d: %g", j, d)
+		}
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	// Duplicate columns → rank deficient.
+	a, _ := NewFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := SolveLS(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want singular error for rank-deficient matrix")
+	}
+}
+
+func TestQRRank(t *testing.T) {
+	full, _ := NewFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	f, err := Factor(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", f.Rank())
+	}
+	def, _ := NewFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	f2, err := Factor(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1", f2.Rank())
+	}
+}
+
+func TestQRWideError(t *testing.T) {
+	a := New(2, 3)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("want error for wide matrix")
+	}
+}
+
+func TestInvertRTRMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 30, 3
+	a := New(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.InvertRTR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ata, _ := Mul(a.T(), a)
+	want, err := Inverse(ata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("InvertRTR mismatch at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llt, _ := Mul(l, l.T())
+	for i := range a.Data {
+		if !almostEq(llt.Data[i], a.Data[i], 1e-12) {
+			t.Fatalf("L·Lᵀ != A: %v vs %v", llt.Data, a.Data)
+		}
+	}
+	x, err := SolveCholesky(l, []float64{8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := a.MulVec(x)
+	if !almostEq(back[0], 8, 1e-12) || !almostEq(back[1], 7, 1e-12) {
+		t.Fatalf("Cholesky solve verify: %v", back)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("want error for non-positive-definite input")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal boost keeps the random matrix well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		prod, err := Mul(a, inv)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if !almostEq(prod.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("want singular error")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %g, want 0", got)
+	}
+	// Overflow guard: naive sum of squares would overflow.
+	big := []float64{1e200, 1e200}
+	if got := Norm2(big); math.IsInf(got, 0) || !almostEq(got, 1e200*math.Sqrt2, 1e-12) {
+		t.Fatalf("Norm2 overflow guard failed: %g", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-5, 2, 4}); got != 5 {
+		t.Fatalf("MaxAbs = %g, want 5", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil) = %g", got)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	if cl := m.Col(1); cl[0] != 2 || cl[1] != 4 {
+		t.Fatalf("Col(1) = %v", cl)
+	}
+}
+
+func TestQRSolvePropertyExactSystems(t *testing.T) {
+	// Property: for random well-conditioned square systems, A·x == b.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLS(a, b)
+		if err != nil {
+			return false
+		}
+		back, _ := a.MulVec(x)
+		for i := range b {
+			if !almostEq(back[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

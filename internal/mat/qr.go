@@ -1,0 +1,292 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix A (m ≥ n) such
+// that A = Q·R with Q orthogonal (m×m, stored implicitly as reflectors) and
+// R upper triangular (n×n).
+type QR struct {
+	qr   *Matrix   // packed factors: R in the upper triangle, reflectors below
+	tau  []float64 // Householder scalar factors
+	rows int
+	cols int
+}
+
+// Factor computes the Householder QR factorization of a. The input is not
+// modified. It returns ErrDimension if a has fewer rows than columns.
+func Factor(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("%w: QR requires rows (%d) >= cols (%d)", ErrDimension, m, n)
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = norm
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau, rows: m, cols: n}, nil
+}
+
+// R returns the n×n upper-triangular factor.
+func (f *QR) R() *Matrix {
+	n := f.cols
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, -f.tau[i])
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// QTVec applies Qᵀ to a vector of length m, returning the full-length result.
+func (f *QR) QTVec(b []float64) ([]float64, error) {
+	if len(b) != f.rows {
+		return nil, fmt.Errorf("%w: vector length %d, want %d", ErrDimension, len(b), f.rows)
+	}
+	y := make([]float64, len(b))
+	copy(y, b)
+	for k := 0; k < f.cols; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.rows; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.rows; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	return y, nil
+}
+
+// Rank returns the number of R diagonal entries that are numerically
+// nonzero relative to the largest diagonal entry.
+func (f *QR) Rank() int {
+	var max float64
+	for k := 0; k < f.cols; k++ {
+		if a := math.Abs(f.tau[k]); a > max {
+			max = a
+		}
+	}
+	tol := max * 1e-12 * float64(f.rows)
+	rank := 0
+	for k := 0; k < f.cols; k++ {
+		if math.Abs(f.tau[k]) > tol {
+			rank++
+		}
+	}
+	return rank
+}
+
+// pivotTol returns the relative tolerance below which an R diagonal entry is
+// treated as zero (rank deficiency).
+func (f *QR) pivotTol() float64 {
+	return MaxAbs(f.tau) * 1e-12 * float64(f.rows)
+}
+
+// Solve finds x minimizing ‖Ax − b‖₂ using the factorization.
+// It returns ErrSingular when R is rank deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	y, err := f.QTVec(b)
+	if err != nil {
+		return nil, err
+	}
+	n := f.cols
+	x := make([]float64, n)
+	copy(x, y[:n])
+	tol := f.pivotTol()
+	// Back-substitute R x = y. R's diagonal is −tau.
+	for i := n - 1; i >= 0; i-- {
+		d := -f.tau[i]
+		if math.Abs(d) <= tol {
+			return nil, fmt.Errorf("%w: negligible pivot at column %d", ErrSingular, i)
+		}
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveLS solves the least-squares problem min ‖Ax − b‖₂ directly.
+func SolveLS(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// InvertRTR returns (RᵀR)⁻¹ = (AᵀA)⁻¹, the unscaled coefficient covariance
+// used for standard errors in least squares.
+func (f *QR) InvertRTR() (*Matrix, error) {
+	n := f.cols
+	tol := f.pivotTol()
+	// First invert R by back-substituting against identity columns.
+	rinv := New(n, n)
+	for col := 0; col < n; col++ {
+		x := make([]float64, n)
+		x[col] = 1
+		for i := n - 1; i >= 0; i-- {
+			d := -f.tau[i]
+			if math.Abs(d) <= tol {
+				return nil, fmt.Errorf("%w: negligible pivot at column %d", ErrSingular, i)
+			}
+			s := x[i]
+			for j := i + 1; j < n; j++ {
+				s -= f.qr.At(i, j) * rinv.At(j, col)
+			}
+			rinv.Set(i, col, s/d)
+		}
+	}
+	// (RᵀR)⁻¹ = R⁻¹ R⁻ᵀ.
+	return Mul(rinv, rinv.T())
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite matrix.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("%w: non-positive pivot %g at %d", ErrSingular, s, i)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, ErrDimension
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns A⁻¹ for a square matrix via Gauss-Jordan elimination with
+// partial pivoting. It returns ErrSingular if no usable pivot exists.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	aug := New(n, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			aug.Set(i, j, a.At(i, j))
+		}
+		aug.Set(i, n+i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pval := col, math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > pval {
+				piv, pval = r, v
+			}
+		}
+		if pval < 1e-300 {
+			return nil, fmt.Errorf("%w: pivot %g at column %d", ErrSingular, pval, col)
+		}
+		if piv != col {
+			for j := 0; j < 2*n; j++ {
+				v := aug.At(col, j)
+				aug.Set(col, j, aug.At(piv, j))
+				aug.Set(piv, j, v)
+			}
+		}
+		d := aug.At(col, col)
+		for j := 0; j < 2*n; j++ {
+			aug.Set(col, j, aug.At(col, j)/d)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug.Set(r, j, aug.At(r, j)-f*aug.At(col, j))
+			}
+		}
+	}
+	inv := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inv.Set(i, j, aug.At(i, n+j))
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,169 @@
+package modelstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/fit"
+	"datalaws/internal/table"
+)
+
+// The catalog persists as JSON: models travel in their source-code form
+// (formula and WHERE predicate as text, §3: "we can store the models in
+// their source code form inside the database") plus the numeric parameter
+// tables; compiled evaluators and Jacobians are rebuilt on load.
+
+type persistGroup struct {
+	Key        int64       `json:"key"`
+	Params     []float64   `json:"params,omitempty"`
+	ResidualSE float64     `json:"residual_se,omitempty"`
+	R2         float64     `json:"r2,omitempty"`
+	N          int         `json:"n,omitempty"`
+	DF         int         `json:"df,omitempty"`
+	Cov        [][]float64 `json:"cov,omitempty"`
+	FitErr     string      `json:"fit_err,omitempty"`
+}
+
+type persistModel struct {
+	ID            int                `json:"id"`
+	Name          string             `json:"name"`
+	Table         string             `json:"table"`
+	Formula       string             `json:"formula"`
+	Inputs        []string           `json:"inputs"`
+	GroupBy       string             `json:"group_by,omitempty"`
+	WhereSrc      string             `json:"where,omitempty"`
+	Start         map[string]float64 `json:"start,omitempty"`
+	Method        string             `json:"method,omitempty"`
+	Groups        []persistGroup     `json:"groups"`
+	FittedVersion uint64             `json:"fitted_version"`
+	FittedRows    int                `json:"fitted_rows"`
+	Version       int                `json:"version"`
+}
+
+type persistFile struct {
+	FormatVersion int            `json:"format_version"`
+	NextID        int            `json:"next_id"`
+	Models        []persistModel `json:"models"`
+}
+
+// Save writes the catalog as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pf := persistFile{FormatVersion: 1, NextID: s.nextID}
+	for _, m := range s.models {
+		pm := persistModel{
+			ID:            m.ID,
+			Name:          m.Spec.Name,
+			Table:         m.Spec.Table,
+			Formula:       m.Spec.Formula,
+			Inputs:        m.Spec.Inputs,
+			GroupBy:       m.Spec.GroupBy,
+			Start:         m.Spec.Start,
+			Method:        m.Spec.Method,
+			FittedVersion: m.FittedVersion,
+			FittedRows:    m.FittedRows,
+			Version:       m.Version,
+		}
+		if m.Spec.Where != nil {
+			pm.WhereSrc = m.Spec.Where.String()
+		}
+		for _, key := range m.Order {
+			g := m.Groups[key]
+			pm.Groups = append(pm.Groups, persistGroup{
+				Key: g.Key, Params: g.Params, ResidualSE: g.ResidualSE,
+				R2: g.R2, N: g.N, DF: g.DF, Cov: g.Cov, FitErr: g.FitErr,
+			})
+		}
+		pf.Models = append(pf.Models, pm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pf)
+}
+
+// Load reads a catalog written by Save, rebuilding compiled models from
+// their source formulas. It fails on duplicate names against the current
+// contents.
+func (s *Store) Load(r io.Reader) error {
+	var pf persistFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return fmt.Errorf("modelstore: decoding: %w", err)
+	}
+	if pf.FormatVersion != 1 {
+		return fmt.Errorf("modelstore: unsupported format version %d", pf.FormatVersion)
+	}
+	loaded := make([]*CapturedModel, 0, len(pf.Models))
+	for _, pm := range pf.Models {
+		cm, err := rebuildModel(pm)
+		if err != nil {
+			return fmt.Errorf("modelstore: model %q: %w", pm.Name, err)
+		}
+		loaded = append(loaded, cm)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cm := range loaded {
+		if _, exists := s.models[cm.Spec.Name]; exists {
+			return fmt.Errorf("%w: %q", ErrDuplicate, cm.Spec.Name)
+		}
+	}
+	for _, cm := range loaded {
+		s.models[cm.Spec.Name] = cm
+		s.byTable[cm.Spec.Table] = append(s.byTable[cm.Spec.Table], cm)
+	}
+	if pf.NextID > s.nextID {
+		s.nextID = pf.NextID
+	}
+	return nil
+}
+
+func rebuildModel(pm persistModel) (*CapturedModel, error) {
+	model, err := fit.ParseModel(pm.Formula, pm.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	spec := Spec{
+		Name: pm.Name, Table: pm.Table, Formula: pm.Formula,
+		Inputs: pm.Inputs, GroupBy: pm.GroupBy, Start: pm.Start, Method: pm.Method,
+	}
+	if pm.WhereSrc != "" {
+		w, err := expr.Parse(pm.WhereSrc)
+		if err != nil {
+			return nil, fmt.Errorf("parsing where %q: %w", pm.WhereSrc, err)
+		}
+		spec.Where = w
+	}
+	cm := &CapturedModel{
+		ID: pm.ID, Spec: spec, Model: model,
+		Groups:        map[int64]*GroupParams{},
+		FittedVersion: pm.FittedVersion,
+		FittedRows:    pm.FittedRows,
+		Version:       pm.Version,
+	}
+	for _, pg := range pm.Groups {
+		g := &GroupParams{
+			Key: pg.Key, Params: pg.Params, ResidualSE: pg.ResidualSE,
+			R2: pg.R2, N: pg.N, DF: pg.DF, Cov: pg.Cov, FitErr: pg.FitErr,
+		}
+		if g.OK() && len(g.Params) != len(model.Params) {
+			return nil, fmt.Errorf("group %d has %d params, formula has %d", pg.Key, len(g.Params), len(model.Params))
+		}
+		cm.Groups[pg.Key] = g
+		cm.Order = append(cm.Order, pg.Key)
+	}
+	cm.Quality = computeQuality(cm)
+	return cm, nil
+}
+
+// SaveParamTableCSV exports a model's parameter table as CSV — the shape of
+// the paper's Table 1 right-hand side, for downstream tools.
+func SaveParamTableCSV(m *CapturedModel, w io.Writer) error {
+	pt, err := m.ParamTable()
+	if err != nil {
+		return err
+	}
+	return table.WriteCSV(pt, w)
+}

@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"datalaws/internal/fit"
+	"datalaws/internal/stats"
+	"datalaws/internal/synth"
+)
+
+// A1 probes the paper's §6 position that "focusing on a single class of
+// models as previous work has [MauveDB, FunctionDB, Zimmer] is unlikely to
+// cover enough ground": the user's domain model (power law) against the
+// fixed model classes of prior systems (global polynomial, FunctionDB-style
+// piecewise polynomials) on the same radio source, comparing accuracy per
+// parameter byte.
+func A1(sc Scale) (*Report, error) {
+	d := synth.GenerateLOFAR(synth.LOFARConfig{
+		Sources: 1, ObsPerSource: 400, NoiseFrac: 0.05, Seed: sc.Seed + 5,
+	})
+	truth := d.Truth[1]
+
+	r := &Report{
+		ID: "A1", Title: "model-class ablation: user model vs fixed classes",
+		PaperClaim: "prior systems hard-code one model class (regression/interpolation in MauveDB, piecewise polynomials in FunctionDB); user-supplied domain models should beat them at equal or smaller storage",
+	}
+
+	// Held-out evaluation grid: the generating law at the observed bands.
+	evalErr := func(pred func(nu float64) float64) float64 {
+		var se float64
+		for _, nu := range synth.Bands {
+			want := truth.P * math.Pow(nu, truth.Alpha)
+			diff := pred(nu) - want
+			se += diff * diff
+		}
+		return math.Sqrt(se / float64(len(synth.Bands)))
+	}
+
+	// (a) The user's model: the power law.
+	user, err := fit.ParseModel("intensity ~ p * pow(nu, alpha)", []string{"nu"})
+	if err != nil {
+		return nil, err
+	}
+	ur, err := user.Fit(map[string][]float64{"nu": d.Nu, "intensity": d.Intensity},
+		map[string]float64{"p": 1, "alpha": -1}, nil)
+	if err != nil {
+		return nil, err
+	}
+	userRMSE := evalErr(func(nu float64) float64 { return user.Eval(ur.Params, []float64{nu}) })
+	userBytes := 8 * len(ur.Params)
+
+	// (b) Global polynomial (MauveDB-style regression view), degree 2.
+	design, names := fit.PolynomialDesign(d.Nu, 2)
+	pr, err := fit.OLS(design, d.Intensity, names, true)
+	if err != nil {
+		return nil, err
+	}
+	polyRMSE := evalErr(func(nu float64) float64 {
+		return pr.Params[0] + pr.Params[1]*nu + pr.Params[2]*nu*nu
+	})
+	polyBytes := 8 * len(pr.Params)
+
+	// (c) FunctionDB-style piecewise polynomials: 4 segments, degree 1.
+	pw, err := fit.FitPiecewisePoly(d.Nu, d.Intensity, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	pwRMSE := evalErr(pw.Eval)
+	pwBytes := pw.ParamBytes()
+
+	noiseFloor := stats.StdDev(d.Intensity) * 0.05
+	r.addf("one source, %d observations, 5%% noise; RMSE against the generating law on the 4 bands", len(d.Nu))
+	r.addf("%-38s %10s %12s %8s", "model class", "RMSE", "param bytes", "R²")
+	r.addf("%-38s %10.5f %12d %8.4f", "user model  I = p·ν^α", userRMSE, userBytes, ur.R2)
+	r.addf("%-38s %10.5f %12d %8.4f", "global polynomial deg 2 (MauveDB)", polyRMSE, polyBytes, pr.R2)
+	r.addf("%-38s %10.5f %12d %8.4f", "piecewise linear ×4 (FunctionDB)", pwRMSE, pwBytes, pw.R2())
+	r.addf("noise floor (5%% of sd): ≈%.5f", noiseFloor)
+	r.Measured = fmt.Sprintf("user model RMSE %.5f with %d bytes vs poly %.5f/%dB vs piecewise %.5f/%dB",
+		userRMSE, userBytes, polyRMSE, polyBytes, pwRMSE, pwBytes)
+	// Shape check: the domain model must not lose to the fixed classes
+	// while using the fewest parameters.
+	if userRMSE > polyRMSE*1.5 && userRMSE > pwRMSE*1.5 {
+		return r, fmt.Errorf("repro A1: user model lost badly to fixed classes")
+	}
+	if userBytes > pwBytes {
+		return r, fmt.Errorf("repro A1: user model uses more parameters than piecewise")
+	}
+	return r, nil
+}

@@ -1,0 +1,126 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation, plus the scaling and baseline experiments DESIGN.md derives
+// from the paper's quantitative claims. Each experiment is a pure function
+// from a scale configuration to a textual report, so the cmd/repro binary
+// and the benchmark suite share one implementation.
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated artifact.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (F1, T1, T2a, …).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim states the shape the paper reports.
+	PaperClaim string
+	// Lines is the regenerated content.
+	Lines []string
+	// Measured summarizes our numbers for EXPERIMENTS.md.
+	Measured string
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "paper: %s\n", r.PaperClaim)
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	if r.Measured != "" {
+		fmt.Fprintf(&sb, "measured: %s\n", r.Measured)
+	}
+	return sb.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Scale shrinks dataset sizes for fast runs; 1.0 is the paper's scale where
+// defined (35,692 LOFAR sources).
+type Scale struct {
+	// LOFARSources and LOFARObs size the radio dataset.
+	LOFARSources int
+	LOFARObs     int
+	// SensorCount and SensorSteps size the sensor dataset.
+	SensorCount int
+	SensorSteps int
+	// RetailStores and RetailDays size the sales dataset.
+	RetailStores int
+	RetailDays   int
+	// Seed makes everything deterministic.
+	Seed int64
+}
+
+// FullScale mirrors the paper's dataset sizes.
+func FullScale() Scale {
+	return Scale{
+		LOFARSources: 35692, LOFARObs: 40,
+		SensorCount: 50, SensorSteps: 2000,
+		RetailStores: 40, RetailDays: 730,
+		Seed: 1,
+	}
+}
+
+// SmallScale is a laptop/CI-friendly reduction preserving every shape.
+func SmallScale() Scale {
+	return Scale{
+		LOFARSources: 400, LOFARObs: 40,
+		SensorCount: 10, SensorSteps: 500,
+		RetailStores: 8, RetailDays: 365,
+		Seed: 1,
+	}
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) (*Report, error)
+}
+
+// Experiments is the registry, in DESIGN.md order.
+var Experiments = []Experiment{
+	{"F1", "Figure 1: raw data vs model for one LOFAR source", F1},
+	{"T1", "Table 1: observations → parameter table compression", T1},
+	{"F2", "Figure 2: model interception workflow over TCP", F2},
+	{"T2a", "Table 2 ⊕ true semantic compression", T2a},
+	{"T2b", "Table 2 ⊕ zero-IO scans", T2b},
+	{"T2c", "Table 2 ⊕ analytic solutions for linear models", T2c},
+	{"T2d", "Table 2 ⊕ model exploration", T2d},
+	{"T2e", "Table 2 ⊕ data anomalies", T2e},
+	{"T2f", "Table 2 ⊖ data or model changes", T2f},
+	{"T2g", "Table 2 ⊖ multiple, partial or grouped models", T2g},
+	{"T2h", "Table 2 ⊖ parameter space enumeration", T2h},
+	{"T2i", "Table 2 ⊖ legal parameter combinations", T2i},
+	{"S1", "§2 scaling: 10× observations → more precise, same storage", S1},
+	{"S2", "model AQP vs sampling vs histogram at equal budget", S2},
+	{"A1", "ablation: user model vs fixed model classes", A1},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment IDs.
+func IDs() []string {
+	out := make([]string, len(Experiments))
+	for i, e := range Experiments {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsAtSmallScale runs every registered experiment end to
+// end; each experiment validates its own shape expectations internally and
+// returns an error when the paper's claim does not hold.
+func TestAllExperimentsAtSmallScale(t *testing.T) {
+	sc := SmallScale()
+	for _, ex := range Experiments {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			rep, err := ex.Run(sc)
+			if err != nil {
+				t.Fatalf("%s failed: %v", ex.ID, err)
+			}
+			if rep.ID != ex.ID {
+				t.Fatalf("report ID %q for experiment %q", rep.ID, ex.ID)
+			}
+			if len(rep.Lines) == 0 {
+				t.Fatal("empty report")
+			}
+			if rep.PaperClaim == "" || rep.Measured == "" {
+				t.Fatal("report missing claim or measurement")
+			}
+			out := rep.String()
+			if !strings.Contains(out, ex.ID) {
+				t.Fatal("rendered report missing ID")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T1"); !ok {
+		t.Fatal("T1 missing")
+	}
+	if _, ok := ByID("t2a"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unexpected experiment")
+	}
+	if len(IDs()) != len(Experiments) {
+		t.Fatal("IDs() incomplete")
+	}
+}

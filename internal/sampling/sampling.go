@@ -1,0 +1,110 @@
+// Package sampling implements uniform-sampling approximate query answering,
+// the other classic baseline the paper cites (§1, BlinkDB-style: "only a
+// subset of data is used to answer a time-critical query … predicting the
+// extent of these errors is well understood"). Estimates carry CLT-based
+// 95 % confidence half-widths so the S2 experiment can compare error bounds
+// with the model-based path.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"datalaws/internal/stats"
+)
+
+// Sample is a uniform random sample of a column, remembering the population
+// size for scale-up estimates.
+type Sample struct {
+	Vals []float64
+	// PopN is the population row count the sample was drawn from.
+	PopN int
+}
+
+// Uniform draws a fraction-frac uniform sample (without replacement) from
+// vals, deterministically under seed.
+func Uniform(vals []float64, frac float64, seed int64) (*Sample, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("sampling: fraction %g outside (0,1]", frac)
+	}
+	n := len(vals)
+	k := int(math.Round(float64(n) * frac))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(n)[:k]
+	s := &Sample{Vals: make([]float64, k), PopN: n}
+	for i, j := range idx {
+		s.Vals[i] = vals[j]
+	}
+	return s, nil
+}
+
+// SizeBytes is the sample's storage footprint.
+func (s *Sample) SizeBytes() int { return 8 * len(s.Vals) }
+
+// Estimate is a point estimate with a 95 % confidence half-width.
+type Estimate struct {
+	Value     float64
+	HalfWidth float64
+}
+
+// Mean estimates the population mean.
+func (s *Sample) Mean() Estimate {
+	m := stats.Mean(s.Vals)
+	if len(s.Vals) < 2 {
+		return Estimate{Value: m, HalfWidth: math.Inf(1)}
+	}
+	se := stats.StdDev(s.Vals) / math.Sqrt(float64(len(s.Vals)))
+	z := stats.StdNormal.Quantile(0.975)
+	return Estimate{Value: m, HalfWidth: z * se}
+}
+
+// Sum estimates the population sum by scaling the sample mean.
+func (s *Sample) Sum() Estimate {
+	m := s.Mean()
+	f := float64(s.PopN)
+	return Estimate{Value: m.Value * f, HalfWidth: m.HalfWidth * f}
+}
+
+// CountWhere estimates how many population rows satisfy pred.
+func (s *Sample) CountWhere(pred func(float64) bool) Estimate {
+	k := 0
+	for _, v := range s.Vals {
+		if pred(v) {
+			k++
+		}
+	}
+	n := len(s.Vals)
+	p := float64(k) / float64(n)
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	z := stats.StdNormal.Quantile(0.975)
+	f := float64(s.PopN)
+	return Estimate{Value: p * f, HalfWidth: z * se * f}
+}
+
+// MeanWhere estimates the mean over rows satisfying pred (a filtered
+// aggregate); the half-width reflects the effective subsample size.
+func (s *Sample) MeanWhere(pred func(float64) bool) Estimate {
+	var sub []float64
+	for _, v := range s.Vals {
+		if pred(v) {
+			sub = append(sub, v)
+		}
+	}
+	if len(sub) == 0 {
+		return Estimate{Value: math.NaN(), HalfWidth: math.Inf(1)}
+	}
+	m := stats.Mean(sub)
+	if len(sub) < 2 {
+		return Estimate{Value: m, HalfWidth: math.Inf(1)}
+	}
+	se := stats.StdDev(sub) / math.Sqrt(float64(len(sub)))
+	z := stats.StdNormal.Quantile(0.975)
+	return Estimate{Value: m, HalfWidth: z * se}
+}

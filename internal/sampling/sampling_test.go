@@ -1,0 +1,141 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normalData(n int, mu, sigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestUniformSampleShape(t *testing.T) {
+	vals := normalData(10000, 50, 10, 1)
+	s, err := Uniform(vals, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Vals) != 1000 || s.PopN != 10000 {
+		t.Fatalf("sample %d of %d", len(s.Vals), s.PopN)
+	}
+	if s.SizeBytes() != 8000 {
+		t.Fatalf("size = %d", s.SizeBytes())
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	if _, err := Uniform(vals, 0, 1); err == nil {
+		t.Fatal("want error for zero fraction")
+	}
+	if _, err := Uniform(vals, 1.5, 1); err == nil {
+		t.Fatal("want error for fraction > 1")
+	}
+	s, err := Uniform(vals, 0.01, 1) // rounds to at least one element
+	if err != nil || len(s.Vals) != 1 {
+		t.Fatalf("%v %v", s, err)
+	}
+}
+
+func TestMeanEstimateNearTruth(t *testing.T) {
+	vals := normalData(100000, 42, 5, 3)
+	s, err := Uniform(vals, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := s.Mean()
+	if math.Abs(est.Value-42) > 3*est.HalfWidth {
+		t.Fatalf("mean estimate %g ± %g far from 42", est.Value, est.HalfWidth)
+	}
+	if est.HalfWidth <= 0 || est.HalfWidth > 1 {
+		t.Fatalf("half width = %g", est.HalfWidth)
+	}
+}
+
+func TestCIWidthShrinksWithSampleSize(t *testing.T) {
+	vals := normalData(100000, 0, 1, 5)
+	small, _ := Uniform(vals, 0.01, 6)
+	big, _ := Uniform(vals, 0.2, 6)
+	if big.Mean().HalfWidth >= small.Mean().HalfWidth {
+		t.Fatalf("CI should shrink: %g vs %g", big.Mean().HalfWidth, small.Mean().HalfWidth)
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// Repeated sampling: the 95% CI should contain the population mean in
+	// roughly 95% of draws.
+	vals := normalData(50000, 7, 2, 7)
+	var popMean float64
+	for _, v := range vals {
+		popMean += v
+	}
+	popMean /= float64(len(vals))
+	hits, trials := 0, 200
+	for i := 0; i < trials; i++ {
+		s, _ := Uniform(vals, 0.02, int64(100+i))
+		est := s.Mean()
+		if popMean >= est.Value-est.HalfWidth && popMean <= est.Value+est.HalfWidth {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if rate < 0.88 || rate > 1.0 {
+		t.Fatalf("coverage = %.3f", rate)
+	}
+}
+
+func TestSumEstimate(t *testing.T) {
+	vals := normalData(20000, 10, 1, 8)
+	var exact float64
+	for _, v := range vals {
+		exact += v
+	}
+	s, _ := Uniform(vals, 0.1, 9)
+	est := s.Sum()
+	if math.Abs(est.Value-exact) > 3*est.HalfWidth {
+		t.Fatalf("sum %g ± %g vs exact %g", est.Value, est.HalfWidth, exact)
+	}
+}
+
+func TestCountWhere(t *testing.T) {
+	vals := normalData(50000, 0, 1, 10)
+	exact := 0
+	for _, v := range vals {
+		if v > 1 {
+			exact++
+		}
+	}
+	s, _ := Uniform(vals, 0.1, 11)
+	est := s.CountWhere(func(v float64) bool { return v > 1 })
+	if math.Abs(est.Value-float64(exact)) > 3*est.HalfWidth+1 {
+		t.Fatalf("count %g ± %g vs exact %d", est.Value, est.HalfWidth, exact)
+	}
+}
+
+func TestMeanWhere(t *testing.T) {
+	vals := normalData(50000, 0, 1, 12)
+	var sum float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += v
+			n++
+		}
+	}
+	s, _ := Uniform(vals, 0.1, 13)
+	est := s.MeanWhere(func(v float64) bool { return v > 0 })
+	if math.Abs(est.Value-sum/float64(n)) > 3*est.HalfWidth {
+		t.Fatalf("mean-where %g ± %g vs %g", est.Value, est.HalfWidth, sum/float64(n))
+	}
+	// Empty predicate subset.
+	empty := s.MeanWhere(func(float64) bool { return false })
+	if !math.IsNaN(empty.Value) {
+		t.Fatal("want NaN for empty subset")
+	}
+}

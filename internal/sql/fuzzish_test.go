@@ -1,0 +1,72 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds randomized statement fragments to the parser;
+// it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"SELECT", "APPROX", "FROM", "WHERE", "GROUP BY", "ORDER BY", "LIMIT",
+		"FIT MODEL", "ON", "AS", "INPUTS", "START", "(", ")", ",", "*", "+",
+		"-", "=", "<>", "<", "'str'", "42", "3.14", "ident", "t1", "nu",
+		"count", "avg", "AND", "OR", "NOT", "NULL", "IS", "BETWEEN",
+		"JOIN", "HAVING", "WITH ERROR", ";", "EXPLAIN", "--c\n", "''", "^",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		// Parse must not panic; error or success are both fine.
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerNeverPanics feeds random byte strings to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		_, _ = Lex(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidStatementsRoundRobin checks a battery of valid statements parse.
+func TestValidStatementsRoundRobin(t *testing.T) {
+	stmts := []string{
+		"SELECT 1 + 2 AS three FROM t",
+		"SELECT a, b, a*b FROM t WHERE a BETWEEN 1 AND 2 OR b IS NOT NULL",
+		"APPROX SELECT x FROM t WHERE y = 3 WITH ERROR",
+		"SELECT count(*), min(a), max(a), var(a), stddev(a) FROM t GROUP BY b HAVING count(*) > 1",
+		"SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON b.j = c.j",
+		"CREATE TABLE t (a BIGINT, b DOUBLE, c VARCHAR, d BOOLEAN)",
+		"INSERT INTO t VALUES (1, 2.5, 'x', TRUE), (2, NULL, '', FALSE)",
+		"FIT MODEL m ON t AS 'y ~ a + b*x' INPUTS (x) METHOD GN",
+		"EXPLAIN SELECT a FROM t ORDER BY a DESC LIMIT 10",
+		"EXPLAIN APPROX SELECT a FROM t",
+		"SHOW MODELS;",
+		"REFIT MODEL m",
+		"DROP MODEL m;",
+		"SELECT a FROM t ORDER BY a ASC, b DESC, a+b",
+		"SELECT -a ^ 2 FROM t",
+	}
+	for _, s := range stmts {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}

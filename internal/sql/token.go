@@ -1,0 +1,157 @@
+// Package sql implements the query language surface of the engine: a lexer,
+// parser and AST for a SQL subset (SELECT with WHERE / GROUP BY / HAVING /
+// ORDER BY / LIMIT / inner JOIN, CREATE TABLE, INSERT) extended with the
+// paper's model statements: FIT MODEL captures a user model server-side,
+// APPROX SELECT routes a query through the model store instead of the raw
+// data, and WITH ERROR annotates approximate answers with error bounds.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is one lexical token with its source offset.
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; idents keep their spelling
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "APPROX": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "AS": true,
+	"JOIN": true, "INNER": true, "ON": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"FIT": true, "MODEL": true, "MODELS": true, "SHOW": true, "DROP": true,
+	"START": true, "METHOD": true, "INPUTS": true, "WITH": true, "ERROR": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"IS": true, "BETWEEN": true, "IN": true,
+	"BIGINT": true, "DOUBLE": true, "VARCHAR": true, "BOOLEAN": true,
+	"INT": true, "INTEGER": true, "FLOAT": true, "TEXT": true, "BOOL": true,
+	"EXACT": true, "REFIT": true, "EXPLAIN": true,
+}
+
+// Lex tokenizes a statement.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	pos := 0
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pos++
+		case c == '-' && pos+1 < len(src) && src[pos+1] == '-':
+			// Line comment.
+			for pos < len(src) && src[pos] != '\n' {
+				pos++
+			}
+		case isDigit(c) || (c == '.' && pos+1 < len(src) && isDigit(src[pos+1])):
+			start := pos
+			seenDot, seenExp := false, false
+		numLoop:
+			for pos < len(src) {
+				d := src[pos]
+				switch {
+				case isDigit(d):
+					pos++
+				case d == '.' && !seenDot && !seenExp:
+					seenDot = true
+					pos++
+				case (d == 'e' || d == 'E') && !seenExp && pos > start:
+					seenExp = true
+					pos++
+					if pos < len(src) && (src[pos] == '+' || src[pos] == '-') {
+						pos++
+					}
+				default:
+					break numLoop
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:pos], Pos: start})
+		case c == '\'':
+			start := pos
+			pos++
+			var sb strings.Builder
+			closed := false
+			for pos < len(src) {
+				if src[pos] == '\'' {
+					if pos+1 < len(src) && src[pos+1] == '\'' {
+						sb.WriteByte('\'')
+						pos += 2
+						continue
+					}
+					pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[pos])
+				pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case isIdentStart(c):
+			start := pos
+			for pos < len(src) && isIdentPart(src[pos]) {
+				pos++
+			}
+			word := src[start:pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		default:
+			if pos+1 < len(src) {
+				two := src[pos : pos+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					if two == "!=" {
+						two = "<>"
+					}
+					toks = append(toks, Token{Kind: TokOp, Text: two, Pos: pos})
+					pos += 2
+					continue
+				}
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '^', '(', ')', ',', '=', '<', '>', ';', '.':
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: pos})
+				pos++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", rune(c), pos)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: len(src)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

@@ -1,0 +1,139 @@
+// Package stats provides the statistical substrate for the fitting engine:
+// descriptive statistics, special functions (regularized incomplete beta and
+// gamma), and probability distributions (Normal, Student-t, F, Chi-squared)
+// with CDFs and inverse CDFs. These back the goodness-of-fit judgments
+// (R², F-tests) and the error bounds on approximate answers that the paper
+// requires of a model-harvesting database.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs using Neumaier compensated summation, which
+// preserves low-order bits even when a large term temporarily swamps the
+// running sum (e.g. 1 + 1e16 − 1e16 = 1).
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or NaN
+// when fewer than two observations are supplied.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest values, or (NaN, NaN) for empty
+// input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the p-th quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R default). The input
+// is not modified.
+func Quantile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Covariance returns the unbiased sample covariance of two equally long
+// series, or NaN if the lengths differ or n < 2.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation coefficient of two series.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// MeanStd returns mean and sample standard deviation in a single pass
+// (Welford's algorithm), useful for streaming over column chunks.
+func MeanStd(xs []float64) (mean, std float64) {
+	var m, m2 float64
+	for i, x := range xs {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	if len(xs) < 2 {
+		return m, math.NaN()
+	}
+	return m, math.Sqrt(m2 / float64(len(xs)-1))
+}

@@ -1,0 +1,351 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumKahan(t *testing.T) {
+	// 1 + 1e16 − 1e16 loses the 1 under naive summation order.
+	xs := []float64{1, 1e16, -1e16}
+	if got := Sum(xs); got != 1 {
+		t.Fatalf("Sum = %g, want 1", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); !close(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !close(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %g", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("want NaN for insufficient input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %g,%g", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Fatal("want NaN for empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); !close(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Median([]float64{1, 2, 3, 4}); !close(got, 2.5, 1e-12) {
+		t.Fatalf("Median = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("want NaN for invalid input")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !close(got, 1, 1e-12) {
+		t.Fatalf("Correlation = %g, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !close(got, -1, 1e-12) {
+		t.Fatalf("Correlation = %g, want -1", got)
+	}
+	if got := Covariance(xs, ys); !close(got, 5, 1e-12) {
+		t.Fatalf("Covariance = %g, want 5", got)
+	}
+}
+
+func TestMeanStdMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+		}
+		m, s := MeanStd(xs)
+		return close(m, Mean(xs), 1e-9) && close(s, StdDev(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	n := StdNormal
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+	}
+	for _, c := range cases {
+		if got := n.CDF(c.x); !close(got, c.want, 1e-12) {
+			t.Fatalf("CDF(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 3}
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); !close(got, p, 1e-12) {
+			t.Fatalf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Fatal("want infinities at the boundary")
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := StdNormal.PDF(0); !close(got, 1/math.Sqrt(2*math.Pi), 1e-15) {
+		t.Fatalf("PDF(0) = %g", got)
+	}
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// Reference values from R: pt(2, df=5) = 0.9490303; pt(-1, df=10) = 0.1704466.
+	cases := []struct{ nu, x, want float64 }{
+		{5, 2, 0.9490302605850709},
+		{10, -1, 0.17044656615103004},
+		{1, 0, 0.5},
+	}
+	for _, c := range cases {
+		got := StudentT{Nu: c.nu}.CDF(c.x)
+		if !close(got, c.want, 1e-6) {
+			t.Fatalf("t CDF(nu=%g, %g) = %.8g, want %.8g", c.nu, c.x, got, c.want)
+		}
+	}
+}
+
+// simpson integrates f over [a,b] with n (even) panels.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	h := (b - a) / float64(n)
+	s := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			s += 4 * f(x)
+		} else {
+			s += 2 * f(x)
+		}
+	}
+	return s * h / 3
+}
+
+func TestStudentTCDFMatchesIntegratedPDF(t *testing.T) {
+	// Independent cross-check: the incomplete-beta CDF must match numeric
+	// integration of the density.
+	for _, nu := range []float64{3, 8, 30} {
+		d := StudentT{Nu: nu}
+		for _, x := range []float64{-2, -0.5, 0.7, 1.96} {
+			want := 0.5 + simpson(d.PDF, 0, x, 4000)
+			if got := d.CDF(x); !close(got, want, 1e-9) {
+				t.Fatalf("t CDF(nu=%g,%g) = %.10g, integral %.10g", nu, x, got, want)
+			}
+		}
+	}
+}
+
+func TestStudentTQuantile(t *testing.T) {
+	// qt(0.975, 10) = 2.228139; qt(0.975, 2) = 4.302653.
+	cases := []struct{ nu, p, want float64 }{
+		{10, 0.975, 2.2281388519649385},
+		{2, 0.975, 4.302652729911275},
+		{5, 0.5, 0},
+		{5, 0.025, -2.5705818366147395},
+	}
+	for _, c := range cases {
+		got := StudentT{Nu: c.nu}.Quantile(c.p)
+		if !close(got, c.want, 1e-8) {
+			t.Fatalf("t Quantile(nu=%g, %g) = %.10g, want %.10g", c.nu, c.p, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu := 1 + rng.Float64()*50
+		p := 0.01 + rng.Float64()*0.98
+		d := StudentT{Nu: nu}
+		x := d.Quantile(p)
+		return close(d.CDF(x), p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	// With large df the t distribution converges to the normal.
+	d := StudentT{Nu: 1e6}
+	for _, x := range []float64{-2, -1, 0, 1, 2} {
+		if !close(d.CDF(x), StdNormal.CDF(x), 1e-5) {
+			t.Fatalf("t(1e6).CDF(%g) = %g, normal = %g", x, d.CDF(x), StdNormal.CDF(x))
+		}
+	}
+}
+
+func TestFDistCDF(t *testing.T) {
+	// pf(1, 1, 1) = 0.5 exactly; boundary behaviour at x = 0.
+	if got := (FDist{D1: 1, D2: 1}).CDF(1); !close(got, 0.5, 1e-10) {
+		t.Fatalf("F CDF(1,1,1) = %g, want 0.5", got)
+	}
+	if got := (FDist{D1: 2, D2: 2}).CDF(0); got != 0 {
+		t.Fatalf("F CDF at 0 = %g, want 0", got)
+	}
+}
+
+func TestFDistCDFMatchesIntegratedDensity(t *testing.T) {
+	// Cross-check the incomplete-beta implementation against numeric
+	// integration of the F density.
+	fpdf := func(d1, d2 float64) func(float64) float64 {
+		lg1, _ := math.Lgamma(d1 / 2)
+		lg2, _ := math.Lgamma(d2 / 2)
+		lg12, _ := math.Lgamma((d1 + d2) / 2)
+		logc := lg12 - lg1 - lg2 + (d1/2)*math.Log(d1/d2)
+		return func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			return math.Exp(logc + (d1/2-1)*math.Log(x) - ((d1+d2)/2)*math.Log(1+d1*x/d2))
+		}
+	}
+	cases := []struct{ d1, d2, x float64 }{
+		{5, 10, 3}, {3, 12, 3.49}, {2, 8, 1.2}, {10, 10, 0.8},
+	}
+	for _, c := range cases {
+		want := simpson(fpdf(c.d1, c.d2), 1e-12, c.x, 20000)
+		got := FDist{D1: c.d1, D2: c.d2}.CDF(c.x)
+		if !close(got, want, 1e-6) {
+			t.Fatalf("F CDF(%g,%g,%g) = %.8g, integral %.8g", c.d1, c.d2, c.x, got, want)
+		}
+	}
+}
+
+func TestFDistSurvival(t *testing.T) {
+	f := FDist{D1: 3, D2: 12}
+	x := 3.49 // approx 0.05 critical value for F(3,12)
+	p := f.SurvivalF(x)
+	if !close(p, 0.05, 5e-3) {
+		t.Fatalf("F survival = %g, want ≈0.05", p)
+	}
+}
+
+func TestChiSquaredCDF(t *testing.T) {
+	// pchisq(3.841459, 1) = 0.95; pchisq(5, 5) = 0.5841198.
+	cases := []struct{ k, x, want float64 }{
+		{1, 3.841458820694124, 0.95},
+		{5, 5, 0.5841198},
+		{2, 0, 0},
+	}
+	for _, c := range cases {
+		got := ChiSquared{K: c.k}.CDF(c.x)
+		if !close(got, c.want, 1e-6) {
+			t.Fatalf("chi2 CDF(%g, %g) = %.7g, want %.7g", c.k, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	// Boundary values and symmetry I_x(a,b) = 1 − I_{1−x}(b,a).
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Fatalf("I_0 = %g", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Fatalf("I_1 = %g", got)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + rng.Float64()*10
+		b := 0.5 + rng.Float64()*10
+		x := rng.Float64()
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return close(lhs, rhs, 1e-10) && lhs >= 0 && lhs <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaUniform(t *testing.T) {
+	// I_x(1,1) = x (Beta(1,1) is uniform).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !close(got, x, 1e-12) {
+			t.Fatalf("I_%g(1,1) = %g", x, got)
+		}
+	}
+}
+
+func TestRegLowerGamma(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := RegLowerGamma(1, x); !close(got, want, 1e-12) {
+			t.Fatalf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	if got := RegLowerGamma(3, 0); got != 0 {
+		t.Fatalf("P(3,0) = %g", got)
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.5; x < 20; x += 0.5 {
+		cur := RegLowerGamma(4, x)
+		if cur < prev {
+			t.Fatalf("P(4,·) not monotone at %g", x)
+		}
+		prev = cur
+	}
+}
+
+func TestCDFMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu := 1 + rng.Float64()*20
+		d := StudentT{Nu: nu}
+		a := rng.NormFloat64() * 3
+		b := a + rng.Float64()*3
+		return d.CDF(a) <= d.CDF(b)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package storage implements the columnar storage substrate: typed columns
+// with null bitmaps and a set of lightweight encodings (plain, run-length,
+// delta-varint, dictionary, XOR-float) with binary serialization. The
+// model-residual encoding that implements the paper's "true semantic
+// compression" lives in internal/compress and builds on the primitives here.
+package storage
+
+// Bitmap is a simple growable bitset used to track NULL positions.
+type Bitmap struct {
+	bits []uint64
+	n    int
+}
+
+// NewBitmap returns a bitmap sized for n bits, all unset.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of addressable bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Append adds one bit at the end.
+func (b *Bitmap) Append(set bool) {
+	idx := b.n
+	b.n++
+	if idx/64 >= len(b.bits) {
+		b.bits = append(b.bits, 0)
+	}
+	if set {
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// Set sets or clears bit i.
+func (b *Bitmap) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	if v {
+		b.bits[i/64] |= 1 << (i % 64)
+	} else {
+		b.bits[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.bits {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	nb := &Bitmap{bits: make([]uint64, len(b.bits)), n: b.n}
+	copy(nb.bits, b.bits)
+	return nb
+}

@@ -1,0 +1,454 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding identifies the physical layout of a serialized column.
+type Encoding uint8
+
+// Encodings. EncodeColumn picks the smallest candidate for the column's
+// type; DecodeColumn dispatches on the stored tag.
+const (
+	EncPlain Encoding = iota
+	EncDelta          // zig-zag varint deltas (sorted/sequential ints)
+	EncRLE            // run-length (low-cardinality ints)
+	EncDict           // dictionary codes + string table
+	EncXOR            // byte-aligned XOR chaining for floats
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "plain"
+	case EncDelta:
+		return "delta"
+	case EncRLE:
+		return "rle"
+	case EncDict:
+		return "dict"
+	case EncXOR:
+		return "xor"
+	}
+	return fmt.Sprintf("Encoding(%d)", uint8(e))
+}
+
+// --- int64 payloads ---
+
+func encInt64Plain(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+func decInt64Plain(b []byte, n int) ([]int64, error) {
+	if len(b) != 8*n {
+		return nil, fmt.Errorf("storage: plain int payload %d bytes, want %d", len(b), 8*n)
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return vals, nil
+}
+
+func encInt64Delta(vals []int64) []byte {
+	buf := make([]byte, 0, len(vals)*2)
+	var prev int64
+	tmp := make([]byte, binary.MaxVarintLen64)
+	for _, v := range vals {
+		n := binary.PutVarint(tmp, v-prev)
+		buf = append(buf, tmp[:n]...)
+		prev = v
+	}
+	return buf
+}
+
+func encInt64RLE(vals []int64) []byte {
+	var buf []byte
+	tmp := make([]byte, binary.MaxVarintLen64)
+	i := 0
+	for i < len(vals) {
+		j := i
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		n := binary.PutVarint(tmp, vals[i])
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp, uint64(j-i))
+		buf = append(buf, tmp[:n]...)
+		i = j
+	}
+	return buf
+}
+
+// --- float64 payloads ---
+
+func encFloat64Plain(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decFloat64Plain(b []byte, n int) ([]float64, error) {
+	if len(b) != 8*n {
+		return nil, fmt.Errorf("storage: plain float payload %d bytes, want %d", len(b), 8*n)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return vals, nil
+}
+
+// encFloat64XOR chains values through XOR with the previous value and stores
+// only the nonzero middle bytes of each XOR word, with a header byte packing
+// the leading- and trailing-zero byte counts. Repeated values cost one byte.
+func encFloat64XOR(vals []float64) []byte {
+	var buf []byte
+	var prev uint64
+	word := make([]byte, 8)
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		x := bits ^ prev
+		prev = bits
+		if x == 0 {
+			buf = append(buf, 0x88) // lead=8 encoded as 8<<4: full zero word
+			continue
+		}
+		binary.BigEndian.PutUint64(word, x)
+		lead := 0
+		for lead < 8 && word[lead] == 0 {
+			lead++
+		}
+		trail := 0
+		for trail < 8-lead && word[7-trail] == 0 {
+			trail++
+		}
+		buf = append(buf, byte(lead<<4|trail))
+		buf = append(buf, word[lead:8-trail]...)
+	}
+	return buf
+}
+
+// --- column framing ---
+
+func encodeNulls(nulls *Bitmap) []byte {
+	if nulls == nil || !nulls.Any() {
+		return []byte{0}
+	}
+	out := []byte{1}
+	tmp := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(tmp, uint64(nulls.Len()))
+	out = append(out, tmp[:n]...)
+	for i := 0; i < nulls.Len(); i += 8 {
+		var b byte
+		for k := 0; k < 8 && i+k < nulls.Len(); k++ {
+			if nulls.Get(i + k) {
+				b |= 1 << k
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func decodeNulls(b []byte, n int) (*Bitmap, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("storage: missing null marker")
+	}
+	if b[0] == 0 {
+		bm := NewBitmap(0)
+		for i := 0; i < n; i++ {
+			bm.Append(false)
+		}
+		return bm, 1, nil
+	}
+	off := 1
+	cnt, sz := binary.Uvarint(b[off:])
+	if sz <= 0 || int(cnt) != n {
+		return nil, 0, fmt.Errorf("storage: bad null bitmap length")
+	}
+	off += sz
+	need := (n + 7) / 8
+	if off+need > len(b) {
+		return nil, 0, fmt.Errorf("storage: truncated null bitmap")
+	}
+	bm := NewBitmap(0)
+	for i := 0; i < n; i++ {
+		bm.Append(b[off+i/8]&(1<<(i%8)) != 0)
+	}
+	return bm, off + need, nil
+}
+
+// EncodeColumn serializes c, selecting the smallest applicable encoding.
+// The frame is [type][encoding][uvarint rows][payload…][nulls].
+func EncodeColumn(c Column) []byte {
+	header := func(enc Encoding, n int) []byte {
+		out := []byte{byte(c.Type()), byte(enc)}
+		tmp := make([]byte, binary.MaxVarintLen64)
+		sz := binary.PutUvarint(tmp, uint64(n))
+		return append(out, tmp[:sz]...)
+	}
+	switch col := c.(type) {
+	case *Int64Column:
+		plain := encInt64Plain(col.Vals)
+		delta := encInt64Delta(col.Vals)
+		rle := encInt64RLE(col.Vals)
+		enc, payload := EncPlain, plain
+		if len(delta) < len(payload) {
+			enc, payload = EncDelta, delta
+		}
+		if len(rle) < len(payload) {
+			enc, payload = EncRLE, rle
+		}
+		out := header(enc, len(col.Vals))
+		out = append(out, payload...)
+		return append(out, encodeNulls(col.Nulls)...)
+	case *Float64Column:
+		plain := encFloat64Plain(col.Vals)
+		xor := encFloat64XOR(col.Vals)
+		enc, payload := EncPlain, plain
+		if len(xor) < len(payload) {
+			enc, payload = EncXOR, xor
+		}
+		out := header(enc, len(col.Vals))
+		out = append(out, payload...)
+		return append(out, encodeNulls(col.Nulls)...)
+	case *StringColumn:
+		out := header(EncDict, len(col.Codes))
+		tmp := make([]byte, binary.MaxVarintLen64)
+		sz := binary.PutUvarint(tmp, uint64(len(col.Dict)))
+		out = append(out, tmp[:sz]...)
+		for _, s := range col.Dict {
+			sz = binary.PutUvarint(tmp, uint64(len(s)))
+			out = append(out, tmp[:sz]...)
+			out = append(out, s...)
+		}
+		for _, code := range col.Codes {
+			sz = binary.PutUvarint(tmp, uint64(code))
+			out = append(out, tmp[:sz]...)
+		}
+		return append(out, encodeNulls(col.Nulls)...)
+	case *BoolColumn:
+		n := col.Len()
+		out := header(EncPlain, n)
+		for i := 0; i < n; i += 8 {
+			var b byte
+			for k := 0; k < 8 && i+k < n; k++ {
+				if col.Vals.Get(i + k) {
+					b |= 1 << k
+				}
+			}
+			out = append(out, b)
+		}
+		return append(out, encodeNulls(col.Nulls)...)
+	}
+	panic(fmt.Sprintf("storage: unknown column %T", c))
+}
+
+// DecodeColumn reverses EncodeColumn.
+func DecodeColumn(b []byte) (Column, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("storage: column frame too short")
+	}
+	typ := ColType(b[0])
+	enc := Encoding(b[1])
+	n64, sz := binary.Uvarint(b[2:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("storage: bad row count")
+	}
+	n := int(n64)
+	body := b[2+sz:]
+	switch typ {
+	case TypeInt64:
+		// Payload length is implicit for varint encodings: find the split
+		// by decoding. We locate the nulls trailer by decoding from the end
+		// is fragile; instead each int encoding decodes greedily and
+		// reports the bytes it consumed via re-encode length.
+		var vals []int64
+		var consumed int
+		var err error
+		switch enc {
+		case EncPlain:
+			if len(body) < 8*n {
+				return nil, fmt.Errorf("storage: truncated plain payload")
+			}
+			vals, err = decInt64Plain(body[:8*n], n)
+			consumed = 8 * n
+		case EncDelta:
+			vals, consumed, err = decInt64DeltaCount(body, n)
+		case EncRLE:
+			vals, consumed, err = decInt64RLECount(body, n)
+		default:
+			return nil, fmt.Errorf("storage: bad int encoding %s", enc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		nulls, _, err := decodeNulls(body[consumed:], n)
+		if err != nil {
+			return nil, err
+		}
+		return &Int64Column{Vals: vals, Nulls: nulls}, nil
+	case TypeFloat64:
+		var vals []float64
+		var consumed int
+		var err error
+		switch enc {
+		case EncPlain:
+			if len(body) < 8*n {
+				return nil, fmt.Errorf("storage: truncated plain payload")
+			}
+			vals, err = decFloat64Plain(body[:8*n], n)
+			consumed = 8 * n
+		case EncXOR:
+			vals, consumed, err = decFloat64XORCount(body, n)
+		default:
+			return nil, fmt.Errorf("storage: bad float encoding %s", enc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		nulls, _, err := decodeNulls(body[consumed:], n)
+		if err != nil {
+			return nil, err
+		}
+		return &Float64Column{Vals: vals, Nulls: nulls}, nil
+	case TypeString:
+		if enc != EncDict {
+			return nil, fmt.Errorf("storage: bad string encoding %s", enc)
+		}
+		off := 0
+		dn, sz := binary.Uvarint(body[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("storage: bad dictionary size")
+		}
+		off += sz
+		col := NewStringColumn()
+		dict := make([]string, dn)
+		for i := range dict {
+			l, sz := binary.Uvarint(body[off:])
+			if sz <= 0 || off+sz+int(l) > len(body) {
+				return nil, fmt.Errorf("storage: truncated dictionary entry %d", i)
+			}
+			off += sz
+			dict[i] = string(body[off : off+int(l)])
+			off += int(l)
+		}
+		codes := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			c64, sz := binary.Uvarint(body[off:])
+			if sz <= 0 || c64 >= dn && !(dn == 0 && c64 == 0) {
+				return nil, fmt.Errorf("storage: bad code at row %d", i)
+			}
+			off += sz
+			codes[i] = uint32(c64)
+		}
+		nulls, _, err := decodeNulls(body[off:], n)
+		if err != nil {
+			return nil, err
+		}
+		col.Codes = codes
+		col.Dict = dict
+		col.Nulls = nulls
+		for i, s := range dict {
+			col.index[s] = uint32(i)
+		}
+		return col, nil
+	case TypeBool:
+		need := (n + 7) / 8
+		if len(body) < need {
+			return nil, fmt.Errorf("storage: truncated bool payload")
+		}
+		col := NewBoolColumn()
+		nulls, _, err := decodeNulls(body[need:], n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			col.Vals.Append(body[i/8]&(1<<(i%8)) != 0)
+		}
+		col.Nulls = nulls
+		return col, nil
+	}
+	return nil, fmt.Errorf("storage: unknown column type %d", typ)
+}
+
+func decInt64DeltaCount(b []byte, n int) ([]int64, int, error) {
+	vals := make([]int64, n)
+	var prev int64
+	off := 0
+	for i := 0; i < n; i++ {
+		d, sz := binary.Varint(b[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated delta payload at row %d", i)
+		}
+		off += sz
+		prev += d
+		vals[i] = prev
+	}
+	return vals, off, nil
+}
+
+func decInt64RLECount(b []byte, n int) ([]int64, int, error) {
+	vals := make([]int64, 0, n)
+	off := 0
+	for len(vals) < n {
+		v, sz := binary.Varint(b[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated RLE value")
+		}
+		off += sz
+		run, sz := binary.Uvarint(b[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated RLE run")
+		}
+		off += sz
+		if len(vals)+int(run) > n {
+			return nil, 0, fmt.Errorf("storage: RLE overflow")
+		}
+		for k := uint64(0); k < run; k++ {
+			vals = append(vals, v)
+		}
+	}
+	return vals, off, nil
+}
+
+func decFloat64XORCount(b []byte, n int) ([]float64, int, error) {
+	vals := make([]float64, n)
+	var prev uint64
+	off := 0
+	word := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("storage: truncated XOR payload at row %d", i)
+		}
+		h := b[off]
+		off++
+		lead := int(h >> 4)
+		trail := int(h & 0x0f)
+		if lead == 8 {
+			vals[i] = math.Float64frombits(prev)
+			continue
+		}
+		mid := 8 - lead - trail
+		if mid <= 0 || off+mid > len(b) {
+			return nil, 0, fmt.Errorf("storage: corrupt XOR header at row %d", i)
+		}
+		for k := range word {
+			word[k] = 0
+		}
+		copy(word[lead:8-trail], b[off:off+mid])
+		off += mid
+		prev ^= binary.BigEndian.Uint64(word)
+		vals[i] = math.Float64frombits(prev)
+	}
+	return vals, off, nil
+}

@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SensorConfig parameterizes a MauveDB-style sensor-network dataset: a grid
+// of temperature sensors sampled at integer timestamps, each following a
+// smooth daily curve plus sensor-specific offset and drift. The timestamp
+// column is "enumerable" in the paper's sense (§4.2: "continuous integer
+// timestamps, as they appear for example in tables containing time series").
+type SensorConfig struct {
+	Sensors int
+	Steps   int // samples per sensor, one per integer timestamp
+	Noise   float64
+	Seed    int64
+}
+
+// DefaultSensors is a laptop-scale sensor deployment.
+func DefaultSensors() SensorConfig {
+	return SensorConfig{Sensors: 50, Steps: 2000, Noise: 0.3, Seed: 2}
+}
+
+// SensorTruth is the generating law of one sensor:
+// temp(t) = Base + Drift·t + Amp·sin(2πt/Period + Phase).
+type SensorTruth struct {
+	ID                 int64
+	Base, Drift        float64
+	Amp, Period, Phase float64
+}
+
+// SensorData is the generated readings plus truth.
+type SensorData struct {
+	Sensor []int64
+	T      []float64 // integer-valued timestamps stored as floats
+	Temp   []float64
+	Truth  map[int64]SensorTruth
+}
+
+// NumRows returns the reading count.
+func (d *SensorData) NumRows() int { return len(d.Sensor) }
+
+// GenerateSensors builds the dataset.
+func GenerateSensors(cfg SensorConfig) *SensorData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Sensors * cfg.Steps
+	d := &SensorData{
+		Sensor: make([]int64, 0, n),
+		T:      make([]float64, 0, n),
+		Temp:   make([]float64, 0, n),
+		Truth:  make(map[int64]SensorTruth, cfg.Sensors),
+	}
+	const period = 288 // e.g. 5-minute samples, daily cycle
+	for s := 1; s <= cfg.Sensors; s++ {
+		id := int64(s)
+		truth := SensorTruth{
+			ID:     id,
+			Base:   18 + rng.Float64()*6,
+			Drift:  (rng.Float64() - 0.5) * 1e-3,
+			Amp:    2 + rng.Float64()*3,
+			Period: period,
+			Phase:  rng.Float64() * 2 * math.Pi,
+		}
+		d.Truth[id] = truth
+		for t := 0; t < cfg.Steps; t++ {
+			ft := float64(t)
+			temp := truth.Base + truth.Drift*ft +
+				truth.Amp*math.Sin(2*math.Pi*ft/truth.Period+truth.Phase) +
+				cfg.Noise*rng.NormFloat64()
+			d.Sensor = append(d.Sensor, id)
+			d.T = append(d.T, ft)
+			d.Temp = append(d.Temp, temp)
+		}
+	}
+	return d
+}
+
+// Columns returns named float columns.
+func (d *SensorData) Columns() map[string][]float64 {
+	src := make([]float64, len(d.Sensor))
+	for i, s := range d.Sensor {
+		src[i] = float64(s)
+	}
+	return map[string][]float64{"sensor": src, "t": d.T, "temp": d.Temp}
+}
+
+// RetailConfig parameterizes a TPC-DS-flavoured sales dataset: daily revenue
+// per store follows trend + weekly seasonality + promo spikes — the
+// "considerable regularity in the generated datasets for popular database
+// benchmarks" the paper proposes as an evaluation playing field (§6).
+type RetailConfig struct {
+	Stores int
+	Days   int
+	Noise  float64
+	Seed   int64
+}
+
+// DefaultRetail is a laptop-scale retail dataset.
+func DefaultRetail() RetailConfig {
+	return RetailConfig{Stores: 40, Days: 730, Noise: 0.04, Seed: 3}
+}
+
+// RetailTruth is the generating law of one store:
+// revenue(d) = Base·(1 + Growth·d)·(1 + WeekAmp·sin(2πd/7 + Phase)).
+type RetailTruth struct {
+	ID              int64
+	Base, Growth    float64
+	WeekAmp, Phase  float64
+	PromoEvery      int
+	PromoMultiplier float64
+}
+
+// RetailData is the generated sales plus truth.
+type RetailData struct {
+	Store   []int64
+	Day     []float64
+	Revenue []float64
+	Truth   map[int64]RetailTruth
+}
+
+// NumRows returns the row count.
+func (d *RetailData) NumRows() int { return len(d.Store) }
+
+// GenerateRetail builds the dataset.
+func GenerateRetail(cfg RetailConfig) *RetailData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Stores * cfg.Days
+	d := &RetailData{
+		Store:   make([]int64, 0, n),
+		Day:     make([]float64, 0, n),
+		Revenue: make([]float64, 0, n),
+		Truth:   make(map[int64]RetailTruth, cfg.Stores),
+	}
+	for s := 1; s <= cfg.Stores; s++ {
+		id := int64(s)
+		truth := RetailTruth{
+			ID:              id,
+			Base:            5000 + rng.Float64()*20000,
+			Growth:          rng.Float64() * 4e-4,
+			WeekAmp:         0.1 + rng.Float64()*0.2,
+			Phase:           rng.Float64() * 2 * math.Pi,
+			PromoEvery:      90 + rng.Intn(60),
+			PromoMultiplier: 1.3 + rng.Float64()*0.5,
+		}
+		d.Truth[id] = truth
+		for day := 0; day < cfg.Days; day++ {
+			fd := float64(day)
+			rev := truth.Base * (1 + truth.Growth*fd) *
+				(1 + truth.WeekAmp*math.Sin(2*math.Pi*fd/7+truth.Phase))
+			if truth.PromoEvery > 0 && day%truth.PromoEvery == 0 && day > 0 {
+				rev *= truth.PromoMultiplier
+			}
+			rev *= 1 + cfg.Noise*rng.NormFloat64()
+			d.Store = append(d.Store, id)
+			d.Day = append(d.Day, fd)
+			d.Revenue = append(d.Revenue, rev)
+		}
+	}
+	return d
+}
+
+// Columns returns named float columns.
+func (d *RetailData) Columns() map[string][]float64 {
+	st := make([]float64, len(d.Store))
+	for i, s := range d.Store {
+		st[i] = float64(s)
+	}
+	return map[string][]float64{"store": st, "day": d.Day, "revenue": d.Revenue}
+}

@@ -1,0 +1,72 @@
+package synth
+
+import (
+	"datalaws/internal/expr"
+	"datalaws/internal/storage"
+	"datalaws/internal/table"
+)
+
+// LOFARTable materializes the dataset as the paper's three-column relational
+// table (source BIGINT, nu DOUBLE, intensity DOUBLE).
+func LOFARTable(name string, d *LOFARData) (*table.Table, error) {
+	schema, err := table.NewSchema(
+		table.ColumnDef{Name: "source", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "nu", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "intensity", Type: storage.TypeFloat64},
+	)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New(name, schema)
+	for i := range d.Source {
+		if err := t.AppendRow([]expr.Value{
+			expr.Int(d.Source[i]), expr.Float(d.Nu[i]), expr.Float(d.Intensity[i]),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SensorTable materializes sensor readings (sensor BIGINT, t DOUBLE,
+// temp DOUBLE).
+func SensorTable(name string, d *SensorData) (*table.Table, error) {
+	schema, err := table.NewSchema(
+		table.ColumnDef{Name: "sensor", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "t", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "temp", Type: storage.TypeFloat64},
+	)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New(name, schema)
+	for i := range d.Sensor {
+		if err := t.AppendRow([]expr.Value{
+			expr.Int(d.Sensor[i]), expr.Float(d.T[i]), expr.Float(d.Temp[i]),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// RetailTable materializes sales (store BIGINT, day DOUBLE, revenue DOUBLE).
+func RetailTable(name string, d *RetailData) (*table.Table, error) {
+	schema, err := table.NewSchema(
+		table.ColumnDef{Name: "store", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "day", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "revenue", Type: storage.TypeFloat64},
+	)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New(name, schema)
+	for i := range d.Store {
+		if err := t.AppendRow([]expr.Value{
+			expr.Int(d.Store[i]), expr.Float(d.Day[i]), expr.Float(d.Revenue[i]),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"datalaws/internal/storage"
+)
+
+// Binary table format:
+//
+//	magic "DLTB1" | uvarint(len name) name | uvarint ncols |
+//	  per column: uvarint(len name) name | uvarint(len frame) frame
+//
+// Column frames are storage.EncodeColumn output, so on-disk tables inherit
+// the lightweight encodings (delta, RLE, dictionary, XOR floats).
+
+var tableMagic = []byte("DLTB1")
+
+// WriteBinary serializes the table to w.
+func WriteBinary(t *Table, w io.Writer) error {
+	if _, err := w.Write(tableMagic); err != nil {
+		return err
+	}
+	if err := writeBytes(w, []byte(t.Name)); err != nil {
+		return err
+	}
+	cols := t.Schema().Cols
+	if err := writeUvarint(w, uint64(len(cols))); err != nil {
+		return err
+	}
+	for i, def := range cols {
+		if err := writeBytes(w, []byte(def.Name)); err != nil {
+			return err
+		}
+		frame := storage.EncodeColumn(t.ColumnAt(i))
+		if err := writeBytes(w, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary deserializes a table written by WriteBinary.
+func ReadBinary(r io.Reader) (*Table, error) {
+	magic := make([]byte, len(tableMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("table: reading magic: %w", err)
+	}
+	if string(magic) != string(tableMagic) {
+		return nil, fmt.Errorf("table: bad magic %q", magic)
+	}
+	nameB, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if ncols == 0 || ncols > 1<<16 {
+		return nil, fmt.Errorf("table: implausible column count %d", ncols)
+	}
+	defs := make([]ColumnDef, 0, ncols)
+	cols := make([]storage.Column, 0, ncols)
+	rows := -1
+	for i := uint64(0); i < ncols; i++ {
+		cn, err := readBytes(r)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := readBytes(r)
+		if err != nil {
+			return nil, err
+		}
+		col, err := storage.DecodeColumn(frame)
+		if err != nil {
+			return nil, fmt.Errorf("table: column %q: %w", cn, err)
+		}
+		if rows == -1 {
+			rows = col.Len()
+		} else if col.Len() != rows {
+			return nil, fmt.Errorf("table: column %q has %d rows, want %d", cn, col.Len(), rows)
+		}
+		defs = append(defs, ColumnDef{Name: string(cn), Type: col.Type()})
+		cols = append(cols, col)
+	}
+	schema, err := NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	t := New(string(nameB), schema)
+	t.cols = cols
+	if rows < 0 {
+		rows = 0
+	}
+	t.rows = rows
+	t.version = uint64(rows)
+	return t, nil
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	buf := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(buf, v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := writeUvarint(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+type byteReaderWrap struct{ r io.Reader }
+
+func (b byteReaderWrap) ReadByte() (byte, error) {
+	var one [1]byte
+	_, err := io.ReadFull(b.r, one[:])
+	return one[0], err
+}
+
+func readUvarint(r io.Reader) (uint64, error) {
+	if br, ok := r.(io.ByteReader); ok {
+		return binary.ReadUvarint(br)
+	}
+	return binary.ReadUvarint(byteReaderWrap{r})
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("table: implausible length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

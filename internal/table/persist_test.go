@@ -1,0 +1,92 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/storage"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s, err := NewSchema(
+		ColumnDef{Name: "source", Type: storage.TypeInt64},
+		ColumnDef{Name: "nu", Type: storage.TypeFloat64},
+		ColumnDef{Name: "label", Type: storage.TypeString},
+		ColumnDef{Name: "ok", Type: storage.TypeBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New("m", s)
+	tb.AppendRow([]expr.Value{expr.Int(1), expr.Float(0.12), expr.Str("pulsar"), expr.Bool(true)})
+	tb.AppendRow([]expr.Value{expr.Int(2), expr.Null(), expr.Str("quasar"), expr.Bool(false)})
+	tb.AppendRow([]expr.Value{expr.Int(3), expr.Float(0.18), expr.Null(), expr.Null()})
+
+	var buf bytes.Buffer
+	if err := WriteBinary(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "m" || back.NumRows() != 3 {
+		t.Fatalf("shape: %s %d", back.Name, back.NumRows())
+	}
+	for i := 0; i < 3; i++ {
+		a, b := tb.Row(i), back.Row(i)
+		for c := range a {
+			if a[c].IsNull() != b[c].IsNull() {
+				t.Fatalf("null mismatch row %d col %d", i, c)
+			}
+			if !a[c].IsNull() && !expr.Equal(a[c], b[c]) {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, a[c], b[c])
+			}
+		}
+	}
+	// Loaded table must accept further appends.
+	if err := back.AppendRow([]expr.Value{expr.Int(4), expr.Float(1), expr.Str("grb"), expr.Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 4 {
+		t.Fatal("append after load")
+	}
+}
+
+func TestBinaryEmptyTable(t *testing.T) {
+	s, _ := NewSchema(ColumnDef{Name: "a", Type: storage.TypeInt64})
+	tb := New("empty", s)
+	var buf bytes.Buffer
+	if err := WriteBinary(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+}
+
+func TestBinaryCorruption(t *testing.T) {
+	s, _ := NewSchema(ColumnDef{Name: "a", Type: storage.TypeInt64})
+	tb := New("x", s)
+	for i := 0; i < 10; i++ {
+		tb.AppendRow([]expr.Value{expr.Int(int64(i))})
+	}
+	var buf bytes.Buffer
+	WriteBinary(tb, &buf)
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("want error for truncated input")
+	}
+	bad := append([]byte("XXXXX"), b[5:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}

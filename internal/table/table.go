@@ -1,0 +1,317 @@
+// Package table provides the relational layer over columnar storage: schemas,
+// tables, a catalog, and CSV import/export. Tables are append-oriented (the
+// telescope keeps observing; §2 expects measurement counts to grow linearly
+// over time) and safe for concurrent readers with a single writer.
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/storage"
+)
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type storage.ColType
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Cols []ColumnDef
+}
+
+// NewSchema builds a schema, rejecting duplicate column names.
+func NewSchema(cols ...ColumnDef) (*Schema, error) {
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("table: empty column name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Schema{Cols: append([]ColumnDef(nil), cols...)}, nil
+}
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table is a relational table over typed columns.
+type Table struct {
+	Name   string
+	schema *Schema
+
+	mu      sync.RWMutex
+	cols    []storage.Column
+	rows    int
+	version uint64 // bumped on every append; model staleness detection
+}
+
+// New creates an empty table with the given schema.
+func New(name string, schema *Schema) *Table {
+	cols := make([]storage.Column, len(schema.Cols))
+	for i, c := range schema.Cols {
+		cols[i] = storage.NewColumn(c.Type)
+	}
+	return &Table{Name: name, schema: schema, cols: cols}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Version returns a counter that increases with every append. The model
+// store compares it against the version captured at fit time to detect the
+// paper's "data changes" staleness condition.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// AppendRow appends one row of boxed values matching the schema order.
+func (t *Table) AppendRow(vals []expr.Value) error {
+	if len(vals) != len(t.schema.Cols) {
+		return fmt.Errorf("table %s: row has %d values, schema has %d", t.Name, len(vals), len(t.schema.Cols))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, v := range vals {
+		if err := t.cols[i].AppendValue(v); err != nil {
+			// Roll back the partial row so columns stay aligned.
+			for j := 0; j < i; j++ {
+				rollbackLast(t.cols[j])
+			}
+			return fmt.Errorf("table %s, column %s: %w", t.Name, t.schema.Cols[i].Name, err)
+		}
+	}
+	t.rows++
+	t.version++
+	return nil
+}
+
+func rollbackLast(c storage.Column) {
+	switch col := c.(type) {
+	case *storage.Int64Column:
+		col.Vals = col.Vals[:len(col.Vals)-1]
+		nb := storage.NewBitmap(0)
+		for i := 0; i < len(col.Vals); i++ {
+			nb.Append(col.Nulls.Get(i))
+		}
+		col.Nulls = nb
+	case *storage.Float64Column:
+		col.Vals = col.Vals[:len(col.Vals)-1]
+		nb := storage.NewBitmap(0)
+		for i := 0; i < len(col.Vals); i++ {
+			nb.Append(col.Nulls.Get(i))
+		}
+		col.Nulls = nb
+	case *storage.StringColumn:
+		col.Codes = col.Codes[:len(col.Codes)-1]
+		nb := storage.NewBitmap(0)
+		for i := 0; i < len(col.Codes); i++ {
+			nb.Append(col.Nulls.Get(i))
+		}
+		col.Nulls = nb
+	case *storage.BoolColumn:
+		vb, nb := storage.NewBitmap(0), storage.NewBitmap(0)
+		for i := 0; i < col.Vals.Len()-1; i++ {
+			vb.Append(col.Vals.Get(i))
+			nb.Append(col.Nulls.Get(i))
+		}
+		col.Vals, col.Nulls = vb, nb
+	}
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) storage.Column {
+	i := t.schema.Index(name)
+	if i < 0 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[i]
+}
+
+// ColumnAt returns the column at position i.
+func (t *Table) ColumnAt(i int) storage.Column {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[i]
+}
+
+// Row materializes row i as boxed values.
+func (t *Table) Row(i int) []expr.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]expr.Value, len(t.cols))
+	for c, col := range t.cols {
+		out[c] = col.Value(i)
+	}
+	return out
+}
+
+// FloatColumn extracts the named column as []float64, coercing integers.
+// NULL entries and non-numeric columns yield an error: fitting needs
+// complete numeric data.
+func (t *Table) FloatColumn(name string) ([]float64, error) {
+	col := t.Column(name)
+	if col == nil {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	switch c := col.(type) {
+	case *storage.Float64Column:
+		if c.Nulls.Any() {
+			return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+		}
+		out := make([]float64, len(c.Vals))
+		copy(out, c.Vals)
+		return out, nil
+	case *storage.Int64Column:
+		if c.Nulls.Any() {
+			return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+		}
+		out := make([]float64, len(c.Vals))
+		for i, v := range c.Vals {
+			out[i] = float64(v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("table %s: column %q is not numeric", t.Name, name)
+}
+
+// IntColumn extracts the named column as []int64.
+func (t *Table) IntColumn(name string) ([]int64, error) {
+	col := t.Column(name)
+	if col == nil {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	c, ok := col.(*storage.Int64Column)
+	if !ok {
+		return nil, fmt.Errorf("table %s: column %q is not BIGINT", t.Name, name)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if c.Nulls.Any() {
+		return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+	}
+	out := make([]int64, len(c.Vals))
+	copy(out, c.Vals)
+	return out, nil
+}
+
+// RawSizeBytes estimates the in-memory footprint of the stored data, used
+// for the paper's Table 1 raw-vs-model size comparison.
+func (t *Table) RawSizeBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := 0
+	for _, col := range t.cols {
+		switch c := col.(type) {
+		case *storage.Int64Column:
+			total += 8 * len(c.Vals)
+		case *storage.Float64Column:
+			total += 8 * len(c.Vals)
+		case *storage.StringColumn:
+			total += 4 * len(c.Codes)
+			for _, s := range c.Dict {
+				total += len(s)
+			}
+		case *storage.BoolColumn:
+			total += (c.Len() + 7) / 8
+		}
+	}
+	return total
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// Create registers a new empty table; it fails on duplicate names.
+func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("table: %q already exists", name)
+	}
+	t := New(name, schema)
+	c.tables[name] = t
+	return t, nil
+}
+
+// Add registers an existing table.
+func (c *Catalog) Add(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[t.Name]; exists {
+		return fmt.Errorf("table: %q already exists", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Get looks up a table by name.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return false
+	}
+	delete(c.tables, name)
+	return true
+}
+
+// Names lists the registered table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

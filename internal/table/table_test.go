@@ -1,0 +1,236 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/storage"
+)
+
+func lofarSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		ColumnDef{Name: "source", Type: storage.TypeInt64},
+		ColumnDef{Name: "nu", Type: storage.TypeFloat64},
+		ColumnDef{Name: "intensity", Type: storage.TypeFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(ColumnDef{Name: "a"}, ColumnDef{Name: "a"}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if _, err := NewSchema(ColumnDef{Name: ""}); err == nil {
+		t.Fatal("want empty-name error")
+	}
+	s := lofarSchema(t)
+	if s.Index("nu") != 1 || s.Index("missing") != -1 {
+		t.Fatal("Index")
+	}
+	if got := s.Names(); got[0] != "source" || len(got) != 3 {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	tb := New("measurements", lofarSchema(t))
+	rows := [][]expr.Value{
+		{expr.Int(1), expr.Float(0.12), expr.Float(2.3)},
+		{expr.Int(1), expr.Float(0.15), expr.Float(2.1)},
+		{expr.Int(2), expr.Float(0.12), expr.Null()},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	got := tb.Row(1)
+	if got[0].I != 1 || got[1].F != 0.15 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	if !tb.Row(2)[2].IsNull() {
+		t.Fatal("NULL lost")
+	}
+}
+
+func TestAppendRowWrongArity(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	if err := tb.AppendRow([]expr.Value{expr.Int(1)}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestAppendRowTypeErrorRollsBack(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	err := tb.AppendRow([]expr.Value{expr.Int(1), expr.Str("bad"), expr.Float(1)})
+	if err == nil {
+		t.Fatal("want type error")
+	}
+	if tb.NumRows() != 0 {
+		t.Fatalf("rows = %d after failed append", tb.NumRows())
+	}
+	// Columns must stay aligned for subsequent appends.
+	if err := tb.AppendRow([]expr.Value{expr.Int(1), expr.Float(0.1), expr.Float(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Column("source").Len() != 1 || tb.Column("nu").Len() != 1 {
+		t.Fatal("columns misaligned after rollback")
+	}
+}
+
+func TestVersionBumpsOnAppend(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	v0 := tb.Version()
+	tb.AppendRow([]expr.Value{expr.Int(1), expr.Float(0.1), expr.Float(2)})
+	if tb.Version() <= v0 {
+		t.Fatal("version did not advance")
+	}
+}
+
+func TestFloatColumnExtraction(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	tb.AppendRow([]expr.Value{expr.Int(5), expr.Float(0.12), expr.Float(2.5)})
+	tb.AppendRow([]expr.Value{expr.Int(6), expr.Float(0.15), expr.Float(2.7)})
+	fs, err := tb.FloatColumn("nu")
+	if err != nil || len(fs) != 2 || fs[1] != 0.15 {
+		t.Fatalf("FloatColumn: %v %v", fs, err)
+	}
+	// Int column coerces.
+	fs, err = tb.FloatColumn("source")
+	if err != nil || fs[0] != 5 {
+		t.Fatalf("int coercion: %v %v", fs, err)
+	}
+	is, err := tb.IntColumn("source")
+	if err != nil || is[1] != 6 {
+		t.Fatalf("IntColumn: %v %v", is, err)
+	}
+	if _, err := tb.FloatColumn("missing"); err == nil {
+		t.Fatal("want missing-column error")
+	}
+	if _, err := tb.IntColumn("nu"); err == nil {
+		t.Fatal("want type error")
+	}
+}
+
+func TestFloatColumnRejectsNulls(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	tb.AppendRow([]expr.Value{expr.Int(1), expr.Null(), expr.Float(1)})
+	if _, err := tb.FloatColumn("nu"); err == nil {
+		t.Fatal("want NULL error")
+	}
+}
+
+func TestRawSizeBytes(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	for i := 0; i < 100; i++ {
+		tb.AppendRow([]expr.Value{expr.Int(int64(i)), expr.Float(0.1), expr.Float(2)})
+	}
+	// 3 columns × 8 bytes × 100 rows.
+	if got := tb.RawSizeBytes(); got != 2400 {
+		t.Fatalf("RawSizeBytes = %d, want 2400", got)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	s := lofarSchema(t)
+	tb, err := c.Create("m", s)
+	if err != nil || tb == nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("m", s); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	got, ok := c.Get("m")
+	if !ok || got != tb {
+		t.Fatal("Get")
+	}
+	if len(c.Names()) != 1 {
+		t.Fatal("Names")
+	}
+	if !c.Drop("m") || c.Drop("m") {
+		t.Fatal("Drop")
+	}
+	other := New("x", s)
+	if err := c.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(other); err == nil {
+		t.Fatal("want duplicate on Add")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "source,nu,intensity,label\n1,0.12,2.31,alpha\n2,0.15,,beta\n3,0.16,1.59,\n"
+	tb, err := ReadCSV("m", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	sch := tb.Schema()
+	if sch.Cols[0].Type != storage.TypeInt64 {
+		t.Fatalf("source type = %v", sch.Cols[0].Type)
+	}
+	if sch.Cols[1].Type != storage.TypeFloat64 {
+		t.Fatalf("nu type = %v", sch.Cols[1].Type)
+	}
+	if sch.Cols[3].Type != storage.TypeString {
+		t.Fatalf("label type = %v", sch.Cols[3].Type)
+	}
+	if !tb.Row(1)[2].IsNull() {
+		t.Fatal("empty field must be NULL")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("m2", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tb.NumRows() {
+		t.Fatal("row count changed")
+	}
+	for i := 0; i < 3; i++ {
+		a, b := tb.Row(i), back.Row(i)
+		for c := range a {
+			if a[c].IsNull() != b[c].IsNull() {
+				t.Fatalf("null mismatch row %d col %d", i, c)
+			}
+			if !a[c].IsNull() && !expr.Equal(a[c], b[c]) {
+				t.Fatalf("value mismatch row %d col %d: %v vs %v", i, c, a[c], b[c])
+			}
+		}
+	}
+}
+
+func TestCSVBoolInference(t *testing.T) {
+	in := "flag\ntrue\nfalse\ntrue\n"
+	tb, err := ReadCSV("f", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema().Cols[0].Type != storage.TypeBool {
+		t.Fatalf("type = %v", tb.Schema().Cols[0].Type)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("want error for ragged row")
+	}
+}

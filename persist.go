@@ -1,0 +1,78 @@
+package datalaws
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"datalaws/internal/table"
+)
+
+// SaveDir persists the engine to a directory: every table as a binary
+// column file (<name>.dltab, inheriting the lightweight column encodings)
+// and the captured model catalog as models.json with formulas in source
+// form. The directory is created if needed.
+func (e *Engine) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range e.Catalog.Names() {
+		t, ok := e.Catalog.Get(name)
+		if !ok {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, name+".dltab"))
+		if err != nil {
+			return err
+		}
+		if err := table.WriteBinary(t, f); err != nil {
+			f.Close()
+			return fmt.Errorf("datalaws: saving table %q: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "models.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.Models.Save(f)
+}
+
+// LoadDir restores an engine persisted with SaveDir into this engine.
+// Loaded names must not collide with existing tables or models.
+func (e *Engine) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".dltab") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return err
+		}
+		t, err := table.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("datalaws: loading %s: %w", ent.Name(), err)
+		}
+		if err := e.Catalog.Add(t); err != nil {
+			return err
+		}
+	}
+	mf, err := os.Open(filepath.Join(dir, "models.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer mf.Close()
+	return e.Models.Load(mf)
+}

@@ -1,0 +1,158 @@
+package datalaws
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"datalaws/internal/expr"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := loadLOFAR(t, 15, 40)
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	before := e.MustExec("APPROX SELECT intensity FROM measurements WHERE source = 3 AND nu = 0.16")
+
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine()
+	if err := e2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Tables restored.
+	tb, ok := e2.Catalog.Get("measurements")
+	if !ok {
+		t.Fatal("table missing after load")
+	}
+	orig, _ := e.Catalog.Get("measurements")
+	if tb.NumRows() != orig.NumRows() {
+		t.Fatalf("rows %d vs %d", tb.NumRows(), orig.NumRows())
+	}
+	// Models restored and usable: the same APPROX query works and agrees.
+	after := e2.MustExec("APPROX SELECT intensity FROM measurements WHERE source = 3 AND nu = 0.16")
+	if len(after.Rows) != 1 {
+		t.Fatalf("rows = %v", after.Rows)
+	}
+	if math.Abs(after.Rows[0][0].F-before.Rows[0][0].F) > 1e-9 {
+		t.Fatalf("approx answer drifted: %v vs %v", after.Rows[0][0], before.Rows[0][0])
+	}
+	// SHOW MODELS reports the loaded model.
+	show := e2.MustExec("SHOW MODELS")
+	if len(show.Rows) != 1 || show.Rows[0][0].S != "spectra" {
+		t.Fatalf("models = %v", show.Rows)
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	e := NewEngine()
+	if err := e.LoadDir("/nonexistent/path"); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+func TestLoadDirEmptyDirNoModels(t *testing.T) {
+	dir := t.TempDir()
+	e := NewEngine()
+	if err := e.LoadDir(dir); err != nil {
+		t.Fatalf("empty dir should load cleanly: %v", err)
+	}
+}
+
+func TestExplainExact(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	res := e.MustExec("EXPLAIN SELECT source, avg(intensity) FROM measurements WHERE nu > 0.1 GROUP BY source ORDER BY source LIMIT 3")
+	for _, want := range []string{"exact plan", "TableScan measurements", "Filter", "HashAggregate", "Sort", "Limit"} {
+		if !strings.Contains(res.Info, want) {
+			t.Fatalf("plan missing %q:\n%s", want, res.Info)
+		}
+	}
+}
+
+func TestExplainApprox(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	res := e.MustExec("EXPLAIN APPROX SELECT avg(intensity) FROM measurements WHERE nu = 0.12")
+	for _, want := range []string{"approximate plan", "ModelScan", "spectra", "zero IO"} {
+		if !strings.Contains(res.Info, want) {
+			t.Fatalf("plan missing %q:\n%s", want, res.Info)
+		}
+	}
+	if res.Model != "spectra" {
+		t.Fatalf("model = %q", res.Model)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Exec("EXPLAIN CREATE TABLE t (a BIGINT)"); err == nil {
+		t.Fatal("want error for EXPLAIN of DDL")
+	}
+}
+
+// TestConcurrentQueriesAndAppends exercises the table's reader/writer
+// locking: many goroutines query while one appends.
+func TestConcurrentQueriesAndAppends(t *testing.T) {
+	e, _ := loadLOFAR(t, 20, 40)
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	// This test exercises locking, not trust policy: the writer will blow
+	// far past the staleness bar, so disable staleness revocation.
+	e.AQP.Policy.MaxStalenessFrac = 0
+	tb, _ := e.Catalog.Get("measurements")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	stop := make(chan struct{})
+
+	// Writer: keeps appending rows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			if err := tb.AppendRow([]expr.Value{
+				expr.Int(int64(i%20 + 1)), expr.Float(0.15), expr.Float(2.0),
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+
+	// Readers: exact and approximate queries in flight.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.Exec("SELECT count(*), avg(intensity) FROM measurements WHERE nu = 0.15"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.Exec("APPROX SELECT intensity FROM measurements WHERE source = 5 AND nu = 0.12"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
