@@ -178,28 +178,168 @@ func BenchmarkFlateBaseline(b *testing.B) {
 	}
 }
 
-// --- T2b: zero-IO scan vs exact scan ---
+// --- T2b: zero-IO scan vs exact scan, row vs batch execution ---
+
+// execModes drives the row-vs-batch benchmark pairs: "batch" lowers to the
+// vectorized pipeline (the engine default), "row" forces the volcano path.
+var execModes = []struct {
+	name string
+	mode exec.Mode
+}{
+	{"batch", exec.ModeAuto},
+	{"row", exec.ModeRow},
+}
 
 func BenchmarkZeroIOScan(b *testing.B) {
-	e, _, _, _ := benchEngine(b, 1000, 0)
-	const q = "APPROX SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Exec(q); err != nil {
-			b.Fatal(err)
-		}
+	for _, m := range execModes {
+		b.Run(m.name, func(b *testing.B) {
+			e, _, _, _ := benchEngine(b, 1000, 0)
+			e.AQP.ExecMode = m.mode
+			const q = "APPROX SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkExactScanBaseline(b *testing.B) {
-	e, _, _, _ := benchEngine(b, 1000, 0)
-	const q = "SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Exec(q); err != nil {
-			b.Fatal(err)
-		}
+	for _, m := range execModes {
+		b.Run(m.name, func(b *testing.B) {
+			e, _, _, _ := benchEngine(b, 1000, 0)
+			e.ExecMode = m.mode
+			const q = "SELECT avg(intensity) FROM measurements WHERE nu = 0.12"
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+}
+
+// --- V1: vectorized operator microbenchmarks (filter, aggregate, project) ---
+
+func BenchmarkVectorizedFilterAggregate(b *testing.B) {
+	for _, m := range execModes {
+		b.Run(m.name, func(b *testing.B) {
+			e, tb, _, _ := benchEngine(b, 1000, 0)
+			e.ExecMode = m.mode
+			const q = "SELECT count(*), avg(intensity) FROM measurements WHERE nu < 0.13 AND intensity > 0.01"
+			b.SetBytes(int64(16 * tb.NumRows()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVectorizedGroupBy(b *testing.B) {
+	for _, m := range execModes {
+		b.Run(m.name, func(b *testing.B) {
+			e, tb, _, _ := benchEngine(b, 1000, 0)
+			e.ExecMode = m.mode
+			const q = "SELECT source, avg(intensity), max(intensity) FROM measurements GROUP BY source"
+			b.SetBytes(int64(16 * tb.NumRows()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVectorizedProjection(b *testing.B) {
+	for _, m := range execModes {
+		b.Run(m.name, func(b *testing.B) {
+			e, tb, _, _ := benchEngine(b, 200, 0)
+			e.ExecMode = m.mode
+			const q = "SELECT sum(intensity * 2.0 + nu / 0.12) FROM measurements"
+			b.SetBytes(int64(16 * tb.NumRows()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVectorizedModelScan measures the zero-IO scan operator itself:
+// the batch side consumes columnar batches natively (summing the predicted
+// output column), the row side pulls boxed rows — both regenerate and fold
+// the full 80k-row grid of the linear sensor model.
+func BenchmarkVectorizedModelScan(b *testing.B) {
+	_, m, doms := sensorModel(b, 4000)
+	rows := int64(20 * 4001)
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(16 * rows)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			scan, err := aqp.NewModelScan(m, doms, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vop, ok := scan.AsVectorOperator()
+			if !ok {
+				b.Fatal("model scan did not vectorize")
+			}
+			if err := vop.Open(); err != nil {
+				b.Fatal(err)
+			}
+			yhatCol := len(vop.Columns()) - 1
+			for {
+				batch, err := vop.NextBatch()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch == nil {
+					break
+				}
+				for _, y := range batch.Cols[yhatCol].F[:batch.NumRows()] {
+					sink += y
+				}
+			}
+			vop.Close()
+		}
+		_ = sink
+	})
+	b.Run("row", func(b *testing.B) {
+		b.SetBytes(16 * rows)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			scan, err := aqp.NewModelScan(m, doms, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := scan.Open(); err != nil {
+				b.Fatal(err)
+			}
+			yhatCol := len(scan.Columns()) - 1
+			for {
+				row, err := scan.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if row == nil {
+					break
+				}
+				sink += row[yhatCol].F
+			}
+			scan.Close()
+		}
+		_ = sink
+	})
 }
 
 // --- T2c: analytic vs enumerated aggregates ---

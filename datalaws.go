@@ -41,6 +41,10 @@ type Engine struct {
 	Models *modelstore.Store
 	// AQP configures the approximate query path.
 	AQP aqp.Options
+	// ExecMode selects batch (vectorized) or row execution for exact
+	// queries; the zero value lowers to the batch pipeline whenever
+	// possible. Approximate queries follow AQP.ExecMode.
+	ExecMode exec.Mode
 }
 
 // NewEngine returns an empty engine with default approximate-query options.
@@ -125,7 +129,7 @@ func (e *Engine) execSelect(s *sql.SelectStmt) (*Result, error) {
 			Hybrid:     plan.Hybrid,
 		}, nil
 	}
-	op, err := exec.BuildSelect(e.Catalog, s)
+	op, err := exec.BuildSelectOverMode(e.Catalog, s, nil, e.ExecMode)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +256,7 @@ func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
 		info += ")\n" + exec.PlanString(plan.Op)
 		return &Result{Info: info, Model: plan.Model.Spec.Name, ApproxGrid: plan.GridRows, Hybrid: plan.Hybrid}, nil
 	}
-	op, err := exec.BuildSelect(e.Catalog, s.Inner)
+	op, err := exec.BuildSelectOverMode(e.Catalog, s.Inner, nil, e.ExecMode)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,3 @@
+module datalaws
+
+go 1.24

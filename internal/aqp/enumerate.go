@@ -127,9 +127,24 @@ type ExactLegalSet struct {
 	set map[string]struct{}
 }
 
-// Contains implements LegalSet.
+// Contains implements LegalSet. The key is built on the stack (for up to 7
+// inputs) and the string conversion in the map probe is elided by the
+// compiler, so the model scan's per-combination legality check is
+// allocation-free and safe under concurrent scans sharing a cached set.
 func (s *ExactLegalSet) Contains(group int64, inputs []float64) bool {
-	_, ok := s.set[comboKey(group, inputs)]
+	var arr [64]byte
+	need := 8 + 8*len(inputs)
+	var b []byte
+	if need <= len(arr) {
+		b = arr[:need]
+	} else {
+		b = make([]byte, need)
+	}
+	putUint64(b, uint64(group))
+	for i, v := range inputs {
+		putUint64(b[8+8*i:], math.Float64bits(v))
+	}
+	_, ok := s.set[string(b)]
 	return ok
 }
 
@@ -150,9 +165,16 @@ type BloomLegalSet struct {
 	f *bloom.Filter
 }
 
-// Contains implements LegalSet.
+// Contains implements LegalSet, stack-allocating the hash parts for up to 7
+// inputs (see ExactLegalSet.Contains).
 func (s *BloomLegalSet) Contains(group int64, inputs []float64) bool {
-	parts := make([]uint64, 1+len(inputs))
+	var arr [8]uint64
+	var parts []uint64
+	if 1+len(inputs) <= len(arr) {
+		parts = arr[:1+len(inputs)]
+	} else {
+		parts = make([]uint64, 1+len(inputs))
+	}
 	parts[0] = uint64(group)
 	for i, v := range inputs {
 		parts[1+i] = math.Float64bits(v)

@@ -27,6 +27,9 @@ type Options struct {
 	AllowIllegal bool
 	// Cache memoizes domains and legal sets across queries (nil disables).
 	Cache *Cache
+	// ExecMode selects batch (vectorized) or row execution for the plan; the
+	// zero value lowers to the batch pipeline whenever possible.
+	ExecMode exec.Mode
 }
 
 // DefaultOptions are sensible defaults: exact legal set, 95 % intervals.
@@ -102,7 +105,7 @@ func BuildApproxSelect(cat *table.Catalog, store *modelstore.Store, st *sql.Sele
 		}}
 	}
 
-	op, err := exec.BuildSelectOver(cat, st, source)
+	op, err := exec.BuildSelectOverMode(cat, st, source, opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}

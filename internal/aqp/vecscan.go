@@ -1,0 +1,197 @@
+package aqp
+
+import (
+	"fmt"
+
+	"datalaws/internal/exec"
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+)
+
+// AsVectorOperator implements exec.Vectorizable: the plan lowering swaps the
+// row-at-a-time ModelScan for a batch implementation that evaluates the
+// captured model's formula over whole input-grid slices in one compiled
+// kernel pass — the paper's zero-IO scan at vectorized speed.
+func (s *ModelScan) AsVectorOperator() (exec.VectorOperator, bool) {
+	v, err := newVecModelScan(s)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// vecModelScan regenerates tuples from a captured model in columnar batches.
+// It enumerates the same (group, input-combination) odometer as ModelScan,
+// but fills input and parameter vectors for up to BatchSize legal rows and
+// evaluates the model once per batch through an expr.VecKernel, so batches
+// freely span group boundaries (fitted parameters ride along as per-row
+// vectors).
+type vecModelScan struct {
+	s    *ModelScan
+	kern expr.VecKernel
+
+	groupIdx int
+	comboIdx []int
+	done     bool
+
+	args     []expr.VecArg // np parameter vectors followed by ni input vectors
+	paramBuf [][]float64
+	inputBuf [][]float64
+	keyBuf   []int64
+	grpBuf   []*modelstore.GroupParams // per-row group, for error bounds
+	yhat     []float64
+	lo, hi   []float64
+	inputs   []float64 // one-row scratch for legality checks
+	batch    exec.Batch
+}
+
+func newVecModelScan(s *ModelScan) (*vecModelScan, error) {
+	model := s.Model.Model
+	np, ni := len(model.Params), len(model.Inputs)
+	index := make(map[string]int, np+ni)
+	for j, p := range model.Params {
+		index[p] = j
+	}
+	for j, in := range model.Inputs {
+		index[in] = np + j
+	}
+	kern, err := expr.CompileVec(model.RHS, index)
+	if err != nil {
+		return nil, fmt.Errorf("aqp: vectorizing model %s: %w", s.Model.Spec.Name, err)
+	}
+	return &vecModelScan{s: s, kern: kern}, nil
+}
+
+// Columns implements exec.VectorOperator.
+func (v *vecModelScan) Columns() []string { return v.s.Columns() }
+
+// Open implements exec.VectorOperator.
+func (v *vecModelScan) Open() error {
+	s := v.s
+	if s.Level == 0 {
+		s.Level = 0.95
+	}
+	model := s.Model.Model
+	np, ni := len(model.Params), len(model.Inputs)
+	v.groupIdx = 0
+	v.comboIdx = make([]int, len(s.Domains))
+	v.done = len(s.Model.Order) == 0
+	v.args = make([]expr.VecArg, np+ni)
+	v.paramBuf = make([][]float64, np)
+	for j := range v.paramBuf {
+		v.paramBuf[j] = make([]float64, exec.BatchSize)
+	}
+	v.inputBuf = make([][]float64, ni)
+	for j := range v.inputBuf {
+		v.inputBuf[j] = make([]float64, exec.BatchSize)
+	}
+	v.keyBuf = make([]int64, exec.BatchSize)
+	v.grpBuf = make([]*modelstore.GroupParams, exec.BatchSize)
+	v.yhat = make([]float64, exec.BatchSize)
+	if s.WithError {
+		v.lo = make([]float64, exec.BatchSize)
+		v.hi = make([]float64, exec.BatchSize)
+	}
+	v.inputs = make([]float64, ni)
+	// The row scan's Open never runs on this path, so initialize the shared
+	// state predictionInterval and RowsEmitted rely on.
+	s.grad = make([]float64, np)
+	s.rowsOut = 0
+	v.skipBadGroups()
+	return nil
+}
+
+func (v *vecModelScan) skipBadGroups() {
+	s := v.s
+	for v.groupIdx < len(s.Model.Order) {
+		key := s.Model.Order[v.groupIdx]
+		if g, ok := s.Model.Groups[key]; ok && g.OK() {
+			return
+		}
+		v.groupIdx++
+	}
+	v.done = true
+}
+
+// advance moves the (group, combo) cursor one step in odometer order,
+// exactly as the row scan does.
+func (v *vecModelScan) advance() {
+	s := v.s
+	for i := len(v.comboIdx) - 1; i >= 0; i-- {
+		v.comboIdx[i]++
+		if v.comboIdx[i] < len(s.Domains[i].Vals) {
+			return
+		}
+		v.comboIdx[i] = 0
+	}
+	v.groupIdx++
+	v.skipBadGroups()
+}
+
+// NextBatch implements exec.VectorOperator.
+func (v *vecModelScan) NextBatch() (*exec.Batch, error) {
+	s := v.s
+	model := s.Model.Model
+	np := len(model.Params)
+	n := 0
+	for n < exec.BatchSize && !v.done && v.groupIdx < len(s.Model.Order) {
+		key := s.Model.Order[v.groupIdx]
+		g := s.Model.Groups[key]
+		for i := range v.inputs {
+			v.inputs[i] = s.Domains[i].Vals[v.comboIdx[i]]
+		}
+		v.advance()
+		if s.Legal != nil && !s.Legal.Contains(key, v.inputs) {
+			continue
+		}
+		v.keyBuf[n] = key
+		v.grpBuf[n] = g
+		for j := 0; j < np; j++ {
+			v.paramBuf[j][n] = g.Params[j]
+		}
+		for j, x := range v.inputs {
+			v.inputBuf[j][n] = x
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	for j := 0; j < np; j++ {
+		v.args[j] = expr.VecArg{Vec: v.paramBuf[j]}
+	}
+	for j := range v.inputBuf {
+		v.args[np+j] = expr.VecArg{Vec: v.inputBuf[j]}
+	}
+	v.kern(n, v.args, v.yhat)
+	s.rowsOut += n
+
+	cols := make([]*exec.Vector, 0, len(v.Columns()))
+	if s.Model.Grouped() {
+		cols = append(cols, &exec.Vector{Kind: expr.KindInt, I: v.keyBuf[:n]})
+	}
+	for j := range v.inputBuf {
+		cols = append(cols, &exec.Vector{Kind: expr.KindFloat, F: v.inputBuf[j][:n]})
+	}
+	cols = append(cols, &exec.Vector{Kind: expr.KindFloat, F: v.yhat[:n]})
+	if s.WithError {
+		for i := 0; i < n; i++ {
+			for j := range v.inputBuf {
+				v.inputs[j] = v.inputBuf[j][i]
+			}
+			lo, hi := s.predictionInterval(v.grpBuf[i], v.inputs, v.yhat[i])
+			v.lo[i], v.hi[i] = lo, hi
+		}
+		cols = append(cols,
+			&exec.Vector{Kind: expr.KindFloat, F: v.lo[:n]},
+			&exec.Vector{Kind: expr.KindFloat, F: v.hi[:n]})
+	}
+	v.batch = exec.Batch{N: n, Cols: cols}
+	return &v.batch, nil
+}
+
+// Close implements exec.VectorOperator.
+func (v *vecModelScan) Close() error { return nil }
+
+// ExplainInfo mirrors the row scan's EXPLAIN rendering.
+func (v *vecModelScan) ExplainInfo() string { return "Vec" + v.s.ExplainInfo() }

@@ -107,6 +107,20 @@ func (st *aggState) update(kind AggKind, v expr.Value) error {
 	return nil
 }
 
+// addFloat is update for a known-numeric non-NULL argument: the vectorized
+// aggregate calls it with raw floats, skipping the boxing and coercion of
+// the generic path. Only valid for COUNT/SUM/AVG/VAR/STDDEV.
+func (st *aggState) addFloat(kind AggKind, f float64) {
+	st.count++
+	if kind == AggCount {
+		return
+	}
+	st.sum += f
+	d := f - st.mean
+	st.mean += d / float64(st.count)
+	st.m2 += d * (f - st.mean)
+}
+
 func (st *aggState) final(kind AggKind) expr.Value {
 	switch kind {
 	case AggCount:
@@ -186,6 +200,14 @@ func (h *HashAggregate) Open() error {
 	h.groups = nil
 	h.pos = 0
 	env := newRowEnv(h.Child.Columns())
+	if err := env.resolve(h.GroupExprs...); err != nil {
+		return err
+	}
+	for _, spec := range h.Aggs {
+		if err := env.resolve(spec.Arg); err != nil {
+			return err
+		}
+	}
 	index := map[string]*aggGroup{}
 	var order []*aggGroup
 	for {

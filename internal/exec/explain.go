@@ -57,6 +57,47 @@ func writePlan(sb *strings.Builder, op Operator, depth int) {
 	case *sliceOp:
 		fmt.Fprintf(sb, "%sStripHiddenColumns keep=%d\n", indent, o.N)
 		writePlan(sb, o.Child, depth+1)
+	case *rowAdapter:
+		fmt.Fprintf(sb, "%sVectorized\n", indent)
+		writeVecPlan(sb, o.V, depth+1)
+	default:
+		if ex, ok := op.(Explainer); ok {
+			fmt.Fprintf(sb, "%s%s\n", indent, ex.ExplainInfo())
+			return
+		}
+		fmt.Fprintf(sb, "%s%T\n", indent, op)
+	}
+}
+
+// writeVecPlan renders the batch pipeline below a row adapter.
+func writeVecPlan(sb *strings.Builder, op VectorOperator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch o := op.(type) {
+	case *VecTableScan:
+		fmt.Fprintf(sb, "%sVecTableScan %s (%d rows)\n", indent, o.Table.Name, o.Table.NumRows())
+	case *VecValuesScan:
+		fmt.Fprintf(sb, "%sVecValuesScan (%d rows)\n", indent, len(o.Rows))
+	case *VecFilter:
+		fmt.Fprintf(sb, "%sVecFilter %s\n", indent, o.Pred)
+		writeVecPlan(sb, o.Child, depth+1)
+	case *VecProject:
+		fmt.Fprintf(sb, "%sVecProject %s\n", indent, strings.Join(o.Names, ", "))
+		writeVecPlan(sb, o.Child, depth+1)
+	case *VecHashAggregate:
+		var parts []string
+		for _, g := range o.GroupExprs {
+			parts = append(parts, g.String())
+		}
+		fmt.Fprintf(sb, "%sVecHashAggregate group=[%s] aggs=%d\n", indent, strings.Join(parts, ", "), len(o.Aggs))
+		writeVecPlan(sb, o.Child, depth+1)
+	case *VecConcat:
+		fmt.Fprintf(sb, "%sVecConcat (%d children)\n", indent, len(o.Children))
+		for _, c := range o.Children {
+			writeVecPlan(sb, c, depth+1)
+		}
+	case *batchAdapter:
+		fmt.Fprintf(sb, "%sRowSource\n", indent)
+		writePlan(sb, o.Op, depth+1)
 	default:
 		if ex, ok := op.(Explainer); ok {
 			fmt.Fprintf(sb, "%s%s\n", indent, ex.ExplainInfo())

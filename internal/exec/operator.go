@@ -7,11 +7,17 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"datalaws/internal/expr"
 )
+
+// ErrAmbiguous marks ambiguous-column resolution failures so operators can
+// distinguish them from merely unknown names (which may be legitimate
+// eval-time errors) and surface them at Open time.
+var ErrAmbiguous = errors.New("ambiguous column")
 
 // Row is one tuple of boxed values.
 type Row []expr.Value
@@ -44,7 +50,7 @@ func ResolveColumn(cols []string, name string) (int, error) {
 		for i, c := range cols {
 			if idx := strings.LastIndexByte(c, '.'); idx >= 0 && c[idx+1:] == name {
 				if found >= 0 {
-					return 0, fmt.Errorf("exec: ambiguous column %q (matches %q and %q)", name, cols[found], c)
+					return 0, fmt.Errorf("exec: %w %q (matches %q and %q)", ErrAmbiguous, name, cols[found], c)
 				}
 				found = i
 			}
@@ -66,6 +72,34 @@ type rowEnv struct {
 
 func newRowEnv(cols []string) *rowEnv {
 	return &rowEnv{cols: cols, cache: map[string]int{}}
+}
+
+// resolve pre-resolves every identifier the given expressions reference, so
+// hot loops never call ResolveColumn and ambiguous columns error at Open
+// time instead of surfacing as "unknown identifier" on the first row.
+// Unknown names stay lazily reported (some, like aggregate placeholders,
+// are legal eval-time errors).
+func (e *rowEnv) resolve(exprs ...expr.Expr) error {
+	for _, ex := range exprs {
+		if ex == nil {
+			continue
+		}
+		for _, name := range expr.Vars(ex) {
+			if _, ok := e.cache[name]; ok {
+				continue
+			}
+			i, err := ResolveColumn(e.cols, name)
+			if err != nil {
+				if errors.Is(err, ErrAmbiguous) {
+					return err
+				}
+				e.cache[name] = -1
+				continue
+			}
+			e.cache[name] = i
+		}
+	}
+	return nil
 }
 
 func (e *rowEnv) bind(row Row) { e.row = row }

@@ -21,6 +21,9 @@ func (f *Filter) Columns() []string { return f.Child.Columns() }
 // Open implements Operator.
 func (f *Filter) Open() error {
 	f.env = newRowEnv(f.Child.Columns())
+	if err := f.env.resolve(f.Pred); err != nil {
+		return err
+	}
 	return f.Child.Open()
 }
 
@@ -63,6 +66,9 @@ func (p *Project) Open() error {
 		return fmt.Errorf("exec: project has %d exprs, %d names", len(p.Exprs), len(p.Names))
 	}
 	p.env = newRowEnv(p.Child.Columns())
+	if err := p.env.resolve(p.Exprs...); err != nil {
+		return err
+	}
 	return p.Child.Open()
 }
 

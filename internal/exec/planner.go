@@ -13,8 +13,11 @@ import (
 //
 //	scan → joins → filter → [aggregate → having] → project(+order keys)
 //	     → sort → strip order keys → limit
+//
+// and then onto the batch pipeline where the operators support it
+// (ModeAuto).
 func BuildSelect(cat *table.Catalog, st *sql.SelectStmt) (Operator, error) {
-	return BuildSelectOver(cat, st, nil)
+	return BuildSelectOverMode(cat, st, nil, ModeAuto)
 }
 
 // BuildSelectOver is BuildSelect with the FROM-table scan replaced by an
@@ -22,6 +25,12 @@ func BuildSelect(cat *table.Catalog, st *sql.SelectStmt) (Operator, error) {
 // layer uses this to substitute a model scan for the raw table scan while
 // reusing the full relational pipeline on top (§4.2 zero-IO scans).
 func BuildSelectOver(cat *table.Catalog, st *sql.SelectStmt, source Operator) (Operator, error) {
+	return BuildSelectOverMode(cat, st, source, ModeAuto)
+}
+
+// BuildSelectOverMode is BuildSelectOver with explicit control over row
+// versus batch lowering; ModeRow skips vectorization entirely.
+func BuildSelectOverMode(cat *table.Catalog, st *sql.SelectStmt, source Operator, mode Mode) (Operator, error) {
 	base, err := buildFrom(cat, st, source)
 	if err != nil {
 		return nil, err
@@ -110,6 +119,9 @@ func BuildSelectOver(cat *table.Catalog, st *sql.SelectStmt, source Operator) (O
 	}
 	if st.Limit >= 0 {
 		op = &Limit{Child: op, N: st.Limit}
+	}
+	if mode != ModeRow {
+		op = Lower(op)
 	}
 	return op, nil
 }

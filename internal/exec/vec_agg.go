@@ -1,0 +1,254 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+
+	"datalaws/internal/expr"
+)
+
+// VecHashAggregate is the vectorized HashAggregate: group keys and aggregate
+// arguments are evaluated once per batch through compiled kernels (no
+// per-row expression trees, no per-identifier map lookups), then folded into
+// the same aggState machinery as the row operator so results match exactly.
+// Output columns are "$grp0…" followed by "$agg0…", like HashAggregate.
+type VecHashAggregate struct {
+	Child      VectorOperator
+	GroupExprs []expr.Expr
+	Aggs       []AggSpec
+
+	cols       []string
+	groupKerns []kernelFn
+	argKerns   []kernelFn
+	groups     []*aggGroup
+	pos        int
+}
+
+// Columns implements VectorOperator.
+func (h *VecHashAggregate) Columns() []string {
+	if h.cols == nil {
+		cols := make([]string, 0, len(h.GroupExprs)+len(h.Aggs))
+		for i := range h.GroupExprs {
+			cols = append(cols, fmt.Sprintf("$grp%d", i))
+		}
+		for i := range h.Aggs {
+			cols = append(cols, fmt.Sprintf("$agg%d", i))
+		}
+		h.cols = cols
+	}
+	return h.cols
+}
+
+// Open implements VectorOperator: it fully consumes the child and builds the
+// groups.
+func (h *VecHashAggregate) Open() error {
+	childCols := h.Child.Columns()
+	h.groupKerns = make([]kernelFn, len(h.GroupExprs))
+	for i, g := range h.GroupExprs {
+		k, err := compileKernel(g, childCols)
+		if err != nil {
+			return fmt.Errorf("exec: GROUP BY: %w", err)
+		}
+		h.groupKerns[i] = k
+	}
+	h.argKerns = make([]kernelFn, len(h.Aggs))
+	for i, spec := range h.Aggs {
+		if spec.Arg == nil {
+			continue // COUNT(*) needs no argument kernel
+		}
+		k, err := compileKernel(spec.Arg, childCols)
+		if err != nil {
+			return fmt.Errorf("exec: aggregate arg: %w", err)
+		}
+		h.argKerns[i] = k
+	}
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	h.groups = nil
+	h.pos = 0
+
+	index := map[string]*aggGroup{}
+	var order []*aggGroup
+	keyVecs := make([]*Vector, len(h.groupKerns))
+	argVecs := make([]*Vector, len(h.Aggs))
+	var kb []byte
+	for {
+		b, err := h.Child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		sel := b.selection()
+		for i, k := range h.groupKerns {
+			v, err := k(b, sel)
+			if err != nil {
+				return fmt.Errorf("exec: GROUP BY: %w", err)
+			}
+			keyVecs[i] = v
+		}
+		for i, k := range h.argKerns {
+			if k == nil {
+				continue
+			}
+			v, err := k(b, sel)
+			if err != nil {
+				return fmt.Errorf("exec: aggregate arg: %w", err)
+			}
+			argVecs[i] = v
+		}
+		if len(h.groupKerns) == 0 {
+			// Global aggregation: one group, no key building.
+			if len(order) == 0 {
+				grp := &aggGroup{states: make([]aggState, len(h.Aggs))}
+				order = append(order, grp)
+			}
+			if err := h.updateGroup(order[0], argVecs, sel); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, i := range sel {
+			kb = kb[:0]
+			for _, kv := range keyVecs {
+				kb = appendKeyEntry(kb, kv, i)
+				kb = append(kb, 0)
+			}
+			grp, ok := index[string(kb)]
+			if !ok {
+				key := make([]expr.Value, len(keyVecs))
+				for j, kv := range keyVecs {
+					key[j] = kv.Value(i)
+				}
+				grp = &aggGroup{key: key, states: make([]aggState, len(h.Aggs))}
+				index[string(kb)] = grp
+				order = append(order, grp)
+			}
+			for a, spec := range h.Aggs {
+				var v expr.Value
+				if spec.Arg == nil {
+					v = expr.Int(1)
+				} else {
+					v = argVecs[a].Value(i)
+				}
+				if err := grp.states[a].update(spec.Kind, v); err != nil {
+					return fmt.Errorf("exec: aggregate: %w", err)
+				}
+			}
+		}
+	}
+	// A global aggregate over zero rows still yields one output row.
+	if len(order) == 0 && len(h.GroupExprs) == 0 {
+		order = append(order, &aggGroup{states: make([]aggState, len(h.Aggs))})
+	}
+	h.groups = order
+	return nil
+}
+
+// updateGroup folds a batch's aggregate argument vectors into one group's
+// states using bulk/typed paths where possible.
+func (h *VecHashAggregate) updateGroup(grp *aggGroup, argVecs []*Vector, sel []int) error {
+	for a, spec := range h.Aggs {
+		st := &grp.states[a]
+		if spec.Arg == nil {
+			// COUNT(*): every selected row counts, no per-row work.
+			st.count += int64(len(sel))
+			continue
+		}
+		v := argVecs[a]
+		switch {
+		case v.Kind == expr.KindFloat && isNumericAgg(spec.Kind):
+			for _, i := range sel {
+				if v.Null != nil && v.Null[i] {
+					continue
+				}
+				st.addFloat(spec.Kind, v.F[i])
+			}
+		case v.Kind == expr.KindInt && isNumericAgg(spec.Kind):
+			for _, i := range sel {
+				if v.Null != nil && v.Null[i] {
+					continue
+				}
+				st.addFloat(spec.Kind, float64(v.I[i]))
+			}
+		default:
+			for _, i := range sel {
+				if err := st.update(spec.Kind, v.Value(i)); err != nil {
+					return fmt.Errorf("exec: aggregate: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isNumericAgg reports whether the aggregate folds through addFloat (COUNT,
+// SUM, AVG, VAR, STDDEV — MIN/MAX preserve the argument's kind and go
+// through the boxed path).
+func isNumericAgg(k AggKind) bool {
+	switch k {
+	case AggCount, AggSum, AggAvg, AggVar, AggStdDev:
+		return true
+	}
+	return false
+}
+
+// appendKeyEntry renders one group-key entry exactly as Value.String() does
+// so batch and row grouping agree byte-for-byte.
+func appendKeyEntry(kb []byte, v *Vector, i int) []byte {
+	if v.IsNull(i) {
+		return append(kb, "NULL"...)
+	}
+	switch v.Kind {
+	case expr.KindInt:
+		return strconv.AppendInt(kb, v.I[i], 10)
+	case expr.KindFloat:
+		return strconv.AppendFloat(kb, v.F[i], 'g', -1, 64)
+	case expr.KindString:
+		return strconv.AppendQuote(kb, v.S[i])
+	case expr.KindBool:
+		if v.B[i] {
+			return append(kb, "TRUE"...)
+		}
+		return append(kb, "FALSE"...)
+	}
+	return append(kb, v.Value(i).String()...)
+}
+
+// NextBatch implements VectorOperator, emitting the grouped results.
+func (h *VecHashAggregate) NextBatch() (*Batch, error) {
+	if h.pos >= len(h.groups) {
+		return nil, nil
+	}
+	lo := h.pos
+	hi := lo + BatchSize
+	if hi > len(h.groups) {
+		hi = len(h.groups)
+	}
+	h.pos = hi
+	n := hi - lo
+	ng := len(h.GroupExprs)
+	b := &Batch{N: n, Cols: make([]*Vector, ng+len(h.Aggs))}
+	vals := make([]expr.Value, n)
+	for c := 0; c < ng; c++ {
+		for i := 0; i < n; i++ {
+			vals[i] = h.groups[lo+i].key[c]
+		}
+		b.Cols[c] = vectorFromValues(vals)
+	}
+	for a, spec := range h.Aggs {
+		for i := 0; i < n; i++ {
+			vals[i] = h.groups[lo+i].states[a].final(spec.Kind)
+		}
+		b.Cols[ng+a] = vectorFromValues(vals)
+	}
+	return b, nil
+}
+
+// Close implements VectorOperator.
+func (h *VecHashAggregate) Close() error {
+	h.groups = nil
+	return h.Child.Close()
+}

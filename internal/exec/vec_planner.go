@@ -1,0 +1,163 @@
+package exec
+
+// Mode selects how BuildSelect lowers a plan.
+type Mode uint8
+
+const (
+	// ModeAuto lowers a plan onto the batch (vectorized) pipeline when every
+	// operator in a subtree supports it and falls back to row-at-a-time
+	// execution otherwise.
+	//
+	// Batch execution evaluates expressions over whole batches (up to
+	// BatchSize rows) before downstream operators consume them, so — as in
+	// other vectorized engines — a runtime expression error (e.g. division
+	// by zero) is raised even when early termination such as LIMIT would
+	// have stopped a row-at-a-time plan before reaching the offending row.
+	// Errors guarded by a preceding WHERE are unaffected: filters narrow
+	// the selection before later kernels run.
+	ModeAuto Mode = iota
+	// ModeRow forces row-at-a-time execution; used for differential testing
+	// and row-vs-batch benchmarks.
+	ModeRow
+)
+
+// Vectorizable lets operators defined outside this package (e.g. the aqp
+// model scan) provide a vectorized implementation that the plan lowering
+// can pick up.
+type Vectorizable interface {
+	AsVectorOperator() (VectorOperator, bool)
+}
+
+// Lower rewrites an operator tree so that every maximal vectorizable
+// subtree executes in batch mode behind a row adapter. Operators with no
+// vectorized implementation (sort, limit, join) keep their row form and
+// pull from the adapters; plans with no vectorizable parts come back
+// unchanged.
+func Lower(op Operator) Operator {
+	// Pass-through tops: lower underneath, keep the row operator.
+	switch o := op.(type) {
+	case *Limit:
+		o.Child = Lower(o.Child)
+		return o
+	case *Sort:
+		o.Child = Lower(o.Child)
+		return o
+	case *sliceOp:
+		o.Child = Lower(o.Child)
+		return o
+	}
+	if vop, ok := vectorize(op); ok {
+		return NewRowAdapter(vop)
+	}
+	// The operator itself cannot vectorize (unsupported expression, join,
+	// …): still lower its inputs so any vectorizable subtree underneath
+	// runs in batch mode.
+	switch o := op.(type) {
+	case *Filter:
+		o.Child = Lower(o.Child)
+	case *Project:
+		o.Child = Lower(o.Child)
+	case *HashAggregate:
+		o.Child = Lower(o.Child)
+	case *HashJoin:
+		o.Left = Lower(o.Left)
+		o.Right = Lower(o.Right)
+	case *Concat:
+		for i, c := range o.Children {
+			o.Children[i] = Lower(c)
+		}
+	}
+	return op
+}
+
+// vectorize converts a row operator subtree into its vectorized counterpart,
+// reporting false when any operator or expression in the subtree has no
+// batch implementation.
+func vectorize(op Operator) (VectorOperator, bool) {
+	switch o := op.(type) {
+	case *TableScan:
+		return NewVecTableScan(o.Table), true
+	case *ValuesScan:
+		return &VecValuesScan{Cols: o.Cols, Rows: o.Rows}, true
+	case *Filter:
+		child, ok := vectorize(o.Child)
+		if !ok {
+			return nil, false
+		}
+		if _, err := compileKernel(o.Pred, child.Columns()); err != nil {
+			return nil, false
+		}
+		return &VecFilter{Child: child, Pred: o.Pred}, true
+	case *Project:
+		child, ok := vectorize(o.Child)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range o.Exprs {
+			if _, err := compileKernel(e, child.Columns()); err != nil {
+				return nil, false
+			}
+		}
+		return &VecProject{Child: child, Exprs: o.Exprs, Names: o.Names}, true
+	case *HashAggregate:
+		child, ok := vectorize(o.Child)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range o.GroupExprs {
+			if _, err := compileKernel(e, child.Columns()); err != nil {
+				return nil, false
+			}
+		}
+		for _, spec := range o.Aggs {
+			if spec.Arg == nil {
+				continue
+			}
+			if _, err := compileKernel(spec.Arg, child.Columns()); err != nil {
+				return nil, false
+			}
+		}
+		return &VecHashAggregate{Child: child, GroupExprs: o.GroupExprs, Aggs: o.Aggs}, true
+	case *Concat:
+		children := make([]VectorOperator, len(o.Children))
+		any := false
+		for i, c := range o.Children {
+			if v, ok := vectorize(c); ok {
+				children[i] = v
+				any = true
+			}
+		}
+		if !any {
+			return nil, false
+		}
+		// Row-only children ride along behind the row→batch shim so a
+		// hybrid plan (model scan ∪ raw scan) still runs vectorized.
+		for i, c := range children {
+			if c == nil {
+				children[i] = NewBatchAdapter(o.Children[i])
+			}
+		}
+		return &VecConcat{Children: children}, true
+	}
+	if v, ok := op.(Vectorizable); ok {
+		return v.AsVectorOperator()
+	}
+	return nil, false
+}
+
+// Vectorized reports whether a lowered plan executes its pipeline in batch
+// mode (possibly under row-mode sort/limit/strip wrappers). Exposed for
+// tests and EXPLAIN consumers.
+func Vectorized(op Operator) bool {
+	switch o := op.(type) {
+	case *Limit:
+		return Vectorized(o.Child)
+	case *Sort:
+		return Vectorized(o.Child)
+	case *sliceOp:
+		return Vectorized(o.Child)
+	case *rowAdapter:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,480 @@
+package exec
+
+import (
+	"fmt"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/storage"
+	"datalaws/internal/table"
+)
+
+// VectorOperator is the batch analogue of Operator: a pull iterator over
+// columnar batches. A returned batch (including its vectors) is only valid
+// until the next NextBatch or Close call on the producing operator, and the
+// consumer may set Sel on a batch it received.
+type VectorOperator interface {
+	Columns() []string
+	Open() error
+	// NextBatch returns the next batch, or nil at end of input.
+	NextBatch() (*Batch, error)
+	Close() error
+}
+
+// VecTableScan reads a base table in batches whose int/float vectors are
+// zero-copy views straight off the storage columns — no per-row boxing, no
+// table.Row materialization. Like TableScan it snapshots the row count (and
+// the column slice headers) at Open so concurrent appends do not tear the
+// scan.
+type VecTableScan struct {
+	Table *table.Table
+
+	cols     []string
+	src      []vecColSrc
+	n, pos   int
+	batch    Batch
+	nullBufs [][]bool
+	strBufs  [][]string
+	boolBufs [][]bool
+}
+
+// vecColSrc is the Open-time snapshot of one storage column: typed slice
+// headers plus the null bitmap, enough to emit batch windows without going
+// back through the Column interface.
+type vecColSrc struct {
+	kind  expr.Kind
+	i64   []int64
+	f64   []float64
+	codes []uint32
+	dict  []string
+	bools *storage.Bitmap
+	nulls *storage.Bitmap
+}
+
+// NewVecTableScan builds a vectorized scan over t with qualified output
+// columns.
+func NewVecTableScan(t *table.Table) *VecTableScan {
+	names := t.Schema().Names()
+	cols := make([]string, len(names))
+	for i, n := range names {
+		cols[i] = t.Name + "." + n
+	}
+	return &VecTableScan{Table: t, cols: cols}
+}
+
+// Columns implements VectorOperator.
+func (s *VecTableScan) Columns() []string { return s.cols }
+
+// Open implements VectorOperator.
+func (s *VecTableScan) Open() error {
+	if s.Table == nil {
+		return fmt.Errorf("exec: scan over nil table")
+	}
+	s.n = s.Table.NumRows()
+	s.pos = 0
+	nc := len(s.cols)
+	s.src = make([]vecColSrc, nc)
+	for i := 0; i < nc; i++ {
+		switch tc := s.Table.ColumnAt(i).(type) {
+		case *storage.Int64Column:
+			s.src[i] = vecColSrc{kind: expr.KindInt, i64: tc.Vals, nulls: tc.Nulls}
+		case *storage.Float64Column:
+			s.src[i] = vecColSrc{kind: expr.KindFloat, f64: tc.Vals, nulls: tc.Nulls}
+		case *storage.StringColumn:
+			s.src[i] = vecColSrc{kind: expr.KindString, codes: tc.Codes, dict: tc.Dict, nulls: tc.Nulls}
+		case *storage.BoolColumn:
+			s.src[i] = vecColSrc{kind: expr.KindBool, bools: tc.Vals, nulls: tc.Nulls}
+		default:
+			return fmt.Errorf("exec: cannot vectorize column type %T", tc)
+		}
+	}
+	s.batch.Cols = make([]*Vector, nc)
+	for i := range s.batch.Cols {
+		s.batch.Cols[i] = &Vector{}
+	}
+	s.nullBufs = make([][]bool, nc)
+	s.strBufs = make([][]string, nc)
+	s.boolBufs = make([][]bool, nc)
+	return nil
+}
+
+// NextBatch implements VectorOperator.
+func (s *VecTableScan) NextBatch() (*Batch, error) {
+	if s.pos >= s.n {
+		return nil, nil
+	}
+	lo := s.pos
+	hi := lo + BatchSize
+	if hi > s.n {
+		hi = s.n
+	}
+	s.pos = hi
+	n := hi - lo
+	b := &s.batch
+	b.N = n
+	b.Sel = nil
+	for c := range s.src {
+		src := &s.src[c]
+		v := b.Cols[c]
+		*v = Vector{Kind: src.kind, Null: s.nullSlice(c, src.nulls, lo, n)}
+		switch src.kind {
+		case expr.KindInt:
+			v.I = src.i64[lo:hi]
+		case expr.KindFloat:
+			v.F = src.f64[lo:hi]
+		case expr.KindString:
+			if cap(s.strBufs[c]) < n {
+				s.strBufs[c] = make([]string, BatchSize)
+			}
+			buf := s.strBufs[c][:n]
+			for i := 0; i < n; i++ {
+				if v.Null == nil || !v.Null[i] {
+					buf[i] = src.dict[src.codes[lo+i]]
+				}
+			}
+			v.S = buf
+		case expr.KindBool:
+			if cap(s.boolBufs[c]) < n {
+				s.boolBufs[c] = make([]bool, BatchSize)
+			}
+			buf := s.boolBufs[c][:n]
+			for i := 0; i < n; i++ {
+				buf[i] = src.bools.Get(lo + i)
+			}
+			v.B = buf
+		}
+	}
+	return b, nil
+}
+
+// nullSlice materializes the [lo, lo+n) window of a null bitmap into a bool
+// slice, returning nil when the whole column is null-free.
+func (s *VecTableScan) nullSlice(c int, bm *storage.Bitmap, lo, n int) []bool {
+	if bm == nil || !bm.Any() {
+		return nil
+	}
+	if cap(s.nullBufs[c]) < n {
+		s.nullBufs[c] = make([]bool, BatchSize)
+	}
+	buf := s.nullBufs[c][:n]
+	for i := 0; i < n; i++ {
+		buf[i] = bm.Get(lo + i)
+	}
+	return buf
+}
+
+// Close implements VectorOperator.
+func (s *VecTableScan) Close() error { return nil }
+
+// VecValuesScan replays pre-materialized boxed rows in batches.
+type VecValuesScan struct {
+	Cols []string
+	Rows []Row
+	pos  int
+}
+
+// Columns implements VectorOperator.
+func (s *VecValuesScan) Columns() []string { return s.Cols }
+
+// Open implements VectorOperator.
+func (s *VecValuesScan) Open() error { s.pos = 0; return nil }
+
+// NextBatch implements VectorOperator.
+func (s *VecValuesScan) NextBatch() (*Batch, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, nil
+	}
+	lo := s.pos
+	hi := lo + BatchSize
+	if hi > len(s.Rows) {
+		hi = len(s.Rows)
+	}
+	s.pos = hi
+	return batchFromRows(s.Rows[lo:hi], len(s.Cols)), nil
+}
+
+// Close implements VectorOperator.
+func (s *VecValuesScan) Close() error { return nil }
+
+// batchFromRows transposes boxed rows into a columnar batch.
+func batchFromRows(rows []Row, ncols int) *Batch {
+	b := &Batch{N: len(rows), Cols: make([]*Vector, ncols)}
+	vals := make([]expr.Value, len(rows))
+	for c := 0; c < ncols; c++ {
+		for i, r := range rows {
+			vals[i] = r[c]
+		}
+		b.Cols[c] = vectorFromValues(vals)
+	}
+	return b
+}
+
+// VecFilter applies a compiled predicate kernel and narrows the batch's
+// selection vector — surviving rows are never copied.
+type VecFilter struct {
+	Child VectorOperator
+	Pred  expr.Expr
+
+	kern   kernelFn
+	selBuf []int
+}
+
+// Columns implements VectorOperator.
+func (f *VecFilter) Columns() []string { return f.Child.Columns() }
+
+// Open implements VectorOperator.
+func (f *VecFilter) Open() error {
+	k, err := compileKernel(f.Pred, f.Child.Columns())
+	if err != nil {
+		return err
+	}
+	f.kern = k
+	return f.Child.Open()
+}
+
+// NextBatch implements VectorOperator.
+func (f *VecFilter) NextBatch() (*Batch, error) {
+	for {
+		b, err := f.Child.NextBatch()
+		if err != nil || b == nil {
+			return b, err
+		}
+		sel := b.selection()
+		v, err := f.kern(b, sel)
+		if err != nil {
+			return nil, fmt.Errorf("exec: WHERE: %w", err)
+		}
+		out := f.selBuf[:0]
+		for _, i := range sel {
+			t, isN, err := truth(v, i)
+			if err != nil {
+				return nil, fmt.Errorf("exec: WHERE: %w", err)
+			}
+			if !isN && t {
+				out = append(out, i)
+			}
+		}
+		f.selBuf = out
+		if len(out) == 0 {
+			continue
+		}
+		b.Sel = out
+		return b, nil
+	}
+}
+
+// Close implements VectorOperator.
+func (f *VecFilter) Close() error { return f.Child.Close() }
+
+// VecProject computes one output vector per compiled expression kernel.
+type VecProject struct {
+	Child VectorOperator
+	Exprs []expr.Expr
+	Names []string
+
+	kerns []kernelFn
+	out   Batch
+}
+
+// Columns implements VectorOperator.
+func (p *VecProject) Columns() []string { return p.Names }
+
+// Open implements VectorOperator.
+func (p *VecProject) Open() error {
+	if len(p.Exprs) != len(p.Names) {
+		return fmt.Errorf("exec: project has %d exprs, %d names", len(p.Exprs), len(p.Names))
+	}
+	cols := p.Child.Columns()
+	p.kerns = make([]kernelFn, len(p.Exprs))
+	for i, e := range p.Exprs {
+		k, err := compileKernel(e, cols)
+		if err != nil {
+			return err
+		}
+		p.kerns[i] = k
+	}
+	p.out.Cols = make([]*Vector, len(p.Exprs))
+	return p.Child.Open()
+}
+
+// NextBatch implements VectorOperator.
+func (p *VecProject) NextBatch() (*Batch, error) {
+	b, err := p.Child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	sel := b.selection()
+	for i, k := range p.kerns {
+		v, err := k(b, sel)
+		if err != nil {
+			return nil, fmt.Errorf("exec: projecting %s: %w", p.Exprs[i], err)
+		}
+		p.out.Cols[i] = v
+	}
+	p.out.N = b.N
+	p.out.Sel = b.Sel
+	return &p.out, nil
+}
+
+// Close implements VectorOperator.
+func (p *VecProject) Close() error { return p.Child.Close() }
+
+// VecConcat emits the batches of its children in order; children must have
+// identical column lists (the vectorized counterpart of Concat, used by
+// hybrid partial-coverage plans).
+type VecConcat struct {
+	Children []VectorOperator
+	idx      int
+}
+
+// Columns implements VectorOperator.
+func (c *VecConcat) Columns() []string {
+	if len(c.Children) == 0 {
+		return nil
+	}
+	return c.Children[0].Columns()
+}
+
+// Open implements VectorOperator.
+func (c *VecConcat) Open() error {
+	if len(c.Children) == 0 {
+		return fmt.Errorf("exec: empty concat")
+	}
+	want := c.Children[0].Columns()
+	for _, ch := range c.Children[1:] {
+		got := ch.Columns()
+		if len(got) != len(want) {
+			return fmt.Errorf("exec: concat children have %d vs %d columns", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("exec: concat column %d mismatch: %q vs %q", i, got[i], want[i])
+			}
+		}
+	}
+	c.idx = 0
+	return c.Children[0].Open()
+}
+
+// NextBatch implements VectorOperator.
+func (c *VecConcat) NextBatch() (*Batch, error) {
+	for {
+		b, err := c.Children[c.idx].NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		if err := c.Children[c.idx].Close(); err != nil {
+			return nil, err
+		}
+		c.idx++
+		if c.idx >= len(c.Children) {
+			return nil, nil
+		}
+		if err := c.Children[c.idx].Open(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close implements VectorOperator.
+func (c *VecConcat) Close() error {
+	if c.idx < len(c.Children) {
+		return c.Children[c.idx].Close()
+	}
+	return nil
+}
+
+// rowAdapter adapts a VectorOperator to the row Operator interface (the
+// batch→row shim): downstream row operators and Drain keep working
+// unchanged above a vectorized pipeline.
+type rowAdapter struct {
+	V VectorOperator
+
+	b   *Batch
+	sel []int
+	pos int
+}
+
+// NewRowAdapter wraps a vectorized pipeline as a row Operator.
+func NewRowAdapter(v VectorOperator) Operator { return &rowAdapter{V: v} }
+
+// Columns implements Operator.
+func (a *rowAdapter) Columns() []string { return a.V.Columns() }
+
+// Open implements Operator.
+func (a *rowAdapter) Open() error {
+	a.b = nil
+	a.pos = 0
+	return a.V.Open()
+}
+
+// Next implements Operator.
+func (a *rowAdapter) Next() (Row, error) {
+	for a.b == nil || a.pos >= len(a.sel) {
+		b, err := a.V.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			a.b = nil
+			return nil, nil
+		}
+		a.b = b
+		a.sel = b.selection()
+		a.pos = 0
+	}
+	i := a.sel[a.pos]
+	a.pos++
+	row := make(Row, len(a.b.Cols))
+	for c, v := range a.b.Cols {
+		row[c] = v.Value(i)
+	}
+	return row, nil
+}
+
+// Close implements Operator.
+func (a *rowAdapter) Close() error { return a.V.Close() }
+
+// batchAdapter adapts a row Operator to the VectorOperator interface (the
+// row→batch shim), transposing pulled rows into columnar batches so a
+// row-only source can feed a vectorized pipeline.
+type batchAdapter struct {
+	Op  Operator
+	buf []Row
+}
+
+// NewBatchAdapter wraps a row operator as a vectorized one.
+func NewBatchAdapter(op Operator) VectorOperator { return &batchAdapter{Op: op} }
+
+// Columns implements VectorOperator.
+func (a *batchAdapter) Columns() []string { return a.Op.Columns() }
+
+// Open implements VectorOperator.
+func (a *batchAdapter) Open() error { return a.Op.Open() }
+
+// NextBatch implements VectorOperator.
+func (a *batchAdapter) NextBatch() (*Batch, error) {
+	if a.buf == nil {
+		a.buf = make([]Row, 0, BatchSize)
+	}
+	a.buf = a.buf[:0]
+	for len(a.buf) < BatchSize {
+		row, err := a.Op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		a.buf = append(a.buf, row)
+	}
+	if len(a.buf) == 0 {
+		return nil, nil
+	}
+	return batchFromRows(a.buf, len(a.Op.Columns())), nil
+}
+
+// Close implements VectorOperator.
+func (a *batchAdapter) Close() error { return a.Op.Close() }

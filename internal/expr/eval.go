@@ -60,10 +60,17 @@ func evalUnary(n *Unary, env Env) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
+	return ApplyUnary(n.Op, v)
+}
+
+// ApplyUnary applies OpNeg or OpNot to an already-evaluated operand with SQL
+// semantics (NULL in, NULL out). It is shared by the tree-walking evaluator
+// and the vectorized kernels, so both paths agree on coercions and errors.
+func ApplyUnary(op Op, v Value) (Value, error) {
 	if v.IsNull() {
 		return Null(), nil
 	}
-	switch n.Op {
+	switch op {
 	case OpNeg:
 		switch v.K {
 		case KindInt:
@@ -82,7 +89,7 @@ func evalUnary(n *Unary, env Env) (Value, error) {
 		}
 		return Bool(!b), nil
 	}
-	return Value{}, fmt.Errorf("expr: bad unary op %s", n.Op)
+	return Value{}, fmt.Errorf("expr: bad unary op %s", op)
 }
 
 func evalBinary(n *Binary, env Env) (Value, error) {
@@ -137,16 +144,25 @@ func evalBinary(n *Binary, env Env) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
+	return ApplyBinary(n.Op, l, r)
+}
+
+// ApplyBinary applies a comparison or arithmetic operator to two
+// already-evaluated operands with SQL semantics: NULL propagates, and
+// integer arithmetic stays integral except division and power. AND/OR
+// short-circuit and are handled by the evaluator, not here. Like ApplyUnary,
+// it is the single source of scalar semantics shared with vector kernels.
+func ApplyBinary(op Op, l, r Value) (Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return Null(), nil
 	}
-	switch n.Op {
+	switch op {
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
 		c, err := Compare(l, r)
 		if err != nil {
 			return Value{}, err
 		}
-		switch n.Op {
+		switch op {
 		case OpEq:
 			return Bool(c == 0), nil
 		case OpNe:
@@ -163,7 +179,7 @@ func evalBinary(n *Binary, env Env) (Value, error) {
 	}
 	// Arithmetic. Integer ops stay integral except division and power.
 	if l.K == KindInt && r.K == KindInt {
-		switch n.Op {
+		switch op {
 		case OpAdd:
 			return Int(l.I + r.I), nil
 		case OpSub:
@@ -185,7 +201,7 @@ func evalBinary(n *Binary, env Env) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	switch n.Op {
+	switch op {
 	case OpAdd:
 		return Float(lf + rf), nil
 	case OpSub:
@@ -205,7 +221,7 @@ func evalBinary(n *Binary, env Env) (Value, error) {
 	case OpPow:
 		return Float(math.Pow(lf, rf)), nil
 	}
-	return Value{}, fmt.Errorf("expr: bad binary op %s", n.Op)
+	return Value{}, fmt.Errorf("expr: bad binary op %s", op)
 }
 
 // funcTable maps built-in function names to float implementations, with the
@@ -286,6 +302,45 @@ func evalCall(n *Call, env Env) (Value, error) {
 		args[i] = f
 	}
 	return Float(b.fn(args)), nil
+}
+
+// LookupBuiltin exposes a built-in scalar function's float implementation
+// and arity (-1 means variadic with at least one argument) so vectorized
+// kernels can bind the function pointer once instead of resolving the name
+// per row.
+func LookupBuiltin(name string) (arity int, fn func([]float64) float64, ok bool) {
+	b, ok := builtins[name]
+	if !ok {
+		return 0, nil, false
+	}
+	return b.arity, b.fn, true
+}
+
+// ApplyCall invokes a built-in over already-evaluated arguments with SQL
+// semantics (any NULL argument yields NULL).
+func ApplyCall(name string, args []Value) (Value, error) {
+	b, ok := builtins[name]
+	if !ok {
+		return Value{}, fmt.Errorf("expr: unknown function %q", name)
+	}
+	if b.arity >= 0 && len(args) != b.arity {
+		return Value{}, fmt.Errorf("expr: %s expects %d args, got %d", name, b.arity, len(args))
+	}
+	if b.arity < 0 && len(args) == 0 {
+		return Value{}, fmt.Errorf("expr: %s expects at least one arg", name)
+	}
+	fargs := make([]float64, len(args))
+	for i, v := range args {
+		if v.IsNull() {
+			return Null(), nil
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		fargs[i] = f
+	}
+	return Float(b.fn(fargs)), nil
 }
 
 // EvalFloat evaluates e as a float64 under a FloatEnv, without Value boxing.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run the full benchmark suite with allocation stats and record the output
+# as a machine-readable baseline (standard `go test -bench` format, directly
+# consumable by benchstat) under bench-results/.
+#
+# Usage: scripts/bench.sh [bench-regex]
+#   scripts/bench.sh                       # everything
+#   scripts/bench.sh 'ZeroIOScan|Vectorized'  # the row-vs-batch pairs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+outdir="bench-results"
+mkdir -p "$outdir"
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+out="$outdir/bench-$stamp.txt"
+
+go test -run='^$' -bench="$pattern" -benchmem -count=1 . | tee "$out"
+echo >&2
+echo "benchmark baseline written to $out" >&2
