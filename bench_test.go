@@ -5,6 +5,7 @@
 package datalaws_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -759,4 +760,118 @@ func BenchmarkAblationPlanCache(b *testing.B) {
 	}
 	b.Run("cached", func(b *testing.B) { run(b, aqp.NewCache()) })
 	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+}
+
+// --- Session API: prepared statements vs parse-per-call execution ---
+
+// BenchmarkApproxPointQuery compares the three ways to issue the paper's
+// zero-IO point query. "prepared" binds `?` parameters on a compiled
+// statement (parse + model choice + grid artifacts amortized away);
+// "cached" re-sends the identical SQL text, exercising the engine's plan
+// LRU; "parse-per-call" interpolates the values into fresh SQL text each
+// time, the classic unprepared pattern that misses every cache.
+func BenchmarkApproxPointQuery(b *testing.B) {
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		e, _, _, _ := benchEngine(b, 1000, 0)
+		stmt, err := e.Prepare("APPROX SELECT intensity FROM measurements WHERE source = ? AND nu = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := stmt.Exec(ctx, i%1000+1, 0.12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e, _, _, _ := benchEngine(b, 1000, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.ExecContext(ctx,
+				"APPROX SELECT intensity FROM measurements WHERE source = ? AND nu = ?", i%1000+1, 0.12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+	})
+	b.Run("parse-per-call", func(b *testing.B) {
+		e, _, _, _ := benchEngine(b, 1000, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Exec(fmt.Sprintf(
+				"APPROX SELECT intensity FROM measurements WHERE source = %d AND nu = 0.12", i%1000+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+	})
+}
+
+// BenchmarkPreparedExactPoint is the exact-path counterpart: a filtered
+// point SELECT, prepared vs parse-per-call.
+func BenchmarkPreparedExactPoint(b *testing.B) {
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		e, _, _, _ := benchEngine(b, 200, 0)
+		stmt, err := e.Prepare("SELECT avg(intensity) FROM measurements WHERE source = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(ctx, i%200+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse-per-call", func(b *testing.B) {
+		e, _, _, _ := benchEngine(b, 200, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Exec(fmt.Sprintf(
+				"SELECT avg(intensity) FROM measurements WHERE source = %d", i%200+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryStreamingFirstRow measures time-to-first-row of the
+// streaming cursor against fully materializing Exec over a large scan —
+// the latency argument for the session API.
+func BenchmarkQueryStreamingFirstRow(b *testing.B) {
+	ctx := context.Background()
+	e, _, _, _ := benchEngine(b, 2000, 0)
+	const q = "SELECT source, nu, intensity FROM measurements"
+	b.Run("query-first-row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := e.Query(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rows.Next() {
+				b.Fatal("no rows")
+			}
+			rows.Close()
+		}
+	})
+	b.Run("exec-materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

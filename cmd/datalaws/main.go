@@ -7,17 +7,25 @@
 //	\import NAME FILE.csv        load a CSV file as table NAME
 //	\serve ADDR                  expose the engine to strawman sessions
 //	\q                           quit
+//
+// Statements run through the engine's streaming Query API: rows print as
+// the executor produces them, and Ctrl-C cancels the in-flight statement
+// (via its context) without leaving the shell.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	datalaws "datalaws"
 	"datalaws/internal/capture"
+	"datalaws/internal/expr"
 	"datalaws/internal/synth"
 	"datalaws/internal/table"
 )
@@ -26,7 +34,12 @@ func main() {
 	eng := datalaws.NewEngine()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("datalaws — capturing the laws of (data) nature. \\q to quit.")
+	fmt.Println("datalaws — capturing the laws of (data) nature. \\q to quit, Ctrl-C cancels a running statement.")
+	// SIGINT is owned by the shell for its whole lifetime: during a
+	// statement it cancels that statement's context; at the prompt it is
+	// ignored, so a reflexive second Ctrl-C never kills the session.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
 	var server *capture.Server
 	defer func() {
 		if server != nil {
@@ -52,22 +65,81 @@ func main() {
 			}
 			continue
 		}
-		start := time.Now()
-		res, err := eng.Exec(line)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			continue
-		}
-		fmt.Print(datalaws.FormatResult(res))
-		if res.Model != "" && len(res.Columns) > 0 {
-			fmt.Printf("(answered from model %q, grid %d rows", res.Model, res.ApproxGrid)
-			if res.Hybrid {
-				fmt.Print(", hybrid")
-			}
-			fmt.Println(")")
-		}
-		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+		runStatement(eng, line, sig)
 	}
+}
+
+// runStatement executes one SQL statement on the streaming session API,
+// printing rows as they arrive. SIGINT cancels the statement's context, so
+// a long scan stops mid-flight instead of killing the shell.
+func runStatement(eng *datalaws.Engine, line string, sig <-chan os.Signal) {
+	// Discard any interrupt delivered while the shell sat at the prompt, so
+	// a stale Ctrl-C never cancels the statement that follows it.
+	select {
+	case <-sig:
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-done:
+		}
+	}()
+	start := time.Now()
+	rows, err := eng.Query(ctx, line)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	defer rows.Close()
+	if rows.Info != "" {
+		fmt.Println(rows.Info)
+	}
+	n := 0
+	cols := rows.Columns()
+	if len(cols) > 0 {
+		fmt.Println(strings.Join(cols, "  "))
+		for rows.Next() {
+			fmt.Println(renderRow(rows.Row()))
+			n++
+		}
+	}
+	if err := rows.Err(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "canceled after %d rows\n", n)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	if rows.Model != "" && len(cols) > 0 {
+		fmt.Printf("(answered from model %q, grid %d rows", rows.Model, rows.ApproxGrid)
+		if rows.Hybrid {
+			fmt.Print(", hybrid")
+		}
+		fmt.Println(")")
+	}
+	fmt.Printf("(%d rows, %v)\n", n, time.Since(start).Round(time.Microsecond))
+}
+
+func renderRow(row []expr.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		switch v.K {
+		case expr.KindString:
+			parts[i] = v.S
+		case expr.KindFloat:
+			parts[i] = fmt.Sprintf("%.6g", v.F)
+		default:
+			parts[i] = v.String()
+		}
+	}
+	return strings.Join(parts, "  ")
 }
 
 func shellCommand(eng *datalaws.Engine, line string, server **capture.Server) error {

@@ -11,16 +11,34 @@
 // model parameter tables without scanning the measurements, optionally
 // annotated WITH ERROR bounds.
 //
+// The primary query surface is session-oriented, shaped like database/sql:
+// Query streams rows through a cursor and honors context cancellation, and
+// Prepare compiles a statement — parse, plan, and (for APPROX SELECT) the
+// zero-IO grid artifacts — once, so executions only bind `?` parameters:
+//
 //	eng := datalaws.NewEngine()
 //	eng.MustExec(`CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)`)
 //	...load data...
 //	eng.MustExec(`FIT MODEL spectra ON m AS 'intensity ~ p * pow(nu, alpha)'
 //	              INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
-//	res, _ := eng.Exec(`APPROX SELECT intensity FROM m
-//	                    WHERE source = 42 AND nu = 0.14 WITH ERROR`)
+//
+//	stmt, _ := eng.Prepare(`APPROX SELECT intensity, intensity_lo, intensity_hi
+//	                        FROM m WHERE source = ? AND nu = ? WITH ERROR`)
+//	rows, _ := stmt.Query(ctx, 42, 0.14)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var intensity, lo, hi float64
+//		_ = rows.Scan(&intensity, &lo, &hi)
+//	}
+//	if rows.Err() != nil { ... }
+//
+// Unprepared traffic goes through the same machinery: Query consults an LRU
+// of compiled plans keyed by SQL text, and Exec/MustExec are thin
+// materializing wrappers kept for convenience and compatibility.
 package datalaws
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,7 +51,19 @@ import (
 	"datalaws/internal/table"
 )
 
-// Engine is the top-level database handle.
+// Sentinel errors, testable with errors.Is across every layer that wraps
+// them.
+var (
+	// ErrUnknownTable marks references to tables absent from the catalog.
+	ErrUnknownTable = table.ErrUnknownTable
+	// ErrUnknownModel marks references to models absent from the store.
+	ErrUnknownModel = modelstore.ErrNotFound
+)
+
+// Engine is the top-level database handle. One Engine serves any number of
+// concurrent sessions: the catalog, model store, plan cache and approximate
+// planning caches are internally synchronized, and every Query/Exec builds
+// its own operator state.
 type Engine struct {
 	// Catalog holds the relational tables.
 	Catalog *table.Catalog
@@ -45,6 +75,9 @@ type Engine struct {
 	// queries; the zero value lowers to the batch pipeline whenever
 	// possible. Approximate queries follow AQP.ExecMode.
 	ExecMode exec.Mode
+
+	// plans memoizes compiled statements for unprepared Query/Exec traffic.
+	plans *planCache
 }
 
 // NewEngine returns an empty engine with default approximate-query options.
@@ -55,10 +88,11 @@ func NewEngine() *Engine {
 		Catalog: table.NewCatalog(),
 		Models:  modelstore.NewStore(),
 		AQP:     opts,
+		plans:   newPlanCache(0),
 	}
 }
 
-// Result is the outcome of one statement.
+// Result is the materialized outcome of one statement.
 type Result struct {
 	// Columns and Rows are set for queries.
 	Columns []string
@@ -72,34 +106,12 @@ type Result struct {
 	Hybrid     bool
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement, materializing the full
+// result. It is a convenience wrapper over the session API — equivalent to
+// ExecContext with a background context — kept as the compatibility entry
+// point; prefer Query for streaming access and cancellation.
 func (e *Engine) Exec(src string) (*Result, error) {
-	st, err := sql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	switch s := st.(type) {
-	case *sql.SelectStmt:
-		return e.execSelect(s)
-	case *sql.CreateTableStmt:
-		return e.execCreate(s)
-	case *sql.InsertStmt:
-		return e.execInsert(s)
-	case *sql.FitModelStmt:
-		return e.execFit(s)
-	case *sql.ShowModelsStmt:
-		return e.execShowModels()
-	case *sql.DropModelStmt:
-		if !e.Models.Drop(s.Name) {
-			return nil, fmt.Errorf("datalaws: model %q not found", s.Name)
-		}
-		return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
-	case *sql.RefitModelStmt:
-		return e.execRefit(s)
-	case *sql.ExplainStmt:
-		return e.execExplain(s)
-	}
-	return nil, fmt.Errorf("datalaws: unsupported statement %T", st)
+	return e.ExecContext(context.Background(), src)
 }
 
 // MustExec is Exec that panics on error; for examples and tests.
@@ -111,33 +123,29 @@ func (e *Engine) MustExec(src string) *Result {
 	return r
 }
 
-func (e *Engine) execSelect(s *sql.SelectStmt) (*Result, error) {
-	if s.Approx {
-		plan, err := aqp.BuildApproxSelect(e.Catalog, e.Models, s, e.AQP)
-		if err != nil {
-			return nil, err
+// execStmt runs a non-SELECT statement eagerly. SELECT goes through the
+// streaming session path in session.go instead.
+func (e *Engine) execStmt(st sql.Stmt) (*Result, error) {
+	switch s := st.(type) {
+	case *sql.CreateTableStmt:
+		return e.execCreate(s)
+	case *sql.InsertStmt:
+		return e.execInsert(s)
+	case *sql.FitModelStmt:
+		return e.execFit(s)
+	case *sql.ShowModelsStmt:
+		return e.execShowModels()
+	case *sql.DropModelStmt:
+		if !e.Models.Drop(s.Name) {
+			return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
 		}
-		rows, err := exec.Drain(plan.Op)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			Columns:    plan.Op.Columns(),
-			Rows:       rows,
-			Model:      plan.Model.Spec.Name,
-			ApproxGrid: plan.GridRows,
-			Hybrid:     plan.Hybrid,
-		}, nil
+		return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
+	case *sql.RefitModelStmt:
+		return e.execRefit(s)
+	case *sql.ExplainStmt:
+		return e.execExplain(s)
 	}
-	op, err := exec.BuildSelectOverMode(e.Catalog, s, nil, e.ExecMode)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := exec.Drain(op)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Columns: op.Columns(), Rows: rows}, nil
+	return nil, fmt.Errorf("datalaws: unsupported statement %T", st)
 }
 
 func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
@@ -156,9 +164,9 @@ func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 }
 
 func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
-	t, ok := e.Catalog.Get(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("datalaws: unknown table %q", s.Table)
+	t, err := e.Catalog.Lookup(s.Table)
+	if err != nil {
+		return nil, fmt.Errorf("datalaws: %w", err)
 	}
 	env := expr.MapEnv{}
 	n := 0
@@ -180,9 +188,9 @@ func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
 }
 
 func (e *Engine) execFit(s *sql.FitModelStmt) (*Result, error) {
-	t, ok := e.Catalog.Get(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("datalaws: unknown table %q", s.Table)
+	t, err := e.Catalog.Lookup(s.Table)
+	if err != nil {
+		return nil, fmt.Errorf("datalaws: %w", err)
 	}
 	spec := modelstore.Spec{
 		Name:    s.Name,
@@ -226,11 +234,11 @@ func (e *Engine) execShowModels() (*Result, error) {
 func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
 	m, ok := e.Models.Get(s.Name)
 	if !ok {
-		return nil, fmt.Errorf("datalaws: model %q not found", s.Name)
+		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
 	}
-	t, ok := e.Catalog.Get(m.Spec.Table)
-	if !ok {
-		return nil, fmt.Errorf("datalaws: table %q no longer exists", m.Spec.Table)
+	t, err := e.Catalog.Lookup(m.Spec.Table)
+	if err != nil {
+		return nil, fmt.Errorf("datalaws: %w (model %q was fitted on it)", err, s.Name)
 	}
 	nm, err := e.Models.Refit(s.Name, t)
 	if err != nil {
@@ -270,9 +278,9 @@ func (e *Engine) RegisterTable(t *table.Table) error { return e.Catalog.Add(t) }
 
 // TableInfo implements capture.Backend.
 func (e *Engine) TableInfo(name string) ([]string, int, error) {
-	t, ok := e.Catalog.Get(name)
-	if !ok {
-		return nil, 0, fmt.Errorf("datalaws: unknown table %q", name)
+	t, err := e.Catalog.Lookup(name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("datalaws: %w", err)
 	}
 	return t.Schema().Names(), t.NumRows(), nil
 }
@@ -280,9 +288,9 @@ func (e *Engine) TableInfo(name string) ([]string, int, error) {
 // FitModel implements capture.Backend: the transparent server-side capture
 // of a user model fitted from a statistical session.
 func (e *Engine) FitModel(spec modelstore.Spec) (capture.FitSummary, error) {
-	t, ok := e.Catalog.Get(spec.Table)
-	if !ok {
-		return capture.FitSummary{}, fmt.Errorf("datalaws: unknown table %q", spec.Table)
+	t, err := e.Catalog.Lookup(spec.Table)
+	if err != nil {
+		return capture.FitSummary{}, fmt.Errorf("datalaws: %w", err)
 	}
 	m, err := e.Models.Capture(t, spec)
 	if err != nil {
@@ -296,7 +304,7 @@ func (e *Engine) FitModel(spec modelstore.Spec) (capture.FitSummary, error) {
 func (e *Engine) ApproxPoint(model string, group int64, inputs []float64, level float64) (capture.PointAnswer, error) {
 	m, ok := e.Models.Get(model)
 	if !ok {
-		return capture.PointAnswer{}, fmt.Errorf("datalaws: model %q not found", model)
+		return capture.PointAnswer{}, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, model)
 	}
 	if level <= 0 || level >= 1 {
 		level = 0.95

@@ -23,12 +23,21 @@ type ModelScan struct {
 	Domains []Domain
 	// Legal restricts emitted combinations; nil admits everything.
 	Legal LegalSet
+	// Groups optionally restricts the scan to these group keys (nil scans
+	// every fitted group). The approximate planner pushes equality
+	// predicates on the group column down to this list, so a point query
+	// touches one parameter-table entry instead of enumerating the grid.
+	Groups []int64
 	// WithError appends prediction-interval columns at Level (default 0.95).
 	WithError bool
 	Level     float64
 	// TableName qualifies output column names; defaults to the model's
 	// table.
 	TableName string
+	// Interruptible binds the statement context so grid enumeration stops
+	// promptly on cancellation, even when the legal set rejects long runs of
+	// combinations without emitting a row.
+	exec.Interruptible
 
 	cols     []string
 	groupIdx int
@@ -79,6 +88,15 @@ func (s *ModelScan) Columns() []string {
 	return cols
 }
 
+// orderKeys returns the group keys the scan enumerates, honoring the
+// planner's group restriction.
+func (s *ModelScan) orderKeys() []int64 {
+	if s.Groups != nil {
+		return s.Groups
+	}
+	return s.Model.Order
+}
+
 // Open implements exec.Operator.
 func (s *ModelScan) Open() error {
 	if s.Level == 0 {
@@ -86,19 +104,21 @@ func (s *ModelScan) Open() error {
 	}
 	s.groupIdx = 0
 	s.comboIdx = make([]int, len(s.Domains))
-	s.done = len(s.Model.Order) == 0
+	s.done = len(s.orderKeys()) == 0
 	np := len(s.Model.Model.Params)
 	s.scratch = make([]float64, np+len(s.Model.Model.Inputs))
 	s.grad = make([]float64, np)
 	s.rowsOut = 0
+	s.ResetInterrupt()
 	// Skip leading failed groups.
 	s.skipBadGroups()
 	return nil
 }
 
 func (s *ModelScan) skipBadGroups() {
-	for s.groupIdx < len(s.Model.Order) {
-		key := s.Model.Order[s.groupIdx]
+	order := s.orderKeys()
+	for s.groupIdx < len(order) {
+		key := order[s.groupIdx]
 		if g, ok := s.Model.Groups[key]; ok && g.OK() {
 			return
 		}
@@ -110,11 +130,15 @@ func (s *ModelScan) skipBadGroups() {
 // Next implements exec.Operator.
 func (s *ModelScan) Next() (exec.Row, error) {
 	model := s.Model.Model
+	order := s.orderKeys()
 	for {
-		if s.done || s.groupIdx >= len(s.Model.Order) {
+		if err := s.CheckInterrupt(); err != nil {
+			return nil, err
+		}
+		if s.done || s.groupIdx >= len(order) {
 			return nil, nil
 		}
-		key := s.Model.Order[s.groupIdx]
+		key := order[s.groupIdx]
 		g := s.Model.Groups[key]
 
 		inputs := make([]float64, len(s.Domains))
@@ -230,6 +254,12 @@ func (s *ModelScan) ExplainInfo() string {
 			legal = "bloom legal set"
 		}
 	}
-	return fmt.Sprintf("ModelScan model=%s grid=%d×%d (%s, zero IO)",
-		s.Model.Spec.Name, s.Model.Quality.GroupsOK, GridSize(s.Domains), legal)
+	groups := s.Model.Quality.GroupsOK
+	note := ""
+	if s.Groups != nil {
+		groups = len(s.Groups)
+		note = ", point pushdown"
+	}
+	return fmt.Sprintf("ModelScan model=%s grid=%d×%d (%s%s, zero IO)",
+		s.Model.Spec.Name, groups, GridSize(s.Domains), legal, note)
 }

@@ -3,6 +3,7 @@ package aqp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"datalaws/internal/exec"
 	"datalaws/internal/expr"
@@ -54,46 +55,148 @@ type Plan struct {
 // chosen model was fitted on a restricted subset (Spec.Where), the plan is
 // hybrid: model tuples inside the region are concatenated with raw tuples
 // outside it (§4.1 "multiple, partial or grouped models").
+//
+// It is the one-shot form of PrepareApproxSelect + Bind.
 func BuildApproxSelect(cat *table.Catalog, store *modelstore.Store, st *sql.SelectStmt, opts Options) (*Plan, error) {
+	p, err := PrepareApproxSelect(cat, store, st, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Bind(st)
+}
+
+// Prepared is a rebindable approximate plan: model selection, domain
+// enumeration and legal-set construction — the expensive, data-dependent
+// parts of approximate planning — happen once at prepare time, and each
+// Bind only stamps out a fresh operator tree for one execution. Repeated
+// zero-IO point lookups through a prepared statement therefore skip grid
+// re-planning entirely. A Prepared is safe for concurrent Bind calls.
+type Prepared struct {
+	cat       *table.Catalog
+	store     *modelstore.Store
+	opts      Options
+	tableName string
+	withError bool
+	refs      map[string]bool
+
+	mu sync.Mutex
+	// Plan-time artifacts, revalidated against table/model versions on every
+	// Bind so appends and refits are picked up without a re-prepare.
+	model        *modelstore.CapturedModel
+	domains      []Domain
+	legal        LegalSet
+	tableVersion uint64
+	modelVersion int
+}
+
+// PrepareApproxSelect resolves the model, domains and legal set for an
+// APPROX SELECT template. The statement may contain unbound parameters:
+// model choice depends only on which columns are referenced, never on
+// comparison values.
+func PrepareApproxSelect(cat *table.Catalog, store *modelstore.Store, st *sql.SelectStmt, opts Options) (*Prepared, error) {
 	if len(st.Joins) > 0 {
 		return nil, fmt.Errorf("aqp: APPROX SELECT with JOIN is not supported; run the exact query")
 	}
-	t, ok := cat.Get(st.From)
-	if !ok {
-		return nil, fmt.Errorf("aqp: unknown table %q", st.From)
+	p := &Prepared{
+		cat:       cat,
+		store:     store,
+		opts:      opts,
+		tableName: st.From,
+		withError: st.WithError,
+		refs:      queryColumnRefs(st),
 	}
-	refs := queryColumnRefs(st)
-	model, err := chooseModel(store, st.From, t, refs, st.WithError, opts.Policy)
-	if err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.revalidateLocked(); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
 
-	domains, err := opts.Cache.domainsFor(t, model, opts.MaxDistinct)
+// revalidateLocked (re)selects the model and rebuilds domains and legal set
+// when the underlying table or model store moved; it is a no-op when both
+// versions still match. Callers hold p.mu.
+func (p *Prepared) revalidateLocked() error {
+	t, err := p.cat.Lookup(p.tableName)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("aqp: %w", err)
 	}
-	var legal LegalSet
-	if !opts.AllowIllegal {
-		legal, err = opts.Cache.legalFor(t, model, opts.UseBloom, opts.FPRate)
-		if err != nil {
-			return nil, err
+	tv := t.Version()
+	if p.model != nil && tv == p.tableVersion {
+		if cur, ok := p.store.Get(p.model.Spec.Name); ok && cur == p.model && cur.Version == p.modelVersion {
+			return nil
 		}
 	}
+	model, err := chooseModel(p.store, p.tableName, t, p.refs, p.withError, p.opts.Policy)
+	if err != nil {
+		return err
+	}
+	domains, err := p.opts.Cache.domainsFor(t, model, p.opts.MaxDistinct)
+	if err != nil {
+		return err
+	}
+	var legal LegalSet
+	if !p.opts.AllowIllegal {
+		legal, err = p.opts.Cache.legalFor(t, model, p.opts.UseBloom, p.opts.FPRate)
+		if err != nil {
+			return err
+		}
+	}
+	p.model, p.domains, p.legal = model, domains, legal
+	p.tableVersion, p.modelVersion = tv, model.Version
+	return nil
+}
+
+// Bind instantiates one execution's operator tree from the prepared
+// artifacts. st must be the (parameter-bound) statement the plan was
+// prepared from: same FROM table, same referenced columns.
+func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
+	p.mu.Lock()
+	if err := p.revalidateLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	model, domains, legal := p.model, p.domains, p.legal
+	p.mu.Unlock()
+
+	// Point-lookup fast path: a bound statement that is exactly the
+	// paper's first example query — plain projections, WHERE pinning the
+	// group and every input to a constant — skips the scan pipeline
+	// entirely and answers from the parameter table: one hash lookup and
+	// one model evaluation.
+	if op, ok := p.bindPointLookup(st, model, domains, legal); ok {
+		return &Plan{Op: op, Model: model, GridRows: GridSize(domains) * model.Quality.GroupsOK}, nil
+	}
+
 	scan, err := NewModelScan(model, domains, legal)
 	if err != nil {
 		return nil, err
 	}
 	scan.WithError = st.WithError
-	scan.Level = opts.Level
+	scan.Level = p.opts.Level
 	scan.TableName = st.From
 
+	// Point-lookup pushdown: equality conjuncts on the group column or an
+	// input column narrow the enumerated grid before it is generated, so a
+	// bound `source = ? AND nu = ?` touches one parameter-table entry
+	// instead of the full grid. The original WHERE still runs above the
+	// scan, so pushdown is purely an enumeration restriction. A literal
+	// outside the enumerated domain (all values the table has ever held)
+	// proves the whole result empty.
 	var source exec.Operator = scan
+	if empty := pushDownEqualities(scan, st, model, domains); empty {
+		source = &exec.ValuesScan{Cols: scan.Columns()}
+	}
 	hybrid := false
 	if model.Spec.Where != nil {
 		// Partial coverage: model rows must satisfy the fitted region, raw
 		// rows cover its complement.
 		hybrid = true
-		modelSide := &exec.Filter{Child: scan, Pred: model.Spec.Where}
+		t, err := p.cat.Lookup(st.From)
+		if err != nil {
+			return nil, fmt.Errorf("aqp: %w", err)
+		}
+		modelSide := &exec.Filter{Child: source, Pred: model.Spec.Where}
 		rawSide, err := rawProjection(t, st.From, model, st.WithError)
 		if err != nil {
 			return nil, err
@@ -105,11 +208,133 @@ func BuildApproxSelect(cat *table.Catalog, store *modelstore.Store, st *sql.Sele
 		}}
 	}
 
-	op, err := exec.BuildSelectOverMode(cat, st, source, opts.ExecMode)
+	op, err := exec.BuildSelectOverMode(p.cat, st, source, p.opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}
 	return &Plan{Op: op, Model: model, Hybrid: hybrid, GridRows: GridSize(domains) * model.Quality.GroupsOK}, nil
+}
+
+// pushDownEqualities narrows a model scan using top-level `col = literal`
+// conjuncts of the statement's WHERE clause: an equality on the group
+// column restricts the scan to that single group, and an equality on an
+// input column collapses that domain to one value. It reports true when a
+// literal falls outside the enumerated domain, proving the result empty
+// (the unrestricted grid would never have contained it either).
+func pushDownEqualities(scan *ModelScan, st *sql.SelectStmt, model *modelstore.CapturedModel, domains []Domain) (empty bool) {
+	if st.Where == nil {
+		return false
+	}
+	eqs := equalityConsts(st.Where, st.From)
+	if len(eqs) == 0 {
+		return false
+	}
+	if model.Grouped() {
+		if v, ok := eqs[model.Spec.GroupBy]; ok {
+			if key, ok := asGroupKey(v); ok {
+				scan.Groups = []int64{key}
+			}
+		}
+	}
+	narrowed := domains
+	for i, d := range domains {
+		v, ok := eqs[d.Col]
+		if !ok {
+			continue
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			continue
+		}
+		if !domainContains(d, f) {
+			return true
+		}
+		if len(d.Vals) == 1 {
+			continue
+		}
+		if &narrowed[0] == &domains[0] {
+			narrowed = append([]Domain(nil), domains...)
+		}
+		narrowed[i] = Domain{Col: d.Col, Vals: []float64{f}}
+	}
+	scan.Domains = narrowed
+	return false
+}
+
+// equalityConsts collects `col = literal` (or `literal = col`) conjuncts
+// from the top-level AND tree of a predicate, keyed by unqualified column
+// name. Columns qualified with a different table are ignored.
+func equalityConsts(pred expr.Expr, tableName string) map[string]expr.Value {
+	out := map[string]expr.Value{}
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		b, ok := e.(*expr.Binary)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case expr.OpAnd:
+			walk(b.L)
+			walk(b.R)
+		case expr.OpEq:
+			id, lit := asIdentLit(b.L, b.R)
+			if id == nil {
+				id, lit = asIdentLit(b.R, b.L)
+			}
+			if id == nil {
+				return
+			}
+			name := unqualify(id.Name, tableName)
+			if name == "" {
+				return
+			}
+			if prev, seen := out[name]; seen {
+				// Contradictory duplicates are left for the filter to
+				// resolve; identical duplicates are harmless.
+				if c, err := expr.Compare(prev, lit.Val); err != nil || c != 0 {
+					delete(out, name)
+				}
+				return
+			}
+			out[name] = lit.Val
+		}
+	}
+	walk(pred)
+	return out
+}
+
+func asIdentLit(a, b expr.Expr) (*expr.Ident, *expr.Lit) {
+	id, ok := a.(*expr.Ident)
+	if !ok {
+		return nil, nil
+	}
+	lit, ok := b.(*expr.Lit)
+	if !ok || lit.Val.IsNull() {
+		return nil, nil
+	}
+	return id, lit
+}
+
+// asGroupKey converts an equality literal to an integral group key.
+func asGroupKey(v expr.Value) (int64, bool) {
+	switch v.K {
+	case expr.KindInt:
+		return v.I, true
+	case expr.KindFloat:
+		if v.F == float64(int64(v.F)) {
+			return int64(v.F), true
+		}
+	}
+	return 0, false
+}
+
+func domainContains(d Domain, v float64) bool {
+	for _, x := range d.Vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // queryColumnRefs collects the identifiers a query references, with alias

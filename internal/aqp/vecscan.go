@@ -1,6 +1,7 @@
 package aqp
 
 import (
+	"context"
 	"fmt"
 
 	"datalaws/internal/exec"
@@ -65,6 +66,10 @@ func newVecModelScan(s *ModelScan) (*vecModelScan, error) {
 // Columns implements exec.VectorOperator.
 func (v *vecModelScan) Columns() []string { return v.s.Columns() }
 
+// SetContext implements exec.ContextAware by forwarding to the wrapped row
+// scan, which owns the interrupt state for both execution modes.
+func (v *vecModelScan) SetContext(ctx context.Context) { v.s.SetContext(ctx) }
+
 // Open implements exec.VectorOperator.
 func (v *vecModelScan) Open() error {
 	s := v.s
@@ -75,36 +80,44 @@ func (v *vecModelScan) Open() error {
 	np, ni := len(model.Params), len(model.Inputs)
 	v.groupIdx = 0
 	v.comboIdx = make([]int, len(s.Domains))
-	v.done = len(s.Model.Order) == 0
+	v.done = len(s.orderKeys()) == 0
 	v.args = make([]expr.VecArg, np+ni)
+	// Batches never exceed the (possibly pushdown-restricted) grid, so a
+	// point lookup allocates one-row buffers, not BatchSize ones.
+	bcap := GridSize(s.Domains) * len(s.orderKeys())
+	if bcap <= 0 || bcap > exec.BatchSize {
+		bcap = exec.BatchSize
+	}
 	v.paramBuf = make([][]float64, np)
 	for j := range v.paramBuf {
-		v.paramBuf[j] = make([]float64, exec.BatchSize)
+		v.paramBuf[j] = make([]float64, bcap)
 	}
 	v.inputBuf = make([][]float64, ni)
 	for j := range v.inputBuf {
-		v.inputBuf[j] = make([]float64, exec.BatchSize)
+		v.inputBuf[j] = make([]float64, bcap)
 	}
-	v.keyBuf = make([]int64, exec.BatchSize)
-	v.grpBuf = make([]*modelstore.GroupParams, exec.BatchSize)
-	v.yhat = make([]float64, exec.BatchSize)
+	v.keyBuf = make([]int64, bcap)
+	v.grpBuf = make([]*modelstore.GroupParams, bcap)
+	v.yhat = make([]float64, bcap)
 	if s.WithError {
-		v.lo = make([]float64, exec.BatchSize)
-		v.hi = make([]float64, exec.BatchSize)
+		v.lo = make([]float64, bcap)
+		v.hi = make([]float64, bcap)
 	}
 	v.inputs = make([]float64, ni)
 	// The row scan's Open never runs on this path, so initialize the shared
 	// state predictionInterval and RowsEmitted rely on.
 	s.grad = make([]float64, np)
 	s.rowsOut = 0
+	s.ResetInterrupt()
 	v.skipBadGroups()
 	return nil
 }
 
 func (v *vecModelScan) skipBadGroups() {
 	s := v.s
-	for v.groupIdx < len(s.Model.Order) {
-		key := s.Model.Order[v.groupIdx]
+	order := s.orderKeys()
+	for v.groupIdx < len(order) {
+		key := order[v.groupIdx]
 		if g, ok := s.Model.Groups[key]; ok && g.OK() {
 			return
 		}
@@ -133,9 +146,13 @@ func (v *vecModelScan) NextBatch() (*exec.Batch, error) {
 	s := v.s
 	model := s.Model.Model
 	np := len(model.Params)
+	order := s.orderKeys()
 	n := 0
-	for n < exec.BatchSize && !v.done && v.groupIdx < len(s.Model.Order) {
-		key := s.Model.Order[v.groupIdx]
+	for n < len(v.keyBuf) && !v.done && v.groupIdx < len(order) {
+		if err := s.CheckInterrupt(); err != nil {
+			return nil, err
+		}
+		key := order[v.groupIdx]
 		g := s.Model.Groups[key]
 		for i := range v.inputs {
 			v.inputs[i] = s.Domains[i].Vals[v.comboIdx[i]]

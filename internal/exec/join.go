@@ -8,10 +8,14 @@ import (
 )
 
 // HashJoin is an inner equi-join. The ON condition must be a conjunction of
-// equalities, each comparing one left column with one right column.
+// equalities, each comparing one left column with one right column. It
+// checks the statement context itself: a join can emit unboundedly many
+// rows per input row, so the leaf scans' interrupt checks alone would not
+// bound cancellation latency.
 type HashJoin struct {
 	Left, Right Operator
 	On          expr.Expr
+	Interruptible
 
 	cols      []string
 	leftKeys  []int
@@ -62,12 +66,16 @@ func (j *HashJoin) Open() error {
 	}
 	j.cur = nil
 	j.leftDone = false
+	j.ResetInterrupt()
 	return j.Left.Open()
 }
 
 // Next implements Operator.
 func (j *HashJoin) Next() (Row, error) {
 	for {
+		if err := j.CheckInterrupt(); err != nil {
+			return nil, err
+		}
 		if len(j.cur) > 0 {
 			r := j.cur[0]
 			j.cur = j.cur[1:]

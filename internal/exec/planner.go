@@ -131,16 +131,16 @@ func buildFrom(cat *table.Catalog, st *sql.SelectStmt, source Operator) (Operato
 	if source != nil {
 		op = source
 	} else {
-		t, ok := cat.Get(st.From)
-		if !ok {
-			return nil, fmt.Errorf("exec: unknown table %q", st.From)
+		t, err := cat.Lookup(st.From)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
 		}
 		op = NewTableScan(t)
 	}
 	for _, j := range st.Joins {
-		rt, ok := cat.Get(j.Table)
-		if !ok {
-			return nil, fmt.Errorf("exec: unknown table %q", j.Table)
+		rt, err := cat.Lookup(j.Table)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
 		}
 		op = &HashJoin{Left: op, Right: NewTableScan(rt), On: j.On}
 	}

@@ -7,9 +7,11 @@ import (
 )
 
 // TableScan reads every row of a base table, snapshotting the row count at
-// Open so concurrent appends do not tear the scan.
+// Open so concurrent appends do not tear the scan. It checks the bound
+// statement context once per stride of rows.
 type TableScan struct {
 	Table *table.Table
+	Interruptible
 
 	cols []string
 	n    int
@@ -36,11 +38,15 @@ func (s *TableScan) Open() error {
 	}
 	s.n = s.Table.NumRows()
 	s.pos = 0
+	s.ResetInterrupt()
 	return nil
 }
 
 // Next implements Operator.
 func (s *TableScan) Next() (Row, error) {
+	if err := s.CheckInterrupt(); err != nil {
+		return nil, err
+	}
 	if s.pos >= s.n {
 		return nil, nil
 	}
@@ -57,17 +63,21 @@ func (s *TableScan) Close() error { return nil }
 type ValuesScan struct {
 	Cols []string
 	Rows []Row
-	pos  int
+	Interruptible
+	pos int
 }
 
 // Columns implements Operator.
 func (s *ValuesScan) Columns() []string { return s.Cols }
 
 // Open implements Operator.
-func (s *ValuesScan) Open() error { s.pos = 0; return nil }
+func (s *ValuesScan) Open() error { s.pos = 0; s.ResetInterrupt(); return nil }
 
 // Next implements Operator.
 func (s *ValuesScan) Next() (Row, error) {
+	if err := s.CheckInterrupt(); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.Rows) {
 		return nil, nil
 	}

@@ -27,6 +27,7 @@ type VectorOperator interface {
 // scan.
 type VecTableScan struct {
 	Table *table.Table
+	Interruptible
 
 	cols     []string
 	src      []vecColSrc
@@ -69,23 +70,35 @@ func (s *VecTableScan) Open() error {
 	if s.Table == nil {
 		return fmt.Errorf("exec: scan over nil table")
 	}
-	s.n = s.Table.NumRows()
 	s.pos = 0
+	s.ResetInterrupt()
 	nc := len(s.cols)
 	s.src = make([]vecColSrc, nc)
-	for i := 0; i < nc; i++ {
-		switch tc := s.Table.ColumnAt(i).(type) {
-		case *storage.Int64Column:
-			s.src[i] = vecColSrc{kind: expr.KindInt, i64: tc.Vals, nulls: tc.Nulls}
-		case *storage.Float64Column:
-			s.src[i] = vecColSrc{kind: expr.KindFloat, f64: tc.Vals, nulls: tc.Nulls}
-		case *storage.StringColumn:
-			s.src[i] = vecColSrc{kind: expr.KindString, codes: tc.Codes, dict: tc.Dict, nulls: tc.Nulls}
-		case *storage.BoolColumn:
-			s.src[i] = vecColSrc{kind: expr.KindBool, bools: tc.Vals, nulls: tc.Nulls}
-		default:
-			return fmt.Errorf("exec: cannot vectorize column type %T", tc)
+	// Snapshot the typed slice headers and row count under one table lock:
+	// headers read outside it would race with a concurrent append's slice
+	// growth, even though the first n elements are immutable. Bitmaps pack
+	// many rows per word, so appends mutate words earlier rows share —
+	// those are deep-copied up to the snapshot length.
+	err := s.Table.View(func(cols []storage.Column, rows int) error {
+		s.n = rows
+		for i := 0; i < nc; i++ {
+			switch tc := cols[i].(type) {
+			case *storage.Int64Column:
+				s.src[i] = vecColSrc{kind: expr.KindInt, i64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
+			case *storage.Float64Column:
+				s.src[i] = vecColSrc{kind: expr.KindFloat, f64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
+			case *storage.StringColumn:
+				s.src[i] = vecColSrc{kind: expr.KindString, codes: tc.Codes, dict: tc.Dict, nulls: tc.Nulls.ClonePrefix(rows)}
+			case *storage.BoolColumn:
+				s.src[i] = vecColSrc{kind: expr.KindBool, bools: tc.Vals.ClonePrefix(rows), nulls: tc.Nulls.ClonePrefix(rows)}
+			default:
+				return fmt.Errorf("exec: cannot vectorize column type %T", tc)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	s.batch.Cols = make([]*Vector, nc)
 	for i := range s.batch.Cols {
@@ -99,6 +112,9 @@ func (s *VecTableScan) Open() error {
 
 // NextBatch implements VectorOperator.
 func (s *VecTableScan) NextBatch() (*Batch, error) {
+	if err := s.CheckInterruptNow(); err != nil {
+		return nil, err
+	}
 	if s.pos >= s.n {
 		return nil, nil
 	}
@@ -169,17 +185,21 @@ func (s *VecTableScan) Close() error { return nil }
 type VecValuesScan struct {
 	Cols []string
 	Rows []Row
-	pos  int
+	Interruptible
+	pos int
 }
 
 // Columns implements VectorOperator.
 func (s *VecValuesScan) Columns() []string { return s.Cols }
 
 // Open implements VectorOperator.
-func (s *VecValuesScan) Open() error { s.pos = 0; return nil }
+func (s *VecValuesScan) Open() error { s.pos = 0; s.ResetInterrupt(); return nil }
 
 // NextBatch implements VectorOperator.
 func (s *VecValuesScan) NextBatch() (*Batch, error) {
+	if err := s.CheckInterruptNow(); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.Rows) {
 		return nil, nil
 	}

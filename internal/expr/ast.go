@@ -104,6 +104,108 @@ func (b *Binary) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
 }
 
+// Param is a positional statement parameter (the SQL `?` placeholder),
+// 1-based in source order. Parameters carry no value of their own: a
+// statement is bound before execution by substituting each Param with the
+// literal supplied for its index (see BindParams), so compiled plans and
+// kernels only ever see literals. Evaluating an unbound Param is an error.
+type Param struct{ Index int }
+
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Index) }
+
+// MaxParam returns the highest parameter index referenced by e (0 when the
+// expression has no placeholders).
+func MaxParam(e Expr) int {
+	max := 0
+	switch n := e.(type) {
+	case *Param:
+		return n.Index
+	case *Unary:
+		return MaxParam(n.X)
+	case *Binary:
+		if l := MaxParam(n.L); l > max {
+			max = l
+		}
+		if r := MaxParam(n.R); r > max {
+			max = r
+		}
+	case *Call:
+		for _, a := range n.Args {
+			if m := MaxParam(a); m > max {
+				max = m
+			}
+		}
+	case *IsNullExpr:
+		return MaxParam(n.X)
+	}
+	return max
+}
+
+// BindParams returns e with every Param replaced by the literal value at
+// args[Index-1]. Subtrees without placeholders are returned unchanged (no
+// copying), so binding a parameter-free expression is free.
+func BindParams(e Expr, args []Value) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	switch n := e.(type) {
+	case *Param:
+		if n.Index < 1 || n.Index > len(args) {
+			return nil, fmt.Errorf("expr: parameter $%d out of range (%d bound)", n.Index, len(args))
+		}
+		return &Lit{Val: args[n.Index-1]}, nil
+	case *Unary:
+		x, err := BindParams(n.X, args)
+		if err != nil {
+			return nil, err
+		}
+		if x == n.X {
+			return n, nil
+		}
+		return &Unary{Op: n.Op, X: x}, nil
+	case *Binary:
+		l, err := BindParams(n.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BindParams(n.R, args)
+		if err != nil {
+			return nil, err
+		}
+		if l == n.L && r == n.R {
+			return n, nil
+		}
+		return &Binary{Op: n.Op, L: l, R: r}, nil
+	case *Call:
+		changed := false
+		bound := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			b, err := BindParams(a, args)
+			if err != nil {
+				return nil, err
+			}
+			bound[i] = b
+			if b != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return n, nil
+		}
+		return &Call{Name: n.Name, Args: bound}, nil
+	case *IsNullExpr:
+		x, err := BindParams(n.X, args)
+		if err != nil {
+			return nil, err
+		}
+		if x == n.X {
+			return n, nil
+		}
+		return &IsNullExpr{X: x, Negate: n.Negate}, nil
+	}
+	return e, nil
+}
+
 // Call invokes a built-in function.
 type Call struct {
 	Name string

@@ -51,6 +51,8 @@ func Eval(e Expr, env Env) (Value, error) {
 			isNull = !isNull
 		}
 		return Bool(isNull), nil
+	case *Param:
+		return Value{}, fmt.Errorf("expr: unbound parameter $%d", n.Index)
 	}
 	return Value{}, fmt.Errorf("expr: cannot evaluate %T", e)
 }
@@ -406,6 +408,8 @@ func EvalFloat(e Expr, env FloatEnv) (float64, error) {
 			return 0, fmt.Errorf("expr: %s expects %d args, got %d", n.Name, b.arity, len(args))
 		}
 		return b.fn(args), nil
+	case *Param:
+		return 0, fmt.Errorf("expr: unbound parameter $%d", n.Index)
 	}
 	return 0, fmt.Errorf("expr: cannot numerically evaluate %T", e)
 }

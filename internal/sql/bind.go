@@ -1,0 +1,156 @@
+package sql
+
+import (
+	"fmt"
+
+	"datalaws/internal/expr"
+)
+
+// NumParams returns the number of `?` placeholders a parsed statement
+// expects. Placeholders are positional and 1-based, so this is the highest
+// parameter index referenced anywhere in the statement.
+func NumParams(st Stmt) int {
+	max := 0
+	up := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		if m := expr.MaxParam(e); m > max {
+			max = m
+		}
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		for _, it := range s.Items {
+			up(it.Expr)
+		}
+		for _, j := range s.Joins {
+			up(j.On)
+		}
+		up(s.Where)
+		for _, g := range s.GroupBy {
+			up(g)
+		}
+		up(s.Having)
+		for _, k := range s.OrderBy {
+			up(k.Expr)
+		}
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				up(e)
+			}
+		}
+	case *FitModelStmt:
+		up(s.Where)
+	case *ExplainStmt:
+		return NumParams(s.Inner)
+	}
+	return max
+}
+
+// BindParams returns a copy of st with every `?` placeholder replaced by the
+// literal value at its position. The input statement is never mutated, so a
+// prepared statement's AST can be bound concurrently by many sessions.
+// Statements without placeholders are returned as-is.
+func BindParams(st Stmt, args []expr.Value) (Stmt, error) {
+	return BindPrepared(st, args, NumParams(st))
+}
+
+// BindPrepared is BindParams for callers that already know the statement's
+// placeholder count (a prepared statement caches it), skipping the arity
+// walk on the per-execution hot path.
+func BindPrepared(st Stmt, args []expr.Value, want int) (Stmt, error) {
+	if want != len(args) {
+		return nil, fmt.Errorf("sql: statement expects %d parameters, got %d", want, len(args))
+	}
+	if want == 0 {
+		return st, nil
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		return bindSelect(s, args)
+	case *InsertStmt:
+		out := &InsertStmt{Table: s.Table, Rows: make([][]expr.Expr, len(s.Rows))}
+		for i, row := range s.Rows {
+			bound := make([]expr.Expr, len(row))
+			for j, e := range row {
+				b, err := expr.BindParams(e, args)
+				if err != nil {
+					return nil, err
+				}
+				bound[j] = b
+			}
+			out.Rows[i] = bound
+		}
+		return out, nil
+	case *FitModelStmt:
+		cp := *s
+		w, err := expr.BindParams(s.Where, args)
+		if err != nil {
+			return nil, err
+		}
+		cp.Where = w
+		return &cp, nil
+	case *ExplainStmt:
+		inner, err := bindSelect(s.Inner, args)
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Inner: inner}, nil
+	}
+	return nil, fmt.Errorf("sql: statement %T does not accept parameters", st)
+}
+
+func bindSelect(s *SelectStmt, args []expr.Value) (*SelectStmt, error) {
+	cp := *s
+	cp.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		b, err := expr.BindParams(it.Expr, args)
+		if err != nil {
+			return nil, err
+		}
+		cp.Items[i] = SelectItem{Expr: b, Alias: it.Alias, Star: it.Star}
+	}
+	if len(s.Joins) > 0 {
+		cp.Joins = make([]JoinClause, len(s.Joins))
+		for i, j := range s.Joins {
+			b, err := expr.BindParams(j.On, args)
+			if err != nil {
+				return nil, err
+			}
+			cp.Joins[i] = JoinClause{Table: j.Table, On: b}
+		}
+	}
+	w, err := expr.BindParams(s.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	cp.Where = w
+	if len(s.GroupBy) > 0 {
+		cp.GroupBy = make([]expr.Expr, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			b, err := expr.BindParams(g, args)
+			if err != nil {
+				return nil, err
+			}
+			cp.GroupBy[i] = b
+		}
+	}
+	h, err := expr.BindParams(s.Having, args)
+	if err != nil {
+		return nil, err
+	}
+	cp.Having = h
+	if len(s.OrderBy) > 0 {
+		cp.OrderBy = make([]OrderKey, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			b, err := expr.BindParams(k.Expr, args)
+			if err != nil {
+				return nil, err
+			}
+			cp.OrderBy[i] = OrderKey{Expr: b, Desc: k.Desc}
+		}
+	}
+	return &cp, nil
+}

@@ -1,0 +1,98 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"datalaws/internal/expr"
+)
+
+func TestParseParamsSelect(t *testing.T) {
+	st, err := Parse("SELECT a, b + ? FROM t WHERE a = ? AND b < ? ORDER BY a LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(st); n != 3 {
+		t.Fatalf("NumParams = %d, want 3", n)
+	}
+	sel := st.(*SelectStmt)
+	// Placeholders are numbered in source order: select list first.
+	if got := sel.Items[1].Expr.String(); !strings.Contains(got, "$1") {
+		t.Fatalf("item expr = %s", got)
+	}
+	if got := sel.Where.String(); !strings.Contains(got, "$2") || !strings.Contains(got, "$3") {
+		t.Fatalf("where expr = %s", got)
+	}
+}
+
+func TestParseParamsInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t VALUES (?, ?, 3), (?, 5, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(st); n != 4 {
+		t.Fatalf("NumParams = %d, want 4", n)
+	}
+}
+
+func TestBindParamsProducesLiterals(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE a = ? AND b = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(st, []expr.Value{expr.Int(7), expr.Str("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := bound.(*SelectStmt).Where.String()
+	if !strings.Contains(where, "7") || !strings.Contains(where, "x") {
+		t.Fatalf("bound where = %s", where)
+	}
+	// The template is untouched, so it can be re-bound.
+	if tmpl := st.(*SelectStmt).Where.String(); !strings.Contains(tmpl, "$1") {
+		t.Fatalf("template mutated: %s", tmpl)
+	}
+	again, err := BindParams(st, []expr.Value{expr.Int(9), expr.Str("y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := again.(*SelectStmt).Where.String(); !strings.Contains(w, "9") {
+		t.Fatalf("rebound where = %s", w)
+	}
+}
+
+func TestBindParamsArity(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BindParams(st, nil); err == nil {
+		t.Fatal("want error for missing args")
+	}
+	if _, err := BindParams(st, []expr.Value{expr.Int(1), expr.Int(2)}); err == nil {
+		t.Fatal("want error for extra args")
+	}
+	// Parameter-free statements bind to themselves.
+	free, err := Parse("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(free, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != free {
+		t.Fatal("parameter-free statement should bind to itself")
+	}
+}
+
+func TestUnboundParamFailsEval(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if _, err := expr.Eval(sel.Where, expr.MapEnv{"a": expr.Int(1)}); err == nil {
+		t.Fatal("evaluating an unbound parameter should error")
+	}
+}

@@ -30,6 +30,9 @@ func Parse(src string) (Stmt, error) {
 type parser struct {
 	toks []Token
 	i    int
+	// nparams counts `?` placeholders seen so far; placeholders are numbered
+	// 1..nparams in source order.
+	nparams int
 }
 
 func (p *parser) peek() Token { return p.toks[p.i] }
@@ -694,6 +697,11 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.Text == "?" {
+			p.advance()
+			p.nparams++
+			return &expr.Param{Index: p.nparams}, nil
 		}
 	}
 	return nil, fmt.Errorf("sql: unexpected %s in expression at offset %d", t, t.Pos)

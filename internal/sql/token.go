@@ -140,7 +140,7 @@ func Lex(src string) ([]Token, error) {
 				}
 			}
 			switch c {
-			case '+', '-', '*', '/', '%', '^', '(', ')', ',', '=', '<', '>', ';', '.':
+			case '+', '-', '*', '/', '%', '^', '(', ')', ',', '=', '<', '>', ';', '.', '?':
 				toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: pos})
 				pos++
 			default:

@@ -78,3 +78,25 @@ func (b *Bitmap) Clone() *Bitmap {
 	copy(nb.bits, b.bits)
 	return nb
 }
+
+// ClonePrefix returns a deep copy of the first n bits (all of them when n
+// exceeds the length). Scans use it to snapshot null masks: unlike a typed
+// value slice, a bitmap packs many rows into one word, so a concurrent
+// Append mutates words a reader of earlier rows would touch — readers must
+// copy while holding the owning table's lock.
+func (b *Bitmap) ClonePrefix(n int) *Bitmap {
+	if n > b.n {
+		n = b.n
+	}
+	if n < 0 {
+		n = 0
+	}
+	words := (n + 63) / 64
+	nb := &Bitmap{bits: make([]uint64, words), n: n}
+	copy(nb.bits, b.bits[:words])
+	if rem := n % 64; rem != 0 && words > 0 {
+		// Mask out bits beyond n so Any() reflects only the snapshot.
+		nb.bits[words-1] &= (1 << rem) - 1
+	}
+	return nb
+}

@@ -5,12 +5,17 @@
 package table
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"datalaws/internal/expr"
 	"datalaws/internal/storage"
 )
+
+// ErrUnknownTable marks lookups of tables that do not exist in a catalog;
+// callers can test for it with errors.Is across every layer that wraps it.
+var ErrUnknownTable = errors.New("unknown table")
 
 // ColumnDef describes one column of a schema.
 type ColumnDef struct {
@@ -168,6 +173,17 @@ func (t *Table) ColumnAt(i int) storage.Column {
 	return t.cols[i]
 }
 
+// View runs f with the column set and row count under one read-lock
+// acquisition. Scans that snapshot typed slice headers (the vectorized
+// table scan) must take them inside f: reading a column's slice header
+// outside the lock races with a concurrent append's header update, even
+// though the first `rows` elements themselves are immutable.
+func (t *Table) View(f func(cols []storage.Column, rows int) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return f(t.cols, t.rows)
+}
+
 // Row materializes row i as boxed values.
 func (t *Table) Row(i int) []expr.Value {
 	t.mu.RLock()
@@ -292,6 +308,16 @@ func (c *Catalog) Get(name string) (*Table, bool) {
 	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	return t, ok
+}
+
+// Lookup is Get with an ErrUnknownTable-wrapped error instead of a boolean,
+// for callers that propagate the failure.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	t, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("table: %w %q", ErrUnknownTable, name)
+	}
+	return t, nil
 }
 
 // Drop removes a table.

@@ -1,0 +1,77 @@
+package datalaws
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultPlanCacheCap bounds the number of compiled statements the engine
+// retains for unprepared traffic. Each entry holds a parsed AST and (for
+// APPROX SELECT) the rebindable plan artifacts, so the cap is a memory
+// bound, not a correctness knob: eviction only costs a re-parse.
+const defaultPlanCacheCap = 128
+
+// planCache is a mutex-guarded LRU of compiled statements keyed by SQL
+// text. A nil *planCache is a valid, always-missing cache, so engines built
+// without NewEngine degrade to parse-per-call instead of panicking.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key  string
+	stmt *Stmt
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheCap
+	}
+	return &planCache{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
+}
+
+func (c *planCache) get(key string) *Stmt {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*planEntry).stmt
+}
+
+func (c *planCache) put(key string, st *Stmt) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).stmt = st
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.l.PushFront(&planEntry{key: key, stmt: st})
+	for c.l.Len() > c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*planEntry).key)
+	}
+}
+
+// Len reports the number of cached statements (for tests and introspection).
+func (c *planCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

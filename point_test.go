@@ -1,0 +1,143 @@
+package datalaws
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fitSpectra captures the standard test model.
+func fitSpectra(t *testing.T, e *Engine) {
+	t.Helper()
+	e.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+}
+
+// TestPointLookupFastPathMatchesPipeline pins the fast path to the generic
+// scan pipeline: the same point query phrased so the fast path applies and
+// phrased so it cannot (an extra IS NOT NULL conjunct defeats the strict
+// shape check) must produce identical rows.
+func TestPointLookupFastPathMatchesPipeline(t *testing.T) {
+	e, _ := loadLOFAR(t, 20, 40)
+	fitSpectra(t, e)
+	for src := 1; src <= 5; src++ {
+		fast := e.MustExec(fmt.Sprintf(
+			"APPROX SELECT source, nu, intensity FROM measurements WHERE source = %d AND nu = 0.15", src))
+		generic := e.MustExec(fmt.Sprintf(
+			"APPROX SELECT source, nu, intensity FROM measurements WHERE source = %d AND nu = 0.15 AND intensity IS NOT NULL", src))
+		if len(fast.Rows) != 1 || len(generic.Rows) != 1 {
+			t.Fatalf("source %d: fast=%d generic=%d rows", src, len(fast.Rows), len(generic.Rows))
+		}
+		for c := range fast.Rows[0] {
+			fv, gv := fast.Rows[0][c], generic.Rows[0][c]
+			if fv.K != gv.K || fv.String() != gv.String() {
+				t.Fatalf("source %d col %d: fast %v vs generic %v", src, c, fv, gv)
+			}
+		}
+		if fast.Columns[0] != "source" || fast.Columns[1] != "nu" || fast.Columns[2] != "intensity" {
+			t.Fatalf("columns = %v", fast.Columns)
+		}
+	}
+}
+
+func TestPointLookupFastPathWithError(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	fitSpectra(t, e)
+	fast := e.MustExec(
+		"APPROX SELECT intensity, intensity_lo, intensity_hi FROM measurements WHERE source = 4 AND nu = 0.15 WITH ERROR")
+	generic := e.MustExec(
+		"APPROX SELECT intensity, intensity_lo, intensity_hi FROM measurements WHERE source = 4 AND nu = 0.15 AND intensity IS NOT NULL WITH ERROR")
+	if len(fast.Rows) != 1 || len(generic.Rows) != 1 {
+		t.Fatalf("fast=%d generic=%d rows", len(fast.Rows), len(generic.Rows))
+	}
+	for c := 0; c < 3; c++ {
+		if math.Abs(fast.Rows[0][c].F-generic.Rows[0][c].F) > 1e-12 {
+			t.Fatalf("col %d: fast %g vs generic %g", c, fast.Rows[0][c].F, generic.Rows[0][c].F)
+		}
+	}
+	v, lo, hi := fast.Rows[0][0].F, fast.Rows[0][1].F, fast.Rows[0][2].F
+	if !(lo < v && v < hi) {
+		t.Fatalf("bounds [%g,%g] around %g", lo, hi, v)
+	}
+}
+
+func TestPointLookupEmptyCases(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	fitSpectra(t, e)
+	for _, q := range []string{
+		// Unknown group: no fitted parameters.
+		"APPROX SELECT intensity FROM measurements WHERE source = 9999 AND nu = 0.15",
+		// Frequency the table has never held: outside every domain.
+		"APPROX SELECT intensity FROM measurements WHERE source = 3 AND nu = 0.987654",
+	} {
+		res := e.MustExec(q)
+		if len(res.Rows) != 0 {
+			t.Errorf("%s: rows = %v, want empty", q, res.Rows)
+		}
+	}
+}
+
+func TestPointLookupExplain(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	fitSpectra(t, e)
+	res := e.MustExec("EXPLAIN APPROX SELECT intensity FROM measurements WHERE source = 3 AND nu = 0.15")
+	if !strings.Contains(res.Info, "PointLookup") {
+		t.Fatalf("explain should show the point fast path:\n%s", res.Info)
+	}
+	// A non-point query keeps the scan pipeline, with pushdown noted.
+	res = e.MustExec("EXPLAIN APPROX SELECT avg(intensity) FROM measurements WHERE source = 3")
+	if !strings.Contains(res.Info, "ModelScan") || !strings.Contains(res.Info, "point pushdown") {
+		t.Fatalf("explain should show the restricted model scan:\n%s", res.Info)
+	}
+}
+
+// TestGroupPushdownMatchesFullScan checks that restricting the grid via an
+// equality on the group column does not change any non-point query result.
+func TestGroupPushdownMatchesFullScan(t *testing.T) {
+	e, _ := loadLOFAR(t, 15, 40)
+	fitSpectra(t, e)
+	restricted := e.MustExec("APPROX SELECT count(*), avg(intensity) FROM measurements WHERE source = 7")
+	// Same query with the pushdown defeated by an always-true extra term.
+	full := e.MustExec("APPROX SELECT count(*), avg(intensity) FROM measurements WHERE source = 7 AND intensity IS NOT NULL")
+	if restricted.Rows[0][0].I != full.Rows[0][0].I {
+		t.Fatalf("count: restricted %v vs full %v", restricted.Rows[0][0], full.Rows[0][0])
+	}
+	if math.Abs(restricted.Rows[0][1].F-full.Rows[0][1].F) > 1e-9 {
+		t.Fatalf("avg: restricted %v vs full %v", restricted.Rows[0][1], full.Rows[0][1])
+	}
+}
+
+// TestPointLookupStreamed exercises the fast path through the streaming
+// cursor with parameters, the intended hot loop for serving traffic.
+func TestPointLookupStreamed(t *testing.T) {
+	e, _ := loadLOFAR(t, 10, 40)
+	fitSpectra(t, e)
+	stmt, err := e.Prepare("APPROX SELECT intensity FROM measurements WHERE source = ? AND nu = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 1; src <= 10; src++ {
+		rows, err := stmt.Query(context.Background(), src, 0.12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var v float64
+			if err := rows.Scan(&v); err != nil {
+				t.Fatal(err)
+			}
+			if v <= 0 {
+				t.Fatalf("source %d: intensity %g", src, v)
+			}
+			n++
+		}
+		if rows.Err() != nil || n != 1 {
+			t.Fatalf("source %d: n=%d err=%v", src, n, rows.Err())
+		}
+		rows.Close()
+	}
+}

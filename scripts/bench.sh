@@ -6,10 +6,16 @@
 # Usage: scripts/bench.sh [bench-regex]
 #   scripts/bench.sh                       # everything
 #   scripts/bench.sh 'ZeroIOScan|Vectorized'  # the row-vs-batch pairs
+#   scripts/bench.sh prepared              # prepared vs parse-per-call
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
+# Shorthand for the session-API comparison: prepared statements (bind-only
+# executions) vs plan-LRU-cached vs parse-per-call.
+if [ "$pattern" = "prepared" ]; then
+  pattern='ApproxPointQuery|PreparedExactPoint|QueryStreamingFirstRow'
+fi
 outdir="bench-results"
 mkdir -p "$outdir"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
