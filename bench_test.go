@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	datalaws "datalaws"
 	"datalaws/internal/anomaly"
@@ -874,4 +875,132 @@ func BenchmarkQueryStreamingFirstRow(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Live-data loop: ingestion and background refit ---
+
+// BenchmarkIngestAppendRow measures per-row ingestion (one lock per row).
+func BenchmarkIngestAppendRow(b *testing.B) {
+	e := datalaws.NewEngine()
+	e.MustExec("CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)")
+	tb, _ := e.Catalog.Get("m")
+	row := []expr.Value{expr.Int(1), expr.Float(0.15), expr.Float(2.0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.AppendRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestAppendBatch measures batched ingestion through
+// Engine.Append (one lock and one version bump per 1024-row batch).
+func BenchmarkIngestAppendBatch(b *testing.B) {
+	e := datalaws.NewEngine()
+	e.MustExec("CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)")
+	batch := make([][]expr.Value, 1024)
+	for i := range batch {
+		batch[i] = []expr.Value{expr.Int(int64(i % 16)), expr.Float(0.15), expr.Float(2.0)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Append("m", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(1024 * 24)) // 3 numeric columns per row
+}
+
+// BenchmarkIngestWhileApproxQuery measures prepared APPROX point-query
+// latency while a writer streams batches into the same table — the
+// appends-concurrent-with-queries claim, quantified. The writer is paced
+// (a batch per millisecond): every version bump makes the next Bind
+// rebuild domains and legal set against the grown table, so an unthrottled
+// writer would turn the benchmark quadratic instead of measuring steady
+// ingest pressure.
+func BenchmarkIngestWhileApproxQuery(b *testing.B) {
+	e, _, _, _ := benchEngine(b, 100, 0)
+	e.AQP.Policy.MaxStalenessFrac = 0 // the writer outgrows any staleness bar
+	stmt, err := e.Prepare("APPROX SELECT intensity FROM measurements WHERE source = ? AND nu = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		batch := make([][]expr.Value, 256)
+		for i := range batch {
+			batch[i] = []expr.Value{expr.Int(int64(i%100 + 1)), expr.Float(0.15), expr.Float(2.0)}
+		}
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			if _, err := e.Append("measurements", batch); err != nil {
+				return
+			}
+		}
+	}()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := stmt.Query(ctx, int64(i%100+1), 0.15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkRefitWarmVsCold quantifies warm-starting the background refit
+// from the previous parameters against restarting from the declared values.
+func BenchmarkRefitWarmVsCold(b *testing.B) {
+	for _, mode := range []string{"warm", "cold"} {
+		b.Run(mode, func(b *testing.B) {
+			e, tb, _, _ := benchEngine(b, 300, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if mode == "warm" {
+					_, err = e.Models.Refit("spectra", tb)
+				} else {
+					_, err = e.Models.RefitCold("spectra", tb)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDriftObserve measures the per-batch cost of feeding appended
+// rows through the drift detector (what auto-refit adds to the ingest path).
+func BenchmarkDriftObserve(b *testing.B) {
+	_, tb, m, _ := benchEngine(b, 100, 0)
+	det := modelstore.NewDriftDetector(modelstore.DriftConfig{})
+	batch := make([][]expr.Value, 1024)
+	for i := range batch {
+		batch[i] = []expr.Value{expr.Int(int64(i%100 + 1)), expr.Float(0.15), expr.Float(2.0)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(m, tb.Schema(), batch)
+	}
 }

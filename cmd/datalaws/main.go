@@ -1,10 +1,13 @@
 // Command datalaws is an interactive SQL shell over the model-harvesting
 // engine. It supports the full statement set — SELECT, APPROX SELECT ...
-// WITH ERROR, CREATE TABLE, INSERT, FIT MODEL, SHOW MODELS, REFIT MODEL,
-// DROP MODEL — plus shell commands:
+// WITH ERROR, CREATE TABLE, DROP TABLE, INSERT, FIT MODEL, SHOW MODELS,
+// REFIT MODEL, DROP MODEL — plus shell commands:
 //
 //	\load lofar|sensors|retail   load a synthetic dataset
 //	\import NAME FILE.csv        load a CSV file as table NAME
+//	\save DIR                    persist tables and models (crash-safe)
+//	\restore DIR                 load a saved directory
+//	\autorefit on|off            background drift detection + model refit
 //	\serve ADDR                  expose the engine to strawman sessions
 //	\q                           quit
 //
@@ -26,6 +29,7 @@ import (
 	datalaws "datalaws"
 	"datalaws/internal/capture"
 	"datalaws/internal/expr"
+	"datalaws/internal/refit"
 	"datalaws/internal/synth"
 	"datalaws/internal/table"
 )
@@ -42,6 +46,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	var server *capture.Server
 	defer func() {
+		eng.Close()
 		if server != nil {
 			server.Close()
 		}
@@ -167,6 +172,48 @@ func shellCommand(eng *datalaws.Engine, line string, server **capture.Server) er
 			return err
 		}
 		fmt.Printf("imported %d rows into %s\n", t.NumRows(), fields[1])
+		return nil
+	case "\\save":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\save DIR")
+		}
+		if err := eng.SaveDir(fields[1]); err != nil {
+			return err
+		}
+		fmt.Printf("saved %d table(s) and %d model(s) to %s\n",
+			len(eng.Catalog.Names()), len(eng.Models.List()), fields[1])
+		return nil
+	case "\\restore":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\restore DIR")
+		}
+		if err := eng.LoadDir(fields[1]); err != nil {
+			return err
+		}
+		fmt.Printf("restored from %s: %d table(s), %d model(s)\n",
+			fields[1], len(eng.Catalog.Names()), len(eng.Models.List()))
+		return nil
+	case "\\autorefit":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			return fmt.Errorf("usage: \\autorefit on|off")
+		}
+		if fields[1] == "off" {
+			eng.Close()
+			fmt.Println("auto-refit off")
+			return nil
+		}
+		eng.EnableAutoRefit(refit.Options{
+			Interval: 5 * time.Second,
+			OnEvent: func(ev refit.Event) {
+				if ev.Err != nil {
+					fmt.Fprintf(os.Stderr, "\n[autorefit] %s refit failed: %v\n", ev.Model, ev.Err)
+					return
+				}
+				fmt.Printf("\n[autorefit] model %s v%d -> v%d (%s trigger, %v)\ndatalaws> ",
+					ev.Model, ev.OldVersion, ev.NewVersion, ev.Trigger, ev.Took.Round(time.Millisecond))
+			},
+		})
+		fmt.Println("auto-refit on: drifted or outgrown models re-fit in the background")
 		return nil
 	case "\\serve":
 		if len(fields) != 2 {

@@ -41,12 +41,14 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"datalaws/internal/aqp"
 	"datalaws/internal/capture"
 	"datalaws/internal/exec"
 	"datalaws/internal/expr"
 	"datalaws/internal/modelstore"
+	"datalaws/internal/refit"
 	"datalaws/internal/sql"
 	"datalaws/internal/table"
 )
@@ -58,6 +60,11 @@ var (
 	ErrUnknownTable = table.ErrUnknownTable
 	// ErrUnknownModel marks references to models absent from the store.
 	ErrUnknownModel = modelstore.ErrNotFound
+	// ErrNoModel marks APPROX queries no trusted captured model can answer
+	// (none fitted, none covering the referenced columns, or all revoked by
+	// the staleness policy). With AQP.FallbackExact set, the session layer
+	// answers such queries exactly instead of surfacing this error.
+	ErrNoModel = modelstore.ErrNoModel
 )
 
 // Engine is the top-level database handle. One Engine serves any number of
@@ -78,6 +85,11 @@ type Engine struct {
 
 	// plans memoizes compiled statements for unprepared Query/Exec traffic.
 	plans *planCache
+
+	// refitter is the optional background maintenance loop (EnableAutoRefit);
+	// guarded by refitMu so ingestion can read it from any session.
+	refitMu  sync.Mutex
+	refitter *refit.Refitter
 }
 
 // NewEngine returns an empty engine with default approximate-query options.
@@ -100,10 +112,16 @@ type Result struct {
 	// Info carries a human-readable summary for DDL/utility statements.
 	Info string
 	// Model names the captured model an approximate plan used ("" for exact
-	// plans); ApproxGrid is the model grid size before legality filtering.
-	Model      string
-	ApproxGrid int
-	Hybrid     bool
+	// plans); ModelVersion is its refit generation; ApproxGrid is the model
+	// grid size before legality filtering; SEInflation is the staleness
+	// widening applied to WITH ERROR bounds; ExactFallback marks an APPROX
+	// SELECT answered exactly because no trusted model covered it.
+	Model         string
+	ModelVersion  int
+	ApproxGrid    int
+	Hybrid        bool
+	SEInflation   float64
+	ExactFallback bool
 }
 
 // Exec parses and executes one SQL statement, materializing the full
@@ -129,6 +147,8 @@ func (e *Engine) execStmt(st sql.Stmt) (*Result, error) {
 	switch s := st.(type) {
 	case *sql.CreateTableStmt:
 		return e.execCreate(s)
+	case *sql.DropTableStmt:
+		return e.execDropTable(s)
 	case *sql.InsertStmt:
 		return e.execInsert(s)
 	case *sql.FitModelStmt:
@@ -138,6 +158,9 @@ func (e *Engine) execStmt(st sql.Stmt) (*Result, error) {
 	case *sql.DropModelStmt:
 		if !e.Models.Drop(s.Name) {
 			return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
+		}
+		if r := e.AutoRefit(); r != nil {
+			r.Reset(s.Name)
 		}
 		return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
 	case *sql.RefitModelStmt:
@@ -163,14 +186,32 @@ func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	return &Result{Info: fmt.Sprintf("table %s created", s.Name)}, nil
 }
 
+func (e *Engine) execDropTable(s *sql.DropTableStmt) (*Result, error) {
+	if !e.Catalog.Drop(s.Name) {
+		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownTable, s.Name)
+	}
+	// Models captured on the table describe data that no longer exists.
+	dropped := e.Models.DropForTable(s.Name)
+	for _, name := range dropped {
+		if r := e.AutoRefit(); r != nil {
+			r.Reset(name)
+		}
+	}
+	info := fmt.Sprintf("table %s dropped", s.Name)
+	if len(dropped) > 0 {
+		info += fmt.Sprintf(" (with %d captured model(s): %s)", len(dropped), strings.Join(dropped, ", "))
+	}
+	return &Result{Info: info}, nil
+}
+
 func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
 	t, err := e.Catalog.Lookup(s.Table)
 	if err != nil {
 		return nil, fmt.Errorf("datalaws: %w", err)
 	}
 	env := expr.MapEnv{}
-	n := 0
-	for _, rowExprs := range s.Rows {
+	rows := make([][]expr.Value, len(s.Rows))
+	for r, rowExprs := range s.Rows {
 		row := make([]expr.Value, len(rowExprs))
 		for i, re := range rowExprs {
 			v, err := expr.Eval(re, env)
@@ -179,10 +220,12 @@ func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
 			}
 			row[i] = v
 		}
-		if err := t.AppendRow(row); err != nil {
-			return nil, err
-		}
-		n++
+		rows[r] = row
+	}
+	n, err := t.AppendRows(rows)
+	e.afterAppend(t, rows[:n])
+	if err != nil {
+		return nil, err
 	}
 	return &Result{Info: fmt.Sprintf("%d rows inserted", n)}, nil
 }
@@ -243,6 +286,10 @@ func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
 	nm, err := e.Models.Refit(s.Name, t)
 	if err != nil {
 		return nil, err
+	}
+	// Drift evidence collected against the old version is obsolete.
+	if r := e.AutoRefit(); r != nil {
+		r.Reset(s.Name)
 	}
 	return &Result{
 		Model: nm.Spec.Name,

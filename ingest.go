@@ -1,0 +1,139 @@
+package datalaws
+
+import (
+	"fmt"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/refit"
+	"datalaws/internal/table"
+)
+
+// Ingestion: the live side of capturing the laws of (data) nature. The
+// telescope keeps observing — rows arrive while captured models answer
+// queries — so the append path must be safe concurrent with streaming scans
+// (it is: tables take one writer lock per batch, readers snapshot under a
+// read lock) and must keep the model lifecycle honest (every appended row is
+// fed through the drift detector when auto-refit is enabled).
+
+// copyBatchSize bounds how many rows CopyFrom appends per lock acquisition,
+// so an unbounded source cannot starve concurrent readers.
+const copyBatchSize = 1024
+
+// Append appends schema-aligned boxed rows to a table in one batch — the
+// programmatic ingestion fast path (one lock acquisition, one version bump).
+// It returns the number of rows appended; on error, rows before the failing
+// one remain (ingestion is append-only). Appended rows are accounted against
+// captured models' drift state when auto-refit is enabled.
+func (e *Engine) Append(tableName string, rows [][]expr.Value) (int, error) {
+	t, err := e.Catalog.Lookup(tableName)
+	if err != nil {
+		return 0, fmt.Errorf("datalaws: %w", err)
+	}
+	n, err := t.AppendRows(rows)
+	e.afterAppend(t, rows[:n])
+	if err != nil {
+		return n, fmt.Errorf("datalaws: append to %q: %w", tableName, err)
+	}
+	return n, nil
+}
+
+// CopyFrom streams rows from src into a table in bounded batches. src
+// returns one schema-aligned row per call and (nil, nil) at end of input; a
+// source error aborts the copy after flushing the rows already produced.
+// It returns the total number of rows appended.
+func (e *Engine) CopyFrom(tableName string, src func() ([]expr.Value, error)) (int, error) {
+	t, err := e.Catalog.Lookup(tableName)
+	if err != nil {
+		return 0, fmt.Errorf("datalaws: %w", err)
+	}
+	total := 0
+	batch := make([][]expr.Value, 0, copyBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		n, err := t.AppendRows(batch)
+		e.afterAppend(t, batch[:n])
+		total += n
+		batch = batch[:0]
+		if err != nil {
+			return fmt.Errorf("datalaws: copy into %q: %w", tableName, err)
+		}
+		return nil
+	}
+	for {
+		row, err := src()
+		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return total, ferr
+			}
+			return total, fmt.Errorf("datalaws: copy source: %w", err)
+		}
+		if row == nil {
+			return total, flush()
+		}
+		batch = append(batch, row)
+		if len(batch) >= copyBatchSize {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+}
+
+// afterAppend feeds freshly appended rows into the background refitter's
+// drift detector (a no-op when auto-refit is disabled). Direct table writes
+// that bypass the engine (table.AppendRow on a raw handle) are still caught
+// eventually by the refitter's growth trigger on its periodic sweep.
+func (e *Engine) afterAppend(t *table.Table, rows [][]expr.Value) {
+	if len(rows) == 0 {
+		return
+	}
+	if r := e.AutoRefit(); r != nil {
+		r.ObserveAppend(t.Name, t.Schema(), rows)
+	}
+}
+
+// EnableAutoRefit starts the background maintenance loop: every ingested
+// row is scored against the captured models' stored residual scale, and
+// models whose law drifted (or whose table outgrew the fit) are re-fitted in
+// the background — warm-started from the previous parameters, on a
+// consistent snapshot, with the new version swapped in atomically. Prepared
+// APPROX statements pick up the new version on their next Bind.
+//
+// Calling it again replaces the previous refitter (the old one is stopped).
+// Returns the running refitter for introspection (Check, Sweep, Detector).
+func (e *Engine) EnableAutoRefit(opts refit.Options) *refit.Refitter {
+	r := refit.New(e.Catalog, e.Models, opts)
+	r.Start()
+	e.refitMu.Lock()
+	old := e.refitter
+	e.refitter = r
+	e.refitMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return r
+}
+
+// AutoRefit returns the running background refitter, or nil when auto-refit
+// is disabled.
+func (e *Engine) AutoRefit() *refit.Refitter {
+	e.refitMu.Lock()
+	defer e.refitMu.Unlock()
+	return e.refitter
+}
+
+// Close stops background maintenance work. The engine remains usable for
+// queries and ingestion afterwards; only auto-refit is disabled. It is safe
+// to call Close multiple times.
+func (e *Engine) Close() error {
+	e.refitMu.Lock()
+	r := e.refitter
+	e.refitter = nil
+	e.refitMu.Unlock()
+	if r != nil {
+		r.Close()
+	}
+	return nil
+}

@@ -31,6 +31,9 @@ type ModelScan struct {
 	// WithError appends prediction-interval columns at Level (default 0.95).
 	WithError bool
 	Level     float64
+	// SEInflation scales the prediction SE (staleness widening; values ≤ 1
+	// are treated as 1).
+	SEInflation float64
 	// TableName qualifies output column names; defaults to the model's
 	// table.
 	TableName string
@@ -202,6 +205,9 @@ func (s *ModelScan) predictionInterval(g *modelstore.GroupParams, inputs []float
 		v = 0
 	}
 	se := math.Sqrt(v + g.ResidualSE*g.ResidualSE)
+	if s.SEInflation > 1 {
+		se *= s.SEInflation
+	}
 	tcrit := stats.StudentT{Nu: float64(g.DF)}.Quantile(0.5 + s.Level/2)
 	return yhat - tcrit*se, yhat + tcrit*se
 }
@@ -216,6 +222,12 @@ func (s *ModelScan) RowsEmitted() int { return s.rowsOut }
 // (group, inputs) — directly from the parameter table: one hash lookup and
 // one model evaluation, no scan at all.
 func PointLookup(m *modelstore.CapturedModel, group int64, inputs []float64, level float64) (value, lo, hi float64, err error) {
+	return PointLookupScaled(m, group, inputs, level, 1)
+}
+
+// PointLookupScaled is PointLookup with a staleness widening factor applied
+// to the prediction SE (factors ≤ 1 leave the bounds untouched).
+func PointLookupScaled(m *modelstore.CapturedModel, group int64, inputs []float64, level, inflate float64) (value, lo, hi float64, err error) {
 	g, ok := m.GroupFor(group)
 	if !ok {
 		return 0, 0, 0, fmt.Errorf("aqp: no fitted parameters for group %d", group)
@@ -239,6 +251,9 @@ func PointLookup(m *modelstore.CapturedModel, group int64, inputs []float64, lev
 		v = 0
 	}
 	se := math.Sqrt(v + g.ResidualSE*g.ResidualSE)
+	if inflate > 1 {
+		se *= inflate
+	}
 	tcrit := stats.StudentT{Nu: float64(g.DF)}.Quantile(0.5 + level/2)
 	return yhat, yhat - tcrit*se, yhat + tcrit*se, nil
 }

@@ -31,6 +31,19 @@ type Options struct {
 	// ExecMode selects batch (vectorized) or row execution for the plan; the
 	// zero value lowers to the batch pipeline whenever possible.
 	ExecMode exec.Mode
+	// StaleInflate widens WITH ERROR bounds of a model that is stale but
+	// still trusted (the table grew since the fit, within the policy's
+	// staleness tolerance): the prediction SE is scaled by 1 + growth
+	// fraction. Honest bounds for live data — the fit-time residual scale
+	// understates uncertainty about rows it never saw.
+	StaleInflate bool
+	// FallbackExact makes the session layer answer an APPROX SELECT with the
+	// exact plan when no trusted model covers it (ErrNoModel) instead of
+	// failing — the safe default for live systems where a model may be
+	// revoked by staleness at any time. Wired in the engine's session layer,
+	// not here: BuildApproxSelect still reports ErrNoModel so callers can
+	// distinguish the routes.
+	FallbackExact bool
 }
 
 // DefaultOptions are sensible defaults: exact legal set, 95 % intervals.
@@ -46,6 +59,9 @@ type Plan struct {
 	Hybrid bool
 	// GridRows is the full model grid size before legality filtering.
 	GridRows int
+	// SEInflation is the staleness widening applied to WITH ERROR bounds
+	// (1 when the model is fresh or StaleInflate is off).
+	SEInflation float64
 }
 
 // BuildApproxSelect plans an APPROX SELECT: it picks the best applicable
@@ -87,6 +103,7 @@ type Prepared struct {
 	legal        LegalSet
 	tableVersion uint64
 	modelVersion int
+	inflate      float64 // staleness SE widening; 1 when fresh
 }
 
 // PrepareApproxSelect resolves the model, domains and legal set for an
@@ -144,7 +161,22 @@ func (p *Prepared) revalidateLocked() error {
 	}
 	p.model, p.domains, p.legal = model, domains, legal
 	p.tableVersion, p.modelVersion = tv, model.Version
+	p.inflate = staleInflation(model, t, p.opts)
 	return nil
+}
+
+// staleInflation is the error-bound widening for a model that answers while
+// stale: prediction SEs scale by 1 + growth fraction since the fit. A fresh
+// model (or StaleInflate off) keeps factor 1.
+func staleInflation(m *modelstore.CapturedModel, t *table.Table, opts Options) float64 {
+	if !opts.StaleInflate {
+		return 1
+	}
+	st := m.StalenessAgainst(t)
+	if st.GrowthFrac <= 0 {
+		return 1
+	}
+	return 1 + st.GrowthFrac
 }
 
 // Bind instantiates one execution's operator tree from the prepared
@@ -156,7 +188,7 @@ func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
 		p.mu.Unlock()
 		return nil, err
 	}
-	model, domains, legal := p.model, p.domains, p.legal
+	model, domains, legal, inflate := p.model, p.domains, p.legal, p.inflate
 	p.mu.Unlock()
 
 	// Point-lookup fast path: a bound statement that is exactly the
@@ -164,8 +196,8 @@ func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
 	// group and every input to a constant — skips the scan pipeline
 	// entirely and answers from the parameter table: one hash lookup and
 	// one model evaluation.
-	if op, ok := p.bindPointLookup(st, model, domains, legal); ok {
-		return &Plan{Op: op, Model: model, GridRows: GridSize(domains) * model.Quality.GroupsOK}, nil
+	if op, ok := p.bindPointLookup(st, model, domains, legal, inflate); ok {
+		return &Plan{Op: op, Model: model, GridRows: GridSize(domains) * model.Quality.GroupsOK, SEInflation: inflate}, nil
 	}
 
 	scan, err := NewModelScan(model, domains, legal)
@@ -174,6 +206,7 @@ func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
 	}
 	scan.WithError = st.WithError
 	scan.Level = p.opts.Level
+	scan.SEInflation = inflate
 	scan.TableName = st.From
 
 	// Point-lookup pushdown: equality conjuncts on the group column or an
@@ -212,7 +245,7 @@ func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Op: op, Model: model, Hybrid: hybrid, GridRows: GridSize(domains) * model.Quality.GroupsOK}, nil
+	return &Plan{Op: op, Model: model, Hybrid: hybrid, GridRows: GridSize(domains) * model.Quality.GroupsOK, SEInflation: inflate}, nil
 }
 
 // pushDownEqualities narrows a model scan using top-level `col = literal`

@@ -19,7 +19,7 @@ import (
 // empty-result conditions (unfitted group, value outside the enumerated
 // domain, illegal combination) replicate exactly what the generic
 // ModelScan + Filter + Project pipeline would produce.
-func (p *Prepared) bindPointLookup(st *sql.SelectStmt, model *modelstore.CapturedModel, domains []Domain, legal LegalSet) (exec.Operator, bool) {
+func (p *Prepared) bindPointLookup(st *sql.SelectStmt, model *modelstore.CapturedModel, domains []Domain, legal LegalSet, inflate float64) (exec.Operator, bool) {
 	if model.Spec.Where != nil { // hybrid plans route through the raw side
 		return nil, false
 	}
@@ -87,7 +87,7 @@ func (p *Prepared) bindPointLookup(st *sql.SelectStmt, model *modelstore.Capture
 			level = 0.95
 		}
 		var err error
-		yhat, lo, hi, err = PointLookup(model, key, inputs, level)
+		yhat, lo, hi, err = PointLookupScaled(model, key, inputs, level, inflate)
 		if err != nil {
 			return op, true
 		}

@@ -91,11 +91,25 @@ func NewStrawman(b Backend, tableName string) (*Strawman, error) {
 	return &Strawman{Table: tableName, backend: b, cols: cols, rows: rows}, nil
 }
 
-// Columns returns the remote table's column names.
+// Columns returns the remote table's column names (as of the last Refresh).
 func (s *Strawman) Columns() []string { return append([]string(nil), s.cols...) }
 
-// NumRows returns the remote table's row count at wrap time.
+// NumRows returns the remote table's row count as of the last Refresh (the
+// wrap time, if Refresh was never called). The remote table keeps growing
+// underneath the strawman; call Refresh for a current count.
 func (s *Strawman) NumRows() int { return s.rows }
+
+// Refresh re-fetches the remote table's shape. Fit calls it implicitly so a
+// fit after new observations arrived is judged against the table the
+// database actually fitted, not the shape cached at wrap time.
+func (s *Strawman) Refresh() error {
+	cols, rows, err := s.backend.TableInfo(s.Table)
+	if err != nil {
+		return fmt.Errorf("capture: refreshing table %q: %w", s.Table, err)
+	}
+	s.cols, s.rows = cols, rows
+	return nil
+}
 
 // FitOptions mirror the optional clauses of FIT MODEL for the client API.
 type FitOptions struct {
@@ -112,6 +126,9 @@ type FitOptions struct {
 // server-side as a transparent side effect — the interception the paper
 // proposes.
 func (s *Strawman) Fit(name, formula string, inputs []string, opts *FitOptions) (FitSummary, error) {
+	if err := s.Refresh(); err != nil {
+		return FitSummary{}, err
+	}
 	spec := modelstore.Spec{
 		Name:    name,
 		Table:   s.Table,

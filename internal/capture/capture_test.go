@@ -230,3 +230,47 @@ func TestDialFailure(t *testing.T) {
 		t.Fatal("want connection error")
 	}
 }
+
+// growingBackend reports a row count that grows between calls, like a live
+// table receiving appends.
+type growingBackend struct {
+	fakeBackend
+	rows int
+}
+
+func (g *growingBackend) TableInfo(name string) ([]string, int, error) {
+	cols, _, err := g.fakeBackend.TableInfo(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	g.rows += 100
+	return cols, g.rows, nil
+}
+
+// TestStrawmanRefresh is the satellite bugfix: the strawman caches the
+// table shape at wrap time, so NumRows lies after appends; Refresh (called
+// implicitly by Fit) re-fetches it.
+func TestStrawmanRefresh(t *testing.T) {
+	b := &growingBackend{}
+	s, err := NewStrawman(b, "measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 100 {
+		t.Fatalf("rows at wrap = %d", s.NumRows())
+	}
+	// The remote table grew; the cached shape is stale until Refresh.
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 200 {
+		t.Fatalf("rows after refresh = %d", s.NumRows())
+	}
+	// Fit refreshes implicitly.
+	if _, err := s.Fit("m", "intensity ~ p * pow(nu, alpha)", []string{"nu"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 300 {
+		t.Fatalf("rows after fit = %d", s.NumRows())
+	}
+}

@@ -27,6 +27,12 @@ type GroupedFit struct {
 	Model *Model
 	// Start provides per-parameter starting values for nonlinear fits.
 	Start map[string]float64
+	// StartFor, when non-nil, supplies per-group starting values and takes
+	// precedence over Start for groups where it returns a non-nil map. A
+	// refit warm-starts each group from its previously fitted parameters
+	// through this hook (recursive refitting: seed the optimizer where the
+	// law last held, so unchanged groups converge in one or two steps).
+	StartFor func(key int64) map[string]float64
 	// Opts configures the nonlinear optimizer.
 	Opts *NLSOptions
 	// Parallelism bounds worker goroutines; 0 selects GOMAXPROCS.
@@ -105,7 +111,13 @@ func (g *GroupedFit) Run(group []int64, data map[string][]float64) ([]GroupResul
 					xs[r] = row
 					ys[r] = y[i]
 				}
-				res, err := m.FitRows(xs, ys, g.Start, g.Opts)
+				start := g.Start
+				if g.StartFor != nil {
+					if s := g.StartFor(key); s != nil {
+						start = s
+					}
+				}
+				res, err := m.FitRows(xs, ys, start, g.Opts)
 				results[idx] = GroupResult{Key: key, Res: res, Err: err}
 			}
 		}()

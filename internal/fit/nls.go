@@ -172,6 +172,16 @@ func NLS(f ModelFunc, xs [][]float64, y []float64, start []float64, names []stri
 				break
 			}
 		} else {
+			// A rejected step that is already below the step tolerance means
+			// the optimizer cannot move: more damping only shrinks it
+			// further. Declaring convergence here (MINPACK's xtol on the
+			// trial step) is what makes warm-started refits cheap — a fit
+			// seeded at the previous optimum stops after one Jacobian build
+			// instead of climbing the damping ladder to saturation.
+			if relativeStep(step, beta) < o.TolStep {
+				converged = true
+				break
+			}
 			lambda *= o.LambdaUp
 			if lambda > 1e12 {
 				// Damping saturated: we are at a (possibly local) minimum.

@@ -22,6 +22,8 @@ type persistGroup struct {
 	R2         float64     `json:"r2,omitempty"`
 	N          int         `json:"n,omitempty"`
 	DF         int         `json:"df,omitempty"`
+	Iters      int         `json:"iters,omitempty"`
+	Retained   string      `json:"retained,omitempty"`
 	Cov        [][]float64 `json:"cov,omitempty"`
 	FitErr     string      `json:"fit_err,omitempty"`
 }
@@ -74,7 +76,8 @@ func (s *Store) Save(w io.Writer) error {
 			g := m.Groups[key]
 			pm.Groups = append(pm.Groups, persistGroup{
 				Key: g.Key, Params: g.Params, ResidualSE: g.ResidualSE,
-				R2: g.R2, N: g.N, DF: g.DF, Cov: g.Cov, FitErr: g.FitErr,
+				R2: g.R2, N: g.N, DF: g.DF, Iters: g.Iters, Retained: g.Retained,
+				Cov: g.Cov, FitErr: g.FitErr,
 			})
 		}
 		pf.Models = append(pf.Models, pm)
@@ -117,6 +120,9 @@ func (s *Store) Load(r io.Reader) error {
 	if pf.NextID > s.nextID {
 		s.nextID = pf.NextID
 	}
+	if len(loaded) > 0 {
+		s.epoch++
+	}
 	return nil
 }
 
@@ -146,7 +152,8 @@ func rebuildModel(pm persistModel) (*CapturedModel, error) {
 	for _, pg := range pm.Groups {
 		g := &GroupParams{
 			Key: pg.Key, Params: pg.Params, ResidualSE: pg.ResidualSE,
-			R2: pg.R2, N: pg.N, DF: pg.DF, Cov: pg.Cov, FitErr: pg.FitErr,
+			R2: pg.R2, N: pg.N, DF: pg.DF, Iters: pg.Iters, Retained: pg.Retained,
+			Cov: pg.Cov, FitErr: pg.FitErr,
 		}
 		if g.OK() && len(g.Params) != len(model.Params) {
 			return nil, fmt.Errorf("group %d has %d params, formula has %d", pg.Key, len(g.Params), len(model.Params))

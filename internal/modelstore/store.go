@@ -38,6 +38,14 @@ type GroupParams struct {
 	R2         float64
 	N          int
 	DF         int
+	// Iters is the optimizer iteration count of the fit (0 for the direct
+	// OLS path); warm-started refits should show markedly fewer iterations.
+	Iters int
+	// Retained is non-empty when a refit failed for this group and the
+	// previous version's parameters were kept instead (it holds the refit
+	// error). A live refit never loses answering coverage the old version
+	// had: the old law, however stale, beats an empty result.
+	Retained string
 	// Cov is the parameter covariance for error bounds (may be nil when the
 	// information matrix was singular).
 	Cov [][]float64
@@ -180,11 +188,22 @@ type Store struct {
 	models  map[string]*CapturedModel
 	byTable map[string][]*CapturedModel
 	nextID  int
+	epoch   uint64 // bumped on every capture/refit/drop/load
 }
 
 // NewStore returns an empty catalog.
 func NewStore() *Store {
 	return &Store{models: map[string]*CapturedModel{}, byTable: map[string][]*CapturedModel{}}
+}
+
+// Epoch returns a counter that increases whenever the model catalog changes
+// (capture, refit swap, drop, load). Plan caches record the epoch a plan was
+// compiled under and discard entries on mismatch, so cached plans never
+// outlive the models they were planned against.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
 }
 
 // Capture fits spec against t and stores the result — steps 2–3 of the
@@ -198,7 +217,7 @@ func (s *Store) Capture(t *table.Table, spec Spec) (*CapturedModel, error) {
 	if exists {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, spec.Name)
 	}
-	cm, err := fitSpec(t, spec)
+	cm, err := fitSpec(t, spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -212,35 +231,70 @@ func (s *Store) Capture(t *table.Table, spec Spec) (*CapturedModel, error) {
 	cm.Version = 1
 	s.models[spec.Name] = cm
 	s.byTable[spec.Table] = append(s.byTable[spec.Table], cm)
+	s.epoch++
 	return cm, nil
 }
 
 // Refit re-fits a stored model against the current table contents, bumping
 // its version — the paper's response to "changing or added observations can
-// change fit of the model dramatically".
+// change fit of the model dramatically". The optimizer warm-starts from the
+// previous parameters group by group (recursive refitting), so groups whose
+// law still holds converge almost immediately; RefitCold restarts from the
+// spec's declared starting values instead, for laws that changed so much the
+// old optimum misleads.
+//
+// Fitting runs entirely outside the store lock on a consistent table
+// snapshot, so queries keep answering from the old version until the new one
+// is swapped in atomically.
 func (s *Store) Refit(name string, t *table.Table) (*CapturedModel, error) {
+	return s.refit(name, t, true)
+}
+
+// RefitCold is Refit without warm-starting.
+func (s *Store) RefitCold(name string, t *table.Table) (*CapturedModel, error) {
+	return s.refit(name, t, false)
+}
+
+func (s *Store) refit(name string, t *table.Table, warm bool) (*CapturedModel, error) {
 	s.mu.RLock()
 	old, ok := s.models[name]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	cm, err := fitSpec(t, old.Spec)
+	var prev *CapturedModel
+	if warm {
+		prev = old
+	}
+	cm, err := fitSpec(t, old.Spec, prev)
 	if err != nil {
 		return nil, err
 	}
+	if retainFailedGroups(cm, old) > 0 {
+		cm.Quality = computeQuality(cm)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cm.ID = old.ID
-	cm.Version = old.Version + 1
+	// The model may have been refit concurrently; chain versions off
+	// whatever is current so the swap is last-writer-wins but monotonic.
+	// A different ID means the model was dropped and re-captured (possibly
+	// with a different formula) while we were fitting — swapping our result
+	// in would silently clobber the user's new model, so abort instead.
+	cur, ok := s.models[name]
+	if !ok || cur.ID != old.ID {
+		return nil, fmt.Errorf("%w: %q (dropped or replaced during refit)", ErrNotFound, name)
+	}
+	cm.ID = cur.ID
+	cm.Version = cur.Version + 1
 	s.models[name] = cm
 	tbl := s.byTable[old.Spec.Table]
 	for i, m := range tbl {
-		if m.ID == old.ID {
+		if m.ID == cur.ID {
 			tbl[i] = cm
 			break
 		}
 	}
+	s.epoch++
 	return cm, nil
 }
 
@@ -268,7 +322,26 @@ func (s *Store) Drop(name string) bool {
 			break
 		}
 	}
+	s.epoch++
 	return true
+}
+
+// DropForTable removes every model fitted on tableName (DROP TABLE cascades
+// to its captured models: their parameter tables describe data that no
+// longer exists). It returns the dropped model names.
+func (s *Store) DropForTable(tableName string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := make([]string, 0, len(s.byTable[tableName]))
+	for _, m := range s.byTable[tableName] {
+		delete(s.models, m.Spec.Name)
+		dropped = append(dropped, m.Spec.Name)
+	}
+	if len(dropped) > 0 {
+		delete(s.byTable, tableName)
+		s.epoch++
+	}
+	return dropped
 }
 
 // List returns all models sorted by name.
@@ -336,34 +409,56 @@ func (s *Store) BestFor(tableName, output string, t *table.Table, pol SelectionP
 	return best, nil
 }
 
-// fitSpec runs the fitting workload for a spec against a table snapshot.
-func fitSpec(t *table.Table, spec Spec) (*CapturedModel, error) {
+// fitSpec runs the fitting workload for a spec against a consistent table
+// snapshot. When prev is non-nil, the fit warm-starts from prev's fitted
+// parameters group by group.
+func fitSpec(t *table.Table, spec Spec, prev *CapturedModel) (*CapturedModel, error) {
 	model, err := fit.ParseModel(spec.Formula, spec.Inputs)
 	if err != nil {
 		return nil, err
 	}
-	version := t.Version()
-	rows := t.NumRows()
 
-	// Extract needed columns, applying the optional WHERE filter row-wise.
+	// Extract every needed column under one read-lock acquisition, so a fit
+	// racing concurrent appends sees one consistent prefix of the table and
+	// records exactly that version/row count for staleness tracking. Only
+	// cheap copies and prefix views happen under the lock; the interpreted
+	// WHERE pass and the fit itself run on them afterwards, entirely off the
+	// writer's path.
 	needed := append([]string{model.Output}, model.Inputs...)
 	cols := map[string][]float64{}
-	for _, c := range needed {
-		vals, err := t.FloatColumn(c)
-		if err != nil {
-			return nil, err
-		}
-		cols[c] = vals
-	}
 	var group []int64
-	if spec.GroupBy != "" {
-		group, err = t.IntColumn(spec.GroupBy)
-		if err != nil {
-			return nil, err
+	var whereCols []storage.Column
+	var version uint64
+	var rows int
+	err = t.Snapshot(func(sc []storage.Column, n int, v uint64) error {
+		version, rows = v, n
+		for _, name := range needed {
+			vals, err := floatPrefix(t, sc, name, n)
+			if err != nil {
+				return err
+			}
+			cols[name] = vals
 		}
+		if spec.GroupBy != "" {
+			g, err := intPrefix(t, sc, spec.GroupBy, n)
+			if err != nil {
+				return err
+			}
+			group = g
+		}
+		if spec.Where != nil {
+			whereCols = make([]storage.Column, len(sc))
+			for i := range sc {
+				whereCols[i] = prefixView(sc[i], n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if spec.Where != nil {
-		keep, err := filterMask(t, spec.Where)
+		keep, err := filterMask(t, whereCols, rows, spec.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -386,6 +481,11 @@ func fitSpec(t *table.Table, spec Spec) (*CapturedModel, error) {
 		opts.Method = fit.GaussNewton
 	}
 
+	var startFor func(int64) map[string]float64
+	if prev != nil {
+		startFor = warmStartFrom(prev, model)
+	}
+
 	cm := &CapturedModel{
 		Spec:          spec,
 		Model:         model,
@@ -394,14 +494,20 @@ func fitSpec(t *table.Table, spec Spec) (*CapturedModel, error) {
 		FittedRows:    rows,
 	}
 	if spec.GroupBy == "" {
-		res, err := model.Fit(cols, spec.Start, opts)
+		start := spec.Start
+		if startFor != nil {
+			if s := startFor(0); s != nil {
+				start = s
+			}
+		}
+		res, err := model.Fit(cols, start, opts)
 		if err != nil {
 			return nil, err
 		}
 		cm.Groups[0] = groupFromResult(0, res)
 		cm.Order = []int64{0}
 	} else {
-		gf := &fit.GroupedFit{Model: model, Start: spec.Start, Opts: opts}
+		gf := &fit.GroupedFit{Model: model, Start: spec.Start, StartFor: startFor, Opts: opts}
 		results, err := gf.Run(group, cols)
 		if err != nil {
 			return nil, err
@@ -419,6 +525,117 @@ func fitSpec(t *table.Table, spec Spec) (*CapturedModel, error) {
 	return cm, nil
 }
 
+// retainFailedGroups copies the previous version's parameters into groups
+// whose refit failed (new or shrunk data can break convergence for
+// individual groups), recording the refit error in Retained. Without this, a
+// background refit could silently turn answerable point queries into empty
+// results. It returns the number of groups retained.
+func retainFailedGroups(cm, old *CapturedModel) int {
+	n := 0
+	for key, g := range cm.Groups {
+		if g.OK() {
+			continue
+		}
+		og, ok := old.GroupFor(key)
+		if !ok {
+			continue
+		}
+		kept := *og // old models are immutable after the swap; sharing slices is safe
+		kept.Retained = g.FitErr
+		cm.Groups[key] = &kept
+		n++
+	}
+	return n
+}
+
+// warmStartFrom maps a group key to starting values taken from a previously
+// fitted model, or nil (fall back to the spec's declared start) when the
+// group was unfitted or the parameter set changed.
+func warmStartFrom(prev *CapturedModel, model *fit.Model) func(int64) map[string]float64 {
+	return func(key int64) map[string]float64 {
+		g, ok := prev.GroupFor(key)
+		if !ok || len(g.Params) != len(model.Params) {
+			return nil
+		}
+		start := make(map[string]float64, len(model.Params))
+		for j, p := range model.Params {
+			v := g.Params[j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil
+			}
+			start[p] = v
+		}
+		return start
+	}
+}
+
+// floatPrefix extracts the first n values of a numeric column as float64s.
+// It is FloatColumn restricted to a snapshot prefix; callers hold the
+// table's read lock through Snapshot, so the column holds exactly n rows and
+// the word-wise Nulls.Any suffices.
+func floatPrefix(t *table.Table, sc []storage.Column, name string, n int) ([]float64, error) {
+	idx := t.Schema().Index(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	switch c := sc[idx].(type) {
+	case *storage.Float64Column:
+		if c.Nulls.Any() {
+			return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+		}
+		out := make([]float64, n)
+		copy(out, c.Vals[:n])
+		return out, nil
+	case *storage.Int64Column:
+		if c.Nulls.Any() {
+			return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+		}
+		out := make([]float64, n)
+		for i, v := range c.Vals[:n] {
+			out[i] = float64(v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("table %s: column %q is not numeric", t.Name, name)
+}
+
+// intPrefix extracts the first n values of a BIGINT column.
+func intPrefix(t *table.Table, sc []storage.Column, name string, n int) ([]int64, error) {
+	idx := t.Schema().Index(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	c, ok := sc[idx].(*storage.Int64Column)
+	if !ok {
+		return nil, fmt.Errorf("table %s: column %q is not BIGINT", t.Name, name)
+	}
+	if c.Nulls.Any() {
+		return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+	}
+	out := make([]int64, n)
+	copy(out, c.Vals[:n])
+	return out, nil
+}
+
+// prefixView captures an immutable view of a column's first n rows: slice
+// headers capped at n (a concurrent append may write past n or reallocate,
+// but never mutates the first n elements) and prefix-cloned bitmaps. Views
+// taken under the table lock stay valid after it is released, which is what
+// lets the interpreted WHERE pass run without stalling writers.
+func prefixView(c storage.Column, n int) storage.Column {
+	switch col := c.(type) {
+	case *storage.Int64Column:
+		return &storage.Int64Column{Vals: col.Vals[:n:n], Nulls: col.Nulls.ClonePrefix(n)}
+	case *storage.Float64Column:
+		return &storage.Float64Column{Vals: col.Vals[:n:n], Nulls: col.Nulls.ClonePrefix(n)}
+	case *storage.StringColumn:
+		return &storage.StringColumn{Codes: col.Codes[:n:n], Dict: col.Dict, Nulls: col.Nulls.ClonePrefix(n)}
+	case *storage.BoolColumn:
+		return &storage.BoolColumn{Vals: col.Vals.ClonePrefix(n), Nulls: col.Nulls.ClonePrefix(n)}
+	}
+	return c
+}
+
 func groupFromResult(key int64, res *fit.Result) *GroupParams {
 	g := &GroupParams{
 		Key:        key,
@@ -427,6 +644,7 @@ func groupFromResult(key int64, res *fit.Result) *GroupParams {
 		R2:         res.R2,
 		N:          res.N,
 		DF:         res.DF,
+		Iters:      res.Iterations,
 	}
 	if res.Cov != nil {
 		p := len(res.Params)
@@ -466,15 +684,16 @@ func computeQuality(cm *CapturedModel) Quality {
 	return q
 }
 
-func filterMask(t *table.Table, where expr.Expr) ([]bool, error) {
-	n := t.NumRows()
+// filterMask evaluates the WHERE predicate over snapshot prefix views. It
+// runs after the table lock is released — the views are immutable — so a
+// large interpreted pass never stalls writers.
+func filterMask(t *table.Table, sc []storage.Column, n int, where expr.Expr) ([]bool, error) {
 	keep := make([]bool, n)
 	names := t.Schema().Names()
 	env := expr.MapEnv{}
 	for i := 0; i < n; i++ {
-		row := t.Row(i)
 		for c, name := range names {
-			env[name] = row[c]
+			env[name] = sc[c].Value(i)
 		}
 		v, err := expr.Eval(where, env)
 		if err != nil {

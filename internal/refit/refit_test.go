@@ -1,0 +1,237 @@
+package refit
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/storage"
+	"datalaws/internal/table"
+)
+
+func fixture(t *testing.T) (*table.Catalog, *modelstore.Store, *table.Table) {
+	t.Helper()
+	schema, err := table.NewSchema(
+		table.ColumnDef{Name: "g", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "x", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "y", Type: storage.TypeFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := table.NewCatalog()
+	tb, err := cat.Create("m", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for g := 1; g <= 4; g++ {
+		for i := 0; i < 40; i++ {
+			x := []float64{0.12, 0.15, 0.16, 0.18}[i%4]
+			y := 2 * math.Pow(x, -0.7) * (1 + 0.02*rng.NormFloat64())
+			if err := tb.AppendRow([]expr.Value{expr.Int(int64(g)), expr.Float(x), expr.Float(y)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	store := modelstore.NewStore()
+	if _, err := store.Capture(tb, modelstore.Spec{
+		Name: "law", Table: "m", Formula: "y ~ p * pow(x, alpha)",
+		Inputs: []string{"x"}, GroupBy: "g",
+		Start: map[string]float64{"p": 1, "alpha": -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat, store, tb
+}
+
+// shifted draws rows from a moved law: p 2 → 3 (same spectral index). Each
+// row's residual against the captured law is ~25 standard errors — blatant
+// drift — while the mixed old+new sample still fits the model family well
+// enough for the refit to converge.
+func shifted(n int, rng *rand.Rand) [][]expr.Value {
+	rows := make([][]expr.Value, 0, n)
+	for i := 0; i < n; i++ {
+		x := []float64{0.12, 0.15, 0.16, 0.18}[i%4]
+		y := 3 * math.Pow(x, -0.7) * (1 + 0.02*rng.NormFloat64())
+		rows = append(rows, []expr.Value{expr.Int(int64(i%4 + 1)), expr.Float(x), expr.Float(y)})
+	}
+	return rows
+}
+
+// TestDriftTriggersBackgroundRefit drives the whole loop: appended rows from
+// a changed law accumulate drift evidence, the background worker refits, the
+// new version picks up the new parameters.
+func TestDriftTriggersBackgroundRefit(t *testing.T) {
+	cat, store, tb := fixture(t)
+	old, _ := store.Get("law")
+
+	events := make(chan Event, 8)
+	r := New(cat, store, Options{
+		Drift:   modelstore.DriftConfig{MinRows: 16, MaxRMSZ: 2, MaxGrowthFrac: -1},
+		OnEvent: func(ev Event) { events <- ev },
+	})
+	r.Start()
+	defer r.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	rows := shifted(64, rng)
+	if _, err := tb.AppendRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	r.ObserveAppend("m", tb.Schema(), rows)
+
+	select {
+	case ev := <-events:
+		if ev.Err != nil {
+			t.Fatalf("refit failed: %v", ev.Err)
+		}
+		if ev.Trigger != "drift" {
+			t.Fatalf("trigger = %q", ev.Trigger)
+		}
+		if ev.NewVersion != old.Version+1 {
+			t.Fatalf("new version = %d", ev.NewVersion)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("background refit never happened")
+	}
+
+	nm, _ := store.Get("law")
+	if nm.Version != old.Version+1 {
+		t.Fatalf("store still serves version %d", nm.Version)
+	}
+	// The refit must have picked new parameters that pull predictions toward
+	// the moved law (exact recovery is impossible: the table still holds the
+	// old-law rows, so the fit lands between the regimes). Compare
+	// predictions, not raw parameters — (p, α) pairs lie on a ridge.
+	og, ok := old.GroupFor(1)
+	if !ok {
+		t.Fatal("group 1 unfitted in original model")
+	}
+	ng, ok := nm.GroupFor(1)
+	if !ok {
+		t.Fatal("group 1 unfitted after refit")
+	}
+	x := []float64{0.15}
+	oldPred := old.Model.Eval(og.Params, x)
+	newPred := nm.Model.Eval(ng.Params, x)
+	if newPred <= oldPred {
+		t.Fatalf("refit did not move toward the new law: f(0.15) %v -> %v", oldPred, newPred)
+	}
+	// Evidence was reset for the new version.
+	if st := r.Detector().State("law"); st.Observed != 0 {
+		t.Fatalf("detector not reset: %+v", st)
+	}
+}
+
+// TestSweepGrowthTrigger exercises the synchronous path and the growth
+// trigger (rows that arrived without ObserveAppend, e.g. direct writes).
+func TestSweepGrowthTrigger(t *testing.T) {
+	cat, store, tb := fixture(t)
+	r := New(cat, store, Options{
+		Drift: modelstore.DriftConfig{MinRows: 1 << 30, MaxRMSZ: 1e9, MaxGrowthFrac: 0.5},
+	})
+	defer r.Close()
+
+	if evs := r.Sweep(); len(evs) != 0 {
+		t.Fatalf("fresh model swept: %+v", evs)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ { // > 50% growth, same law
+		x := []float64{0.12, 0.15, 0.16, 0.18}[i%4]
+		y := 2 * math.Pow(x, -0.7) * (1 + 0.02*rng.NormFloat64())
+		if err := tb.AppendRow([]expr.Value{expr.Int(int64(i%4 + 1)), expr.Float(x), expr.Float(y)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := r.Sweep()
+	if len(evs) != 1 || evs[0].Err != nil || evs[0].Trigger != "growth" {
+		t.Fatalf("sweep = %+v", evs)
+	}
+	// Now fresh again.
+	if evs := r.Sweep(); len(evs) != 0 {
+		t.Fatalf("second sweep refitted again: %+v", evs)
+	}
+}
+
+// TestConcurrentObserveAndSweep runs writers feeding ObserveAppend against
+// background sweeps under the race detector.
+func TestConcurrentObserveAndSweep(t *testing.T) {
+	cat, store, tb := fixture(t)
+	r := New(cat, store, Options{
+		Drift:    modelstore.DriftConfig{MinRows: 16, MaxRMSZ: 2, MaxGrowthFrac: 0.3},
+		Interval: time.Millisecond,
+	})
+	r.Start()
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20; i++ {
+				rows := shifted(16, rng)
+				if _, err := tb.AppendRows(rows); err != nil {
+					t.Error(err)
+					return
+				}
+				r.ObserveAppend("m", tb.Schema(), rows)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Let at least one more sweep run, then shut down cleanly.
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	m, _ := store.Get("law")
+	if m.Version < 2 {
+		t.Fatalf("no refit happened under concurrent load (version %d)", m.Version)
+	}
+}
+
+func TestCloseIdempotentAndStartAfterCloseNoop(t *testing.T) {
+	cat, store, _ := fixture(t)
+	r := New(cat, store, Options{})
+	r.Start()
+	r.Close()
+	r.Close()
+	r.Start() // must not panic or leak a goroutine against a closed done chan
+}
+
+// TestFailureBackoff: a model whose refit fails persistently must not be
+// re-attempted on every sweep — each failure arms a cooldown.
+func TestFailureBackoff(t *testing.T) {
+	cat, store, tb := fixture(t)
+	r := New(cat, store, Options{
+		Drift:          modelstore.DriftConfig{MinRows: 1 << 30, MaxRMSZ: 1e9, MaxGrowthFrac: 0.5},
+		FailureBackoff: time.Hour,
+	})
+	defer r.Close()
+
+	// Outgrow the fit with rows that also poison it: a NULL in an input
+	// column makes every refit fail.
+	for i := 0; i < 200; i++ {
+		if err := tb.AppendRow([]expr.Value{expr.Int(1), expr.Null(), expr.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := r.Sweep()
+	if len(evs) != 1 || evs[0].Err == nil {
+		t.Fatalf("sweep = %+v", evs)
+	}
+	// Still stale (growth), still broken — but in backoff: no re-attempt.
+	if evs := r.Sweep(); len(evs) != 0 {
+		t.Fatalf("failing refit retried inside backoff window: %+v", evs)
+	}
+	// A manual Reset (e.g. after the operator fixed the data) clears it.
+	r.Reset("law")
+	if evs := r.Sweep(); len(evs) != 1 {
+		t.Fatalf("sweep after reset = %+v", evs)
+	}
+}

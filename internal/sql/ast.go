@@ -96,6 +96,11 @@ type DropModelStmt struct{ Name string }
 
 func (*DropModelStmt) stmt() {}
 
+// DropTableStmt removes a table; models captured on it are dropped with it.
+type DropTableStmt struct{ Name string }
+
+func (*DropTableStmt) stmt() {}
+
 // RefitModelStmt re-fits a stale model against current data (the paper's
 // "data or model changes" maintenance action).
 type RefitModelStmt struct{ Name string }

@@ -93,6 +93,13 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return &ShowModelsStmt{}, nil
 	case p.at(TokKeyword, "DROP"):
 		p.advance()
+		if p.accept(TokKeyword, "TABLE") {
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &DropTableStmt{Name: name.Text}, nil
+		}
 		if _, err := p.expect(TokKeyword, "MODEL"); err != nil {
 			return nil, err
 		}

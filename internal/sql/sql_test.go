@@ -253,3 +253,25 @@ func TestLexStringEscape(t *testing.T) {
 		t.Fatalf("got %q", toks[0].Text)
 	}
 }
+
+func TestParseDropTable(t *testing.T) {
+	st, err := Parse("DROP TABLE measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := st.(*DropTableStmt)
+	if !ok || d.Name != "measurements" {
+		t.Fatalf("parsed %#v", st)
+	}
+	// DROP MODEL still parses as before.
+	st, err = Parse("DROP MODEL spectra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := st.(*DropModelStmt); !ok || m.Name != "spectra" {
+		t.Fatalf("parsed %#v", st)
+	}
+	if _, err := Parse("DROP spectra"); err == nil {
+		t.Fatal("DROP without TABLE/MODEL should fail")
+	}
+}

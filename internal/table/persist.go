@@ -18,28 +18,34 @@ import (
 
 var tableMagic = []byte("DLTB1")
 
-// WriteBinary serializes the table to w.
+// WriteBinary serializes the table to w. The whole serialization runs under
+// one read-lock acquisition (Snapshot): encoding column by column without it
+// races concurrent appends — reallocated slice headers, and columns captured
+// at different lengths, which ReadBinary would reject as corrupt. Writers
+// block for the duration of this table's encode; readers are unaffected.
 func WriteBinary(t *Table, w io.Writer) error {
-	if _, err := w.Write(tableMagic); err != nil {
-		return err
-	}
-	if err := writeBytes(w, []byte(t.Name)); err != nil {
-		return err
-	}
-	cols := t.Schema().Cols
-	if err := writeUvarint(w, uint64(len(cols))); err != nil {
-		return err
-	}
-	for i, def := range cols {
-		if err := writeBytes(w, []byte(def.Name)); err != nil {
+	return t.Snapshot(func(cols []storage.Column, _ int, _ uint64) error {
+		if _, err := w.Write(tableMagic); err != nil {
 			return err
 		}
-		frame := storage.EncodeColumn(t.ColumnAt(i))
-		if err := writeBytes(w, frame); err != nil {
+		if err := writeBytes(w, []byte(t.Name)); err != nil {
 			return err
 		}
-	}
-	return nil
+		defs := t.Schema().Cols
+		if err := writeUvarint(w, uint64(len(defs))); err != nil {
+			return err
+		}
+		for i, def := range defs {
+			if err := writeBytes(w, []byte(def.Name)); err != nil {
+				return err
+			}
+			frame := storage.EncodeColumn(cols[i])
+			if err := writeBytes(w, frame); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // ReadBinary deserializes a table written by WriteBinary.

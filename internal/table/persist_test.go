@@ -90,3 +90,46 @@ func TestBinaryCorruption(t *testing.T) {
 		t.Fatal("want error for empty input")
 	}
 }
+
+// TestWriteBinaryConcurrentAppend: serialization must snapshot the table —
+// encoding columns at different lengths (or racing a slice reallocation)
+// produces a file ReadBinary rejects. Run under -race.
+func TestWriteBinaryConcurrentAppend(t *testing.T) {
+	tb := New("m", lofarSchema(t))
+	for i := 0; i < 1000; i++ {
+		if err := tb.AppendRow([]expr.Value{expr.Int(int64(i)), expr.Float(0.15), expr.Float(2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tb.AppendRow([]expr.Value{expr.Int(1), expr.Float(0.15), expr.Float(2)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(tb, &buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("snapshot save produced unloadable file: %v", err)
+		}
+		if back.NumRows() < 1000 {
+			t.Fatalf("rows = %d", back.NumRows())
+		}
+	}
+	close(stop)
+	<-done
+}

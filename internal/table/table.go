@@ -103,14 +103,46 @@ func (t *Table) Version() uint64 {
 
 // AppendRow appends one row of boxed values matching the schema order.
 func (t *Table) AppendRow(vals []expr.Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.appendRowLocked(vals); err != nil {
+		return err
+	}
+	t.version++
+	return nil
+}
+
+// AppendRows appends a batch of rows under one lock acquisition — the
+// ingestion fast path. It returns the number of rows appended; on error,
+// rows before the failing one remain appended (the table stays row-aligned,
+// ingestion is append-only). The version counter is bumped once per batch
+// that changed the table.
+func (t *Table) AppendRows(rows [][]expr.Value) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for r, vals := range rows {
+		if err := t.appendRowLocked(vals); err != nil {
+			if r > 0 {
+				t.version++
+			}
+			return r, err
+		}
+	}
+	if len(rows) > 0 {
+		t.version++
+	}
+	return len(rows), nil
+}
+
+// appendRowLocked appends one schema-aligned row; callers hold t.mu and are
+// responsible for the version bump. A failing value rolls back the partial
+// row so columns stay aligned.
+func (t *Table) appendRowLocked(vals []expr.Value) error {
 	if len(vals) != len(t.schema.Cols) {
 		return fmt.Errorf("table %s: row has %d values, schema has %d", t.Name, len(vals), len(t.schema.Cols))
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for i, v := range vals {
 		if err := t.cols[i].AppendValue(v); err != nil {
-			// Roll back the partial row so columns stay aligned.
 			for j := 0; j < i; j++ {
 				rollbackLast(t.cols[j])
 			}
@@ -118,7 +150,6 @@ func (t *Table) AppendRow(vals []expr.Value) error {
 		}
 	}
 	t.rows++
-	t.version++
 	return nil
 }
 
@@ -182,6 +213,17 @@ func (t *Table) View(f func(cols []storage.Column, rows int) error) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return f(t.cols, t.rows)
+}
+
+// Snapshot is View extended with the version counter: f observes columns,
+// row count and version under the same read-lock acquisition, so fitting can
+// record exactly which table state it saw even while a writer keeps
+// appending. Only the first `rows` elements of each column are part of the
+// snapshot; they are immutable once written.
+func (t *Table) Snapshot(f func(cols []storage.Column, rows int, version uint64) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return f(t.cols, t.rows, t.version)
 }
 
 // Row materializes row i as boxed values.
@@ -274,10 +316,21 @@ func (t *Table) RawSizeBytes() int {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	epoch  uint64 // bumped on every create/add/drop; plan-cache invalidation
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// Epoch returns a counter that increases whenever the set of tables changes
+// (create, add, drop). Cached plans record the epoch they were compiled
+// under and are discarded on mismatch, so a plan can never survive a DROP
+// TABLE / re-CREATE of its table.
+func (c *Catalog) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
 
 // Create registers a new empty table; it fails on duplicate names.
 func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
@@ -288,6 +341,7 @@ func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
 	}
 	t := New(name, schema)
 	c.tables[name] = t
+	c.epoch++
 	return t, nil
 }
 
@@ -299,6 +353,7 @@ func (c *Catalog) Add(t *Table) error {
 		return fmt.Errorf("table: %q already exists", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.epoch++
 	return nil
 }
 
@@ -328,6 +383,7 @@ func (c *Catalog) Drop(name string) bool {
 		return false
 	}
 	delete(c.tables, name)
+	c.epoch++
 	return true
 }
 

@@ -22,6 +22,15 @@ func lofarSchema(t *testing.T) *Schema {
 	return s
 }
 
+func mustSchema(t *testing.T, cols ...ColumnDef) *Schema {
+	t.Helper()
+	s, err := NewSchema(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestSchemaValidation(t *testing.T) {
 	if _, err := NewSchema(ColumnDef{Name: "a"}, ColumnDef{Name: "a"}); err == nil {
 		t.Fatal("want duplicate error")
@@ -232,5 +241,85 @@ func TestCSVErrors(t *testing.T) {
 	}
 	if _, err := ReadCSV("x", strings.NewReader("a,b\n1\n")); err == nil {
 		t.Fatal("want error for ragged row")
+	}
+}
+
+func TestAppendRowsBatch(t *testing.T) {
+	tb := New("t", mustSchema(t,
+		ColumnDef{Name: "a", Type: storage.TypeInt64},
+		ColumnDef{Name: "b", Type: storage.TypeFloat64},
+	))
+	v0 := tb.Version()
+	rows := [][]expr.Value{
+		{expr.Int(1), expr.Float(1.5)},
+		{expr.Int(2), expr.Float(2.5)},
+		{expr.Int(3), expr.Float(3.5)},
+	}
+	n, err := tb.AppendRows(rows)
+	if err != nil || n != 3 {
+		t.Fatalf("AppendRows = %d, %v", n, err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// One version bump per batch, not per row.
+	if tb.Version() != v0+1 {
+		t.Fatalf("version = %d, want %d", tb.Version(), v0+1)
+	}
+	// Empty batch: no bump.
+	if n, err := tb.AppendRows(nil); err != nil || n != 0 {
+		t.Fatalf("empty batch = %d, %v", n, err)
+	}
+	if tb.Version() != v0+1 {
+		t.Fatal("empty batch bumped version")
+	}
+}
+
+func TestAppendRowsPartialFailure(t *testing.T) {
+	tb := New("t", mustSchema(t,
+		ColumnDef{Name: "a", Type: storage.TypeInt64},
+	))
+	rows := [][]expr.Value{
+		{expr.Int(1)},
+		{expr.Str("nope")}, // type error
+		{expr.Int(3)},
+	}
+	n, err := tb.AppendRows(rows)
+	if err == nil || n != 1 {
+		t.Fatalf("AppendRows = %d, %v", n, err)
+	}
+	// The prefix persists, columns stay aligned, and the version moved
+	// because data changed.
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Version() == 0 {
+		t.Fatal("partial batch should bump version")
+	}
+}
+
+func TestCatalogEpoch(t *testing.T) {
+	c := NewCatalog()
+	e0 := c.Epoch()
+	if _, err := c.Create("t", mustSchema(t, ColumnDef{Name: "a", Type: storage.TypeInt64})); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() == e0 {
+		t.Fatal("create did not bump epoch")
+	}
+	e1 := c.Epoch()
+	if !c.Drop("t") {
+		t.Fatal("drop failed")
+	}
+	if c.Epoch() == e1 {
+		t.Fatal("drop did not bump epoch")
+	}
+	// Failed operations leave the epoch alone.
+	e2 := c.Epoch()
+	if c.Drop("missing") {
+		t.Fatal("dropped a missing table")
+	}
+	if c.Epoch() != e2 {
+		t.Fatal("failed drop bumped epoch")
 	}
 }

@@ -13,44 +13,104 @@ import (
 // column file (<name>.dltab, inheriting the lightweight column encodings)
 // and the captured model catalog as models.json with formulas in source
 // form. The directory is created if needed.
+//
+// The save is crash-safe: everything is written into a temporary staging
+// directory first, fsynced, and only then renamed over the previous files
+// one by one (models.json last, so models never refer to tables that were
+// not yet swapped in). A crash or error mid-save leaves the previous good
+// state untouched; at worst some tables are new while models.json is still
+// old, which LoadDir tolerates (models are revalidated against formulas on
+// load, and staleness tracking re-anchors on first use). Stale .dltab files
+// from tables that no longer exist are not deleted.
 func (e *Engine) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	stage, err := os.MkdirTemp(dir, ".dlsave-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stage)
+
+	var files []string // staged file names, models.json last
 	for _, name := range e.Catalog.Names() {
 		t, ok := e.Catalog.Get(name)
 		if !ok {
 			continue
 		}
-		f, err := os.Create(filepath.Join(dir, name+".dltab"))
-		if err != nil {
-			return err
-		}
-		if err := table.WriteBinary(t, f); err != nil {
-			f.Close()
+		fn := name + ".dltab"
+		if err := writeFileSynced(filepath.Join(stage, fn), func(f *os.File) error {
+			return table.WriteBinary(t, f)
+		}); err != nil {
 			return fmt.Errorf("datalaws: saving table %q: %w", name, err)
 		}
-		if err := f.Close(); err != nil {
-			return err
+		files = append(files, fn)
+	}
+	if err := writeFileSynced(filepath.Join(stage, "models.json"), func(f *os.File) error {
+		return e.Models.Save(f)
+	}); err != nil {
+		return fmt.Errorf("datalaws: saving models: %w", err)
+	}
+	files = append(files, "models.json")
+
+	// Commit: atomically rename each staged file over its final name, then
+	// fsync the directory so the renames are durable.
+	for _, fn := range files {
+		if err := os.Rename(filepath.Join(stage, fn), filepath.Join(dir, fn)); err != nil {
+			return fmt.Errorf("datalaws: committing %s: %w", fn, err)
 		}
 	}
-	f, err := os.Create(filepath.Join(dir, "models.json"))
+	return syncDir(dir)
+}
+
+// writeFileSynced creates path, runs write against it, and fsyncs before
+// closing, so a rename that follows publishes fully durable content.
+func writeFileSynced(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return e.Models.Save(f)
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Directory fsync is advisory on some filesystems (it can fail with
+	// EINVAL); the renames above are already atomic, so best-effort is right.
+	_ = d.Sync()
+	return nil
 }
 
 // LoadDir restores an engine persisted with SaveDir into this engine.
 // Loaded names must not collide with existing tables or models.
+//
+// The load is staged: every table file is read and decoded, and the model
+// catalog parsed, before anything is committed to the engine. An error at
+// any point — an unreadable file, a corrupt table, a malformed models.json,
+// a name collision — leaves the engine exactly as it was; a partial catalog
+// is never observable.
 func (e *Engine) LoadDir(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
 	}
+
+	// Stage: decode everything before touching the engine.
+	var tables []*table.Table
 	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".dltab") {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".dltab") || strings.HasPrefix(ent.Name(), ".") {
 			continue
 		}
 		f, err := os.Open(filepath.Join(dir, ent.Name()))
@@ -62,17 +122,39 @@ func (e *Engine) LoadDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("datalaws: loading %s: %w", ent.Name(), err)
 		}
+		tables = append(tables, t)
+	}
+	var models *os.File
+	if mf, err := os.Open(filepath.Join(dir, "models.json")); err == nil {
+		models = mf
+		defer models.Close()
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	// Commit tables, rolling back the ones added here on any failure.
+	var added []string
+	rollback := func() {
+		for _, name := range added {
+			e.Catalog.Drop(name)
+		}
+	}
+	for _, t := range tables {
 		if err := e.Catalog.Add(t); err != nil {
+			rollback()
+			return err
+		}
+		added = append(added, t.Name)
+	}
+	// Commit models last. Store.Load is itself all-or-nothing (it decodes,
+	// rebuilds and collision-checks everything before mutating the store),
+	// so on any failure — corrupt JSON, bad formula, duplicate name — only
+	// the tables need unwinding.
+	if models != nil {
+		if err := e.Models.Load(models); err != nil {
+			rollback()
 			return err
 		}
 	}
-	mf, err := os.Open(filepath.Join(dir, "models.json"))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return err
-	}
-	defer mf.Close()
-	return e.Models.Load(mf)
+	return nil
 }

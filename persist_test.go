@@ -2,6 +2,8 @@ package datalaws
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -46,6 +48,143 @@ func TestSaveLoadDirRoundTrip(t *testing.T) {
 	show := e2.MustExec("SHOW MODELS")
 	if len(show.Rows) != 1 || show.Rows[0][0].S != "spectra" {
 		t.Fatalf("models = %v", show.Rows)
+	}
+}
+
+// TestSaveDirNoStagingLeftovers: a successful save must leave only the
+// final files — the staging directory is gone.
+func TestSaveDirNoStagingLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := loadLOFAR(t, 5, 20)
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name(), ".dlsave-") {
+			t.Fatalf("staging leftover %s", ent.Name())
+		}
+	}
+}
+
+// TestSaveDirCrashSafe is the satellite bugfix: a failing save must leave
+// the previous good state loadable, because the write happens in a staging
+// directory and only publishes via rename.
+func TestSaveDirCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	e1, _ := loadLOFAR(t, 5, 20)
+	e1.MustExec(`FIT MODEL spectra ON measurements
+		AS 'intensity ~ p * pow(nu, alpha)'
+		INPUTS (nu) GROUP BY source START (p = 1, alpha = -1)`)
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second engine tries to save a table whose target name is obstructed
+	// by a directory: the rename must fail, and nothing already on disk may
+	// be harmed.
+	e2 := NewEngine()
+	e2.MustExec("CREATE TABLE blocked (a BIGINT)")
+	e2.MustExec("INSERT INTO blocked VALUES (1)")
+	if err := os.Mkdir(filepath.Join(dir, "blocked.dltab"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SaveDir(dir); err == nil {
+		t.Fatal("save over an obstructed name should fail")
+	}
+	if err := os.Remove(filepath.Join(dir, "blocked.dltab")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The previous good state survives the failed save intact.
+	e3 := NewEngine()
+	if err := e3.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	tb, ok := e3.Catalog.Get("measurements")
+	if !ok {
+		t.Fatal("table lost after failed save")
+	}
+	orig, _ := e1.Catalog.Get("measurements")
+	if tb.NumRows() != orig.NumRows() {
+		t.Fatalf("rows %d vs %d", tb.NumRows(), orig.NumRows())
+	}
+	if _, ok := e3.Models.Get("spectra"); !ok {
+		t.Fatal("model lost after failed save")
+	}
+	if _, ok := e3.Catalog.Get("blocked"); ok {
+		t.Fatal("failed save published its table")
+	}
+}
+
+// TestLoadDirAtomicOnCorruptModels is the satellite bugfix: an error
+// mid-load must not leave a partial catalog behind.
+func TestLoadDirAtomicOnCorruptModels(t *testing.T) {
+	dir := t.TempDir()
+	e1, _ := loadLOFAR(t, 5, 20)
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "models.json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	if err := e2.LoadDir(dir); err == nil {
+		t.Fatal("corrupt models.json should fail the load")
+	}
+	if names := e2.Catalog.Names(); len(names) != 0 {
+		t.Fatalf("partial catalog after failed load: %v", names)
+	}
+	if models := e2.Models.List(); len(models) != 0 {
+		t.Fatalf("partial model store after failed load: %v", models)
+	}
+}
+
+// TestLoadDirAtomicOnCorruptTable: a truncated table file fails the load
+// before anything is committed.
+func TestLoadDirAtomicOnCorruptTable(t *testing.T) {
+	dir := t.TempDir()
+	e1, _ := loadLOFAR(t, 5, 20)
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// "zzz" sorts after "measurements", so a naive incremental load would
+	// have committed the good table before hitting the corrupt one.
+	if err := os.WriteFile(filepath.Join(dir, "zzz.dltab"), []byte("not a table"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	if err := e2.LoadDir(dir); err == nil {
+		t.Fatal("corrupt table file should fail the load")
+	}
+	if names := e2.Catalog.Names(); len(names) != 0 {
+		t.Fatalf("partial catalog after failed load: %v", names)
+	}
+}
+
+// TestLoadDirRollbackOnCollision: colliding table names roll back every
+// table added by the failed load.
+func TestLoadDirRollbackOnCollision(t *testing.T) {
+	dir := t.TempDir()
+	e1, _ := loadLOFAR(t, 5, 20)
+	e1.MustExec("CREATE TABLE extra (a BIGINT)")
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	e2.MustExec("CREATE TABLE measurements (a BIGINT)")
+	if err := e2.LoadDir(dir); err == nil {
+		t.Fatal("collision should fail the load")
+	}
+	if _, ok := e2.Catalog.Get("extra"); ok {
+		t.Fatal("rollback left a loaded table behind")
+	}
+	// The pre-existing table is untouched.
+	if tb, ok := e2.Catalog.Get("measurements"); !ok || tb.Schema().Index("a") != 0 {
+		t.Fatal("pre-existing table damaged by failed load")
 	}
 }
 

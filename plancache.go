@@ -14,6 +14,14 @@ const defaultPlanCacheCap = 128
 // planCache is a mutex-guarded LRU of compiled statements keyed by SQL
 // text. A nil *planCache is a valid, always-missing cache, so engines built
 // without NewEngine degrade to parse-per-call instead of panicking.
+//
+// Entries record the catalog and model-store epochs they were compiled
+// under; a lookup under different epochs discards the entry instead of
+// returning it, so a cached plan never survives DDL (DROP TABLE /
+// re-CREATE) or a model catalog change (FIT, REFIT — including the
+// background refitter's swaps — DROP MODEL, LoadDir). Data-only changes
+// (appends) do not move the epochs: those are handled by per-execution
+// version revalidation inside the plans themselves.
 type planCache struct {
 	mu  sync.Mutex
 	cap int
@@ -22,8 +30,9 @@ type planCache struct {
 }
 
 type planEntry struct {
-	key  string
-	stmt *Stmt
+	key                string
+	stmt               *Stmt
+	catEpoch, modEpoch uint64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -33,7 +42,7 @@ func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
 }
 
-func (c *planCache) get(key string) *Stmt {
+func (c *planCache) get(key string, catEpoch, modEpoch uint64) *Stmt {
 	if c == nil {
 		return nil
 	}
@@ -43,22 +52,29 @@ func (c *planCache) get(key string) *Stmt {
 	if !ok {
 		return nil
 	}
+	e := el.Value.(*planEntry)
+	if e.catEpoch != catEpoch || e.modEpoch != modEpoch {
+		c.l.Remove(el)
+		delete(c.m, key)
+		return nil
+	}
 	c.l.MoveToFront(el)
-	return el.Value.(*planEntry).stmt
+	return e.stmt
 }
 
-func (c *planCache) put(key string, st *Stmt) {
+func (c *planCache) put(key string, st *Stmt, catEpoch, modEpoch uint64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*planEntry).stmt = st
+		e := el.Value.(*planEntry)
+		e.stmt, e.catEpoch, e.modEpoch = st, catEpoch, modEpoch
 		c.l.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.l.PushFront(&planEntry{key: key, stmt: st})
+	c.m[key] = c.l.PushFront(&planEntry{key: key, stmt: st, catEpoch: catEpoch, modEpoch: modEpoch})
 	for c.l.Len() > c.cap {
 		oldest := c.l.Back()
 		c.l.Remove(oldest)

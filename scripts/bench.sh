@@ -7,6 +7,7 @@
 #   scripts/bench.sh                       # everything
 #   scripts/bench.sh 'ZeroIOScan|Vectorized'  # the row-vs-batch pairs
 #   scripts/bench.sh prepared              # prepared vs parse-per-call
+#   scripts/bench.sh ingest                # ingestion + background refit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,12 @@ pattern="${1:-.}"
 # executions) vs plan-LRU-cached vs parse-per-call.
 if [ "$pattern" = "prepared" ]; then
   pattern='ApproxPointQuery|PreparedExactPoint|QueryStreamingFirstRow'
+fi
+# Shorthand for the live-data loop: batched vs per-row ingestion, query
+# latency under concurrent appends, warm vs cold background refit, and the
+# drift detector's per-batch overhead.
+if [ "$pattern" = "ingest" ]; then
+  pattern='Ingest|RefitWarmVsCold|DriftObserve|ModelRefitSwitch'
 fi
 outdir="bench-results"
 mkdir -p "$outdir"

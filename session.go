@@ -2,12 +2,14 @@ package datalaws
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"datalaws/internal/aqp"
 	"datalaws/internal/exec"
 	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
 	"datalaws/internal/sql"
 )
 
@@ -25,11 +27,19 @@ type Rows struct {
 	// Info carries the human-readable summary of DDL/utility statements.
 	Info string
 	// Model names the captured model an approximate plan used ("" for exact
-	// plans); ApproxGrid is the model grid size before legality filtering;
-	// Hybrid reports partial-coverage routing.
-	Model      string
-	ApproxGrid int
-	Hybrid     bool
+	// plans); ModelVersion is that model's refit generation, so sessions can
+	// observe a background refit being picked up; ApproxGrid is the model
+	// grid size before legality filtering; Hybrid reports partial-coverage
+	// routing; SEInflation is the staleness widening applied to WITH ERROR
+	// bounds (0 for exact plans, 1 for a fresh model); ExactFallback reports
+	// that an APPROX SELECT was answered by the exact plan because no
+	// trusted model covered it (Options.FallbackExact).
+	Model         string
+	ModelVersion  int
+	ApproxGrid    int
+	Hybrid        bool
+	SEInflation   float64
+	ExactFallback bool
 
 	cols   []string
 	op     exec.Operator // streaming source; nil for materialized results
@@ -279,11 +289,14 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
 	}
 	defer rows.Close()
 	res := &Result{
-		Columns:    rows.Columns(),
-		Info:       rows.Info,
-		Model:      rows.Model,
-		ApproxGrid: rows.ApproxGrid,
-		Hybrid:     rows.Hybrid,
+		Columns:       rows.Columns(),
+		Info:          rows.Info,
+		Model:         rows.Model,
+		ModelVersion:  rows.ModelVersion,
+		ApproxGrid:    rows.ApproxGrid,
+		Hybrid:        rows.Hybrid,
+		SEInflation:   rows.SEInflation,
+		ExactFallback: rows.ExactFallback,
 	}
 	for rows.Next() {
 		res.Rows = append(res.Rows, rows.Row())
@@ -298,18 +311,36 @@ func (s *Stmt) querySelect(ctx context.Context, sel *sql.SelectStmt) (*Rows, err
 	rows := &Rows{}
 	var op exec.Operator
 	if sel.Approx {
+		var plan *aqp.Plan
 		prep, err := s.prepared()
-		if err != nil {
-			return nil, err
+		if err == nil {
+			plan, err = prep.Bind(sel)
 		}
-		plan, err := prep.Bind(sel)
 		if err != nil {
-			return nil, err
+			// Staleness-aware fallback: with no trusted model (never fitted,
+			// dropped, or revoked by the staleness policy mid-stream), answer
+			// the query exactly instead of failing — live systems should not
+			// bounce APPROX traffic because a law expired. Anything but
+			// ErrNoModel, or a failure of the exact plan itself (e.g. the
+			// query projects model-only _lo/_hi columns), reports the
+			// original approximate-planning error.
+			if !s.eng.AQP.FallbackExact || !errors.Is(err, modelstore.ErrNoModel) {
+				return nil, err
+			}
+			exact, exErr := exec.BuildSelectOverMode(s.eng.Catalog, sel, nil, s.eng.ExecMode)
+			if exErr != nil {
+				return nil, err
+			}
+			op = exact
+			rows.ExactFallback = true
+		} else {
+			op = plan.Op
+			rows.Model = plan.Model.Spec.Name
+			rows.ModelVersion = plan.Model.Version
+			rows.ApproxGrid = plan.GridRows
+			rows.Hybrid = plan.Hybrid
+			rows.SEInflation = plan.SEInflation
 		}
-		op = plan.Op
-		rows.Model = plan.Model.Spec.Name
-		rows.ApproxGrid = plan.GridRows
-		rows.Hybrid = plan.Hybrid
 	} else {
 		var err error
 		op, err = exec.BuildSelectOverMode(s.eng.Catalog, sel, nil, s.eng.ExecMode)
@@ -351,12 +382,15 @@ func (s *Stmt) prepared() (*aqp.Prepared, error) {
 // materializedRows wraps an eagerly computed Result as a cursor.
 func materializedRows(res *Result) *Rows {
 	return &Rows{
-		Info:       res.Info,
-		Model:      res.Model,
-		ApproxGrid: res.ApproxGrid,
-		Hybrid:     res.Hybrid,
-		cols:       res.Columns,
-		buf:        res.Rows,
+		Info:          res.Info,
+		Model:         res.Model,
+		ModelVersion:  res.ModelVersion,
+		ApproxGrid:    res.ApproxGrid,
+		Hybrid:        res.Hybrid,
+		SEInflation:   res.SEInflation,
+		ExactFallback: res.ExactFallback,
+		cols:          res.Columns,
+		buf:           res.Rows,
 	}
 }
 
@@ -385,9 +419,12 @@ func (e *Engine) ExecContext(ctx context.Context, src string, args ...any) (*Res
 // stmt returns a compiled statement for src, consulting the engine's plan
 // cache so repeated unprepared queries skip re-parsing (and, for APPROX
 // SELECT, grid re-planning). Only SELECT and EXPLAIN texts are cached:
-// DDL/DML texts rarely repeat and would only churn the LRU.
+// DDL/DML texts rarely repeat and would only churn the LRU. Cache entries
+// carry the catalog/model epochs they were compiled under, so DDL and model
+// catalog changes (including background refits) invalidate them.
 func (e *Engine) stmt(src string) (*Stmt, error) {
-	if st := e.plans.get(src); st != nil {
+	catEpoch, modEpoch := e.Catalog.Epoch(), e.Models.Epoch()
+	if st := e.plans.get(src, catEpoch, modEpoch); st != nil {
 		return st, nil
 	}
 	st, err := e.Prepare(src)
@@ -396,7 +433,7 @@ func (e *Engine) stmt(src string) (*Stmt, error) {
 	}
 	switch st.ast.(type) {
 	case *sql.SelectStmt, *sql.ExplainStmt:
-		e.plans.put(src, st)
+		e.plans.put(src, st, catEpoch, modEpoch)
 	}
 	return st, nil
 }

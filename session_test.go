@@ -365,17 +365,29 @@ func TestPlanCacheReusesStatements(t *testing.T) {
 func TestPlanCacheEviction(t *testing.T) {
 	c := newPlanCache(2)
 	a, b, d := &Stmt{}, &Stmt{}, &Stmt{}
-	c.put("a", a)
-	c.put("b", b)
-	if c.get("a") != a { // touch a so b is LRU
+	c.put("a", a, 0, 0)
+	c.put("b", b, 0, 0)
+	if c.get("a", 0, 0) != a { // touch a so b is LRU
 		t.Fatal("miss on a")
 	}
-	c.put("d", d)
-	if c.get("b") != nil {
+	c.put("d", d, 0, 0)
+	if c.get("b", 0, 0) != nil {
 		t.Fatal("b should have been evicted")
 	}
-	if c.get("a") != a || c.get("d") != d {
+	if c.get("a", 0, 0) != a || c.get("d", 0, 0) != d {
 		t.Fatal("a and d should remain")
+	}
+	// An epoch mismatch — DDL or a model-catalog change since compile —
+	// discards the entry instead of serving a stale plan.
+	if c.get("a", 1, 0) != nil {
+		t.Fatal("catalog epoch bump should invalidate")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len after invalidation = %d", c.Len())
+	}
+	c.put("a", a, 1, 1)
+	if c.get("a", 1, 2) != nil {
+		t.Fatal("model epoch bump should invalidate")
 	}
 }
 
