@@ -1004,3 +1004,124 @@ func BenchmarkDriftObserve(b *testing.B) {
 		det.Observe(m, tb.Schema(), batch)
 	}
 }
+
+// --- P1: morsel-driven parallel execution (scan, group-by, fit) ---
+
+// parallelWorkerCounts are the sub-benchmark pool sizes; workers=1 is the
+// serial baseline the ISSUE's speedup targets compare against. Speedups
+// only materialize with as many free cores, so run these on a 4+ core
+// machine (scripts/bench.sh parallel).
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// parallelBenchEngine builds an engine holding one wide synthetic table
+// spanning many morsels (default morsel = 16K rows).
+func parallelBenchEngine(b *testing.B, rows int) *datalaws.Engine {
+	b.Helper()
+	e := datalaws.NewEngine()
+	e.MustExec(`CREATE TABLE big (grp BIGINT, x DOUBLE, y DOUBLE, id BIGINT)`)
+	batch := make([][]expr.Value, 0, 4096)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, []expr.Value{
+			expr.Int(int64(i % 512)),
+			expr.Float(float64(i%9973) / 100),
+			expr.Float(float64((i*7)%13007) / 10),
+			expr.Int(int64(i)),
+		})
+		if len(batch) == cap(batch) {
+			if _, err := e.Append("big", batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if _, err := e.Append("big", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// BenchmarkParallelScan drives the exact scan path — predicate kernels over
+// every row, few survivors — through 1/2/4/8 morsel workers.
+func BenchmarkParallelScan(b *testing.B) {
+	e := parallelBenchEngine(b, 400_000)
+	const q = `SELECT id, x + y FROM big WHERE x > 99.0 AND y < 100.0`
+	for _, w := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e.SetParallelism(w)
+			b.SetBytes(int64(32 * 400_000))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGroupBy drives hash aggregation — per-worker partial
+// tables plus one merge over 512 groups — through 1/2/4/8 workers.
+func BenchmarkParallelGroupBy(b *testing.B) {
+	e := parallelBenchEngine(b, 400_000)
+	const q = `SELECT grp, count(*), sum(x), avg(y), min(x), max(y) FROM big GROUP BY grp`
+	for _, w := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e.SetParallelism(w)
+			b.SetBytes(int64(32 * 400_000))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFit runs the grouped nonlinear fit — the paper's
+// per-source law extraction, embarrassingly parallel across groups —
+// through 1/2/4/8 fitting workers.
+func BenchmarkParallelFit(b *testing.B) {
+	const groups, obs = 256, 40
+	model, err := fit.ParseModel("y ~ a * pow(x, b)", []string{"x"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := groups * obs
+	group := make([]int64, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for g := 0; g < groups; g++ {
+		a := 1 + float64(g%17)/4
+		bb := -2 + float64(g%9)/10
+		for j := 0; j < obs; j++ {
+			i := g*obs + j
+			group[i] = int64(g)
+			xs[i] = 0.1 + float64(j)/16
+			noise := 1 + 0.01*float64((i*31)%7-3)
+			ys[i] = a * math.Pow(xs[i], bb) * noise
+		}
+	}
+	data := map[string][]float64{"x": xs, "y": ys}
+	for _, w := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			gf := &fit.GroupedFit{
+				Model:       model,
+				Start:       map[string]float64{"a": 1, "b": -1},
+				Parallelism: w,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := gf.Run(group, data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != groups {
+					b.Fatalf("fitted %d groups, want %d", len(results), groups)
+				}
+			}
+		})
+	}
+}

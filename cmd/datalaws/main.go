@@ -8,6 +8,7 @@
 //	\save DIR                    persist tables and models (crash-safe)
 //	\restore DIR                 load a saved directory
 //	\autorefit on|off            background drift detection + model refit
+//	\parallelism N               morsel worker pool size (0 = GOMAXPROCS, 1 = serial)
 //	\serve ADDR                  expose the engine to strawman sessions
 //	\q                           quit
 //
@@ -23,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -214,6 +217,21 @@ func shellCommand(eng *datalaws.Engine, line string, server **capture.Server) er
 			},
 		})
 		fmt.Println("auto-refit on: drifted or outgrown models re-fit in the background")
+		return nil
+	case "\\parallelism":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\parallelism N (0 = GOMAXPROCS, 1 = serial)")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("usage: \\parallelism N (0 = GOMAXPROCS, 1 = serial)")
+		}
+		eng.SetParallelism(n)
+		workers := n
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("parallelism set to %d worker(s) for scans, aggregation and model fitting\n", workers)
 		return nil
 	case "\\serve":
 		if len(fields) != 2 {

@@ -82,9 +82,20 @@ type Engine struct {
 	// queries; the zero value lowers to the batch pipeline whenever
 	// possible. Approximate queries follow AQP.ExecMode.
 	ExecMode exec.Mode
+	// Parallelism bounds the morsel-driven worker pool for exact query
+	// pipelines: 0 selects GOMAXPROCS, 1 forces the serial pipeline.
+	// Approximate queries follow AQP.Parallelism; SetParallelism points
+	// every knob (including model fitting) at one value.
+	Parallelism int
 
 	// plans memoizes compiled statements for unprepared Query/Exec traffic.
 	plans *planCache
+
+	// knobMu guards the execution knobs (ExecMode, Parallelism, AQP)
+	// against SetParallelism racing queries on other sessions; per-query
+	// reads go through execOptions/aqpOptions. Sessions that assign the
+	// exported fields directly should do so before serving traffic.
+	knobMu sync.RWMutex
 
 	// refitter is the optional background maintenance loop (EnableAutoRefit);
 	// guarded by refitMu so ingestion can read it from any session.
@@ -300,7 +311,7 @@ func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
 
 func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
 	if s.Inner.Approx {
-		plan, err := aqp.BuildApproxSelect(e.Catalog, e.Models, s.Inner, e.AQP)
+		plan, err := aqp.BuildApproxSelect(e.Catalog, e.Models, s.Inner, e.aqpOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +322,7 @@ func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
 		info += ")\n" + exec.PlanString(plan.Op)
 		return &Result{Info: info, Model: plan.Model.Spec.Name, ApproxGrid: plan.GridRows, Hybrid: plan.Hybrid}, nil
 	}
-	op, err := exec.BuildSelectOverMode(e.Catalog, s.Inner, nil, e.ExecMode)
+	op, err := exec.BuildSelectOpts(e.Catalog, s.Inner, nil, e.execOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +331,34 @@ func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
 
 // RegisterTable adds an externally built table to the catalog.
 func (e *Engine) RegisterTable(t *table.Table) error { return e.Catalog.Add(t) }
+
+// execOptions bundles the engine's exact-pipeline execution knobs.
+func (e *Engine) execOptions() exec.Options {
+	e.knobMu.RLock()
+	defer e.knobMu.RUnlock()
+	return exec.Options{Mode: e.ExecMode, Parallelism: e.Parallelism}
+}
+
+// aqpOptions snapshots the approximate-planning options for one execution.
+func (e *Engine) aqpOptions() aqp.Options {
+	e.knobMu.RLock()
+	defer e.knobMu.RUnlock()
+	return e.AQP
+}
+
+// SetParallelism points every parallelism knob at n at once: exact query
+// pipelines, approximate (model-scan) pipelines, and grouped model fitting
+// — cold fits, REFIT MODEL, and background refits. n = 0 restores the
+// GOMAXPROCS default; n = 1 forces serial execution. It is safe to call
+// while other sessions are querying; statements prepared before the change
+// pick the new value up on their next execution.
+func (e *Engine) SetParallelism(n int) {
+	e.knobMu.Lock()
+	e.Parallelism = n
+	e.AQP.Parallelism = n
+	e.knobMu.Unlock()
+	e.Models.SetFitParallelism(n)
+}
 
 // --- capture.Backend implementation (Figure 2's database side) ---
 

@@ -164,7 +164,7 @@ func (s *ModelScan) Next() (exec.Row, error) {
 		}
 		row = append(row, expr.Float(yhat))
 		if s.WithError {
-			lo, hi := s.predictionInterval(g, inputs, yhat)
+			lo, hi := s.predictionInterval(g, inputs, yhat, s.grad)
 			row = append(row, expr.Float(lo), expr.Float(hi))
 		}
 		s.rowsOut++
@@ -188,17 +188,17 @@ func (s *ModelScan) advance() {
 
 // predictionInterval computes the delta-method prediction interval from the
 // stored per-group covariance — the "error bounds" annotation of Figure 2
-// step 5.
-func (s *ModelScan) predictionInterval(g *modelstore.GroupParams, inputs []float64, yhat float64) (lo, hi float64) {
+// step 5. grad is caller-owned scratch (one per concurrent scan).
+func (s *ModelScan) predictionInterval(g *modelstore.GroupParams, inputs []float64, yhat float64, grad []float64) (lo, hi float64) {
 	if g.Cov == nil || g.DF <= 0 {
 		return math.Inf(-1), math.Inf(1)
 	}
 	m := s.Model.Model
-	m.Grad(g.Params, inputs, s.grad)
+	m.Grad(g.Params, inputs, grad)
 	var v float64
-	for i := range s.grad {
-		for j := range s.grad {
-			v += s.grad[i] * g.Cov[i][j] * s.grad[j]
+	for i := range grad {
+		for j := range grad {
+			v += grad[i] * g.Cov[i][j] * grad[j]
 		}
 	}
 	if v < 0 {

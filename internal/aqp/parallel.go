@@ -1,0 +1,126 @@
+package aqp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"datalaws/internal/exec"
+)
+
+// SplitMorsels implements exec.MorselSplitter: a grouped model scan splits
+// into per-worker scans that claim contiguous ranges of the parameter table
+// (group keys) from a shared cursor. Statistical-law extraction is
+// independent per group, so workers regenerate disjoint grid slices with no
+// coordination beyond the claim; morsel indexes follow group order, which
+// lets the exec gather reproduce the serial scan's row order exactly.
+// Scans restricted to a single group (the planner's point pushdown) or
+// ungrouped models report false and stay serial.
+func (s *ModelScan) SplitMorsels(workers int) ([]exec.MorselSource, bool) {
+	groups := len(s.orderKeys())
+	if workers <= 1 || groups < 2 {
+		return nil, false
+	}
+	if workers > groups {
+		workers = groups
+	}
+	shared := &sharedModelMorsels{scan: s, workers: workers}
+	out := make([]exec.MorselSource, workers)
+	for i := range out {
+		v, err := newVecModelScan(s)
+		if err != nil {
+			return nil, false
+		}
+		out[i] = &modelMorselScan{vecModelScan: v, shared: shared}
+	}
+	return out, true
+}
+
+// sharedModelMorsels is the worker-shared state of a parallel model scan:
+// the group-key order, the per-morsel chunk size, and the claim cursor.
+// Chunking is sized for a few morsels per worker so dynamic claiming
+// rebalances groups whose grids reject different legal fractions.
+type sharedModelMorsels struct {
+	scan    *ModelScan
+	workers int
+
+	mu     sync.Mutex
+	opened int
+	keys   []int64
+	chunk  int
+	total  int64
+	cursor atomic.Int64
+}
+
+func (s *sharedModelMorsels) open() {
+	s.mu.Lock()
+	if s.opened == 0 {
+		s.keys = s.scan.orderKeys()
+		chunk := (len(s.keys) + s.workers*4 - 1) / (s.workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		s.chunk = chunk
+		s.total = int64((len(s.keys) + chunk - 1) / chunk)
+		s.cursor.Store(0)
+		s.scan.rowsOut = 0
+	}
+	s.opened++
+	s.mu.Unlock()
+}
+
+func (s *sharedModelMorsels) close() {
+	s.mu.Lock()
+	if s.opened > 0 {
+		s.opened--
+	}
+	s.mu.Unlock()
+}
+
+// modelMorselScan is one worker's view of a parallel model scan: a private
+// vecModelScan repositioned onto each claimed group range.
+type modelMorselScan struct {
+	*vecModelScan
+	shared *sharedModelMorsels
+}
+
+// Open implements exec.VectorOperator.
+func (m *modelMorselScan) Open() error {
+	m.shared.open()
+	if err := m.vecModelScan.openBufs(); err != nil {
+		return err
+	}
+	m.vecModelScan.setKeys(nil)
+	return nil
+}
+
+// NextMorsel implements exec.MorselSource, claiming the next group range.
+func (m *modelMorselScan) NextMorsel() (int64, bool) {
+	idx := m.shared.cursor.Add(1) - 1
+	if idx >= m.shared.total {
+		return 0, false
+	}
+	lo := int(idx) * m.shared.chunk
+	hi := lo + m.shared.chunk
+	if hi > len(m.shared.keys) {
+		hi = len(m.shared.keys)
+	}
+	m.vecModelScan.setKeys(m.shared.keys[lo:hi])
+	return idx, true
+}
+
+// NumMorsels implements exec.MorselSource.
+func (m *modelMorselScan) NumMorsels() int64 { return m.shared.total }
+
+// Close implements exec.VectorOperator.
+func (m *modelMorselScan) Close() error {
+	err := m.vecModelScan.Close()
+	m.shared.close()
+	return err
+}
+
+// ExplainInfo renders the parallel model scan in EXPLAIN output.
+func (m *modelMorselScan) ExplainInfo() string {
+	return fmt.Sprintf("MorselModelScan model=%s groups=%d (zero IO)",
+		m.shared.scan.Model.Spec.Name, len(m.shared.scan.orderKeys()))
+}

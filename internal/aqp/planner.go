@@ -31,6 +31,11 @@ type Options struct {
 	// ExecMode selects batch (vectorized) or row execution for the plan; the
 	// zero value lowers to the batch pipeline whenever possible.
 	ExecMode exec.Mode
+	// Parallelism bounds the morsel-driven worker pool when lowering the
+	// plan (0 = GOMAXPROCS, 1 = serial). Grouped model scans split across
+	// workers by parameter-table ranges; point lookups and ungrouped
+	// models stay serial.
+	Parallelism int
 	// StaleInflate widens WITH ERROR bounds of a model that is stale but
 	// still trusted (the table grew since the fit, within the policy's
 	// staleness tolerance): the prediction SE is scaled by 1 + growth
@@ -241,7 +246,7 @@ func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
 		}}
 	}
 
-	op, err := exec.BuildSelectOverMode(p.cat, st, source, p.opts.ExecMode)
+	op, err := exec.BuildSelectOpts(p.cat, st, source, exec.Options{Mode: p.opts.ExecMode, Parallelism: p.opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -26,11 +26,16 @@ func (s *ModelScan) AsVectorOperator() (exec.VectorOperator, bool) {
 // but fills input and parameter vectors for up to BatchSize legal rows and
 // evaluates the model once per batch through an expr.VecKernel, so batches
 // freely span group boundaries (fitted parameters ride along as per-row
-// vectors).
+// vectors). All mutable state — kernels, buffers, cursor, interrupt counter
+// — is private to the scan, so several vecModelScans over one ModelScan can
+// run in parallel (the morsel split hands each worker its own, restricted
+// to claimed group ranges via setKeys).
 type vecModelScan struct {
 	s    *ModelScan
 	kern expr.VecKernel
+	exec.Interruptible
 
+	keys     []int64 // group keys this scan enumerates
 	groupIdx int
 	comboIdx []int
 	done     bool
@@ -43,6 +48,8 @@ type vecModelScan struct {
 	yhat     []float64
 	lo, hi   []float64
 	inputs   []float64 // one-row scratch for legality checks
+	grad     []float64 // per-scan gradient scratch for error bounds
+	rowsOut  int
 	batch    exec.Batch
 }
 
@@ -66,21 +73,31 @@ func newVecModelScan(s *ModelScan) (*vecModelScan, error) {
 // Columns implements exec.VectorOperator.
 func (v *vecModelScan) Columns() []string { return v.s.Columns() }
 
-// SetContext implements exec.ContextAware by forwarding to the wrapped row
-// scan, which owns the interrupt state for both execution modes.
-func (v *vecModelScan) SetContext(ctx context.Context) { v.s.SetContext(ctx) }
+// SetContext implements exec.ContextAware; each scan owns its interrupt
+// state, so parallel siblings never share a counter.
+func (v *vecModelScan) SetContext(ctx context.Context) { v.Interruptible.SetContext(ctx) }
 
 // Open implements exec.VectorOperator.
 func (v *vecModelScan) Open() error {
+	if err := v.openBufs(); err != nil {
+		return err
+	}
+	v.s.rowsOut = 0
+	v.setKeys(v.s.orderKeys())
+	return nil
+}
+
+// openBufs allocates the scan's private buffers without positioning the
+// group cursor; the morsel split opens buffers once and repositions via
+// setKeys per claimed morsel.
+func (v *vecModelScan) openBufs() error {
 	s := v.s
 	if s.Level == 0 {
 		s.Level = 0.95
 	}
 	model := s.Model.Model
 	np, ni := len(model.Params), len(model.Inputs)
-	v.groupIdx = 0
 	v.comboIdx = make([]int, len(s.Domains))
-	v.done = len(s.orderKeys()) == 0
 	v.args = make([]expr.VecArg, np+ni)
 	// Batches never exceed the (possibly pushdown-restricted) grid, so a
 	// point lookup allocates one-row buffers, not BatchSize ones.
@@ -104,20 +121,29 @@ func (v *vecModelScan) Open() error {
 		v.hi = make([]float64, bcap)
 	}
 	v.inputs = make([]float64, ni)
-	// The row scan's Open never runs on this path, so initialize the shared
-	// state predictionInterval and RowsEmitted rely on.
-	s.grad = make([]float64, np)
-	s.rowsOut = 0
-	s.ResetInterrupt()
-	v.skipBadGroups()
+	v.grad = make([]float64, np)
+	v.rowsOut = 0
+	v.ResetInterrupt()
 	return nil
+}
+
+// setKeys points the scan at a group-key range and rewinds the odometer.
+func (v *vecModelScan) setKeys(keys []int64) {
+	v.keys = keys
+	v.groupIdx = 0
+	for i := range v.comboIdx {
+		v.comboIdx[i] = 0
+	}
+	v.done = len(keys) == 0
+	if !v.done {
+		v.skipBadGroups()
+	}
 }
 
 func (v *vecModelScan) skipBadGroups() {
 	s := v.s
-	order := s.orderKeys()
-	for v.groupIdx < len(order) {
-		key := order[v.groupIdx]
+	for v.groupIdx < len(v.keys) {
+		key := v.keys[v.groupIdx]
 		if g, ok := s.Model.Groups[key]; ok && g.OK() {
 			return
 		}
@@ -146,13 +172,12 @@ func (v *vecModelScan) NextBatch() (*exec.Batch, error) {
 	s := v.s
 	model := s.Model.Model
 	np := len(model.Params)
-	order := s.orderKeys()
 	n := 0
-	for n < len(v.keyBuf) && !v.done && v.groupIdx < len(order) {
-		if err := s.CheckInterrupt(); err != nil {
+	for n < len(v.keyBuf) && !v.done && v.groupIdx < len(v.keys) {
+		if err := v.CheckInterrupt(); err != nil {
 			return nil, err
 		}
-		key := order[v.groupIdx]
+		key := v.keys[v.groupIdx]
 		g := s.Model.Groups[key]
 		for i := range v.inputs {
 			v.inputs[i] = s.Domains[i].Vals[v.comboIdx[i]]
@@ -181,7 +206,7 @@ func (v *vecModelScan) NextBatch() (*exec.Batch, error) {
 		v.args[np+j] = expr.VecArg{Vec: v.inputBuf[j]}
 	}
 	v.kern(n, v.args, v.yhat)
-	s.rowsOut += n
+	v.rowsOut += n
 
 	cols := make([]*exec.Vector, 0, len(v.Columns()))
 	if s.Model.Grouped() {
@@ -196,7 +221,7 @@ func (v *vecModelScan) NextBatch() (*exec.Batch, error) {
 			for j := range v.inputBuf {
 				v.inputs[j] = v.inputBuf[j][i]
 			}
-			lo, hi := s.predictionInterval(v.grpBuf[i], v.inputs, v.yhat[i])
+			lo, hi := s.predictionInterval(v.grpBuf[i], v.inputs, v.yhat[i], v.grad)
 			v.lo[i], v.hi[i] = lo, hi
 		}
 		cols = append(cols,
@@ -207,8 +232,14 @@ func (v *vecModelScan) NextBatch() (*exec.Batch, error) {
 	return &v.batch, nil
 }
 
-// Close implements exec.VectorOperator.
-func (v *vecModelScan) Close() error { return nil }
+// Close implements exec.VectorOperator. Emitted-row counts flow back to the
+// wrapped scan here; parallel siblings are closed sequentially by their
+// gather, so the addition never races.
+func (v *vecModelScan) Close() error {
+	v.s.rowsOut += v.rowsOut
+	v.rowsOut = 0
+	return nil
+}
 
 // ExplainInfo mirrors the row scan's EXPLAIN rendering.
 func (v *vecModelScan) ExplainInfo() string { return "Vec" + v.s.ExplainInfo() }

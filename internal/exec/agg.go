@@ -121,6 +121,64 @@ func (st *aggState) addFloat(kind AggKind, f float64) {
 	st.m2 += d * (f - st.mean)
 }
 
+// merge folds another partial state for the same group into st — the
+// recombination step of parallel aggregation. COUNT/SUM/AVG merge
+// additively, MIN/MAX by comparison, and VAR/STDDEV through the two-sample
+// Welford combination. Merging reassociates floating-point addition, so
+// SUM/AVG/VAR/STDDEV results can differ from serial execution in the last
+// few ulps.
+func (st *aggState) merge(o *aggState, kind AggKind) error {
+	switch kind {
+	case AggCount:
+		st.count += o.count
+	case AggSum, AggAvg, AggVar, AggStdDev:
+		if o.count == 0 {
+			return nil
+		}
+		if st.count == 0 {
+			*st = *o
+			return nil
+		}
+		na, nb := float64(st.count), float64(o.count)
+		delta := o.mean - st.mean
+		st.m2 += o.m2 + delta*delta*na*nb/(na+nb)
+		st.mean += delta * nb / (na + nb)
+		st.sum += o.sum
+		st.count += o.count
+	case AggMin:
+		if !o.seen {
+			return nil
+		}
+		if !st.seen {
+			st.min, st.seen = o.min, true
+			return nil
+		}
+		c, err := expr.Compare(o.min, st.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			st.min = o.min
+		}
+	case AggMax:
+		if !o.seen {
+			return nil
+		}
+		if !st.seen {
+			st.max, st.seen = o.max, true
+			return nil
+		}
+		c, err := expr.Compare(o.max, st.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			st.max = o.max
+		}
+	}
+	return nil
+}
+
 func (st *aggState) final(kind AggKind) expr.Value {
 	switch kind {
 	case AggCount:
@@ -159,6 +217,20 @@ func (st *aggState) final(kind AggKind) expr.Value {
 	return expr.Null()
 }
 
+// aggOutputCols builds the aggregate output column names — "$grp0…$grpN"
+// followed by "$agg0…$aggM" — shared by every aggregate operator so the
+// planner's post-projection contract lives in one place.
+func aggOutputCols(ngroup, nagg int) []string {
+	cols := make([]string, 0, ngroup+nagg)
+	for i := 0; i < ngroup; i++ {
+		cols = append(cols, fmt.Sprintf("$grp%d", i))
+	}
+	for i := 0; i < nagg; i++ {
+		cols = append(cols, fmt.Sprintf("$agg%d", i))
+	}
+	return cols
+}
+
 // HashAggregate groups rows by GroupExprs and computes Aggs per group. Its
 // output columns are "$grp0…$grpN" followed by "$agg0…$aggM", which the
 // planner's post-projection maps back to user-visible expressions.
@@ -180,14 +252,7 @@ type aggGroup struct {
 // Columns implements Operator.
 func (h *HashAggregate) Columns() []string {
 	if h.cols == nil {
-		cols := make([]string, 0, len(h.GroupExprs)+len(h.Aggs))
-		for i := range h.GroupExprs {
-			cols = append(cols, fmt.Sprintf("$grp%d", i))
-		}
-		for i := range h.Aggs {
-			cols = append(cols, fmt.Sprintf("$agg%d", i))
-		}
-		h.cols = cols
+		h.cols = aggOutputCols(len(h.GroupExprs), len(h.Aggs))
 	}
 	return h.cols
 }

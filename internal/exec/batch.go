@@ -28,6 +28,12 @@ type Vector struct {
 	B    []bool
 	Any  []expr.Value
 	Null []bool
+	// Stable marks a vector whose typed data array (F/I/S/B/Any) is
+	// immutable for the life of the query — a zero-copy view of a table
+	// snapshot — so consumers that must retain batches (the parallel
+	// gather) may alias it instead of copying. The Null mask is NOT
+	// covered: scans materialize it into reusable scratch.
+	Stable bool
 }
 
 // Len returns the physical length of the vector.

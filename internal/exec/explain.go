@@ -95,6 +95,19 @@ func writeVecPlan(sb *strings.Builder, op VectorOperator, depth int) {
 		for _, c := range o.Children {
 			writeVecPlan(sb, c, depth+1)
 		}
+	case *VecGather:
+		fmt.Fprintf(sb, "%sGather workers=%d (morsel-driven, in order)\n", indent, o.Workers())
+		writeVecPlan(sb, o.pipes[0].pipe, depth+1)
+	case *VecParallelHashAggregate:
+		var parts []string
+		for _, g := range o.GroupExprs {
+			parts = append(parts, g.String())
+		}
+		fmt.Fprintf(sb, "%sParallelHashAggregate group=[%s] aggs=%d workers=%d (partial+merge)\n",
+			indent, strings.Join(parts, ", "), len(o.Aggs), o.Workers())
+		writeVecPlan(sb, o.pipes[0].pipe, depth+1)
+	case *vecMorselScan:
+		fmt.Fprintf(sb, "%sVecMorselScan %s (%d rows)\n", indent, o.shared.tbl.Name, o.shared.tbl.NumRows())
 	case *batchAdapter:
 		fmt.Fprintf(sb, "%sRowSource\n", indent)
 		writePlan(sb, o.Op, depth+1)

@@ -114,6 +114,17 @@ func bindVecCtx(op VectorOperator, ctx context.Context) {
 		for _, c := range o.Children {
 			bindVecCtx(c, ctx)
 		}
+	case *VecGather:
+		// The gather watches the context while waiting on workers; each
+		// worker pipeline's leaf checks it independently, so a canceled
+		// statement stops both the pool and the consumer.
+		for i := range o.pipes {
+			bindVecCtx(o.pipes[i].pipe, ctx)
+		}
+	case *VecParallelHashAggregate:
+		for i := range o.pipes {
+			bindVecCtx(o.pipes[i].pipe, ctx)
+		}
 	case *batchAdapter:
 		bindRowCtx(o.Op, ctx)
 	}

@@ -50,6 +50,9 @@ func (j *HashJoin) Open() error {
 	for {
 		row, err := j.Right.Next()
 		if err != nil {
+			// Close the build side on a failed drain so a parallel input
+			// (gather worker pool) shuts down instead of leaking.
+			j.Right.Close()
 			return err
 		}
 		if row == nil {

@@ -1,0 +1,602 @@
+// Morsel-driven parallel execution.
+//
+// A parallelizable pipeline — a table or model scan, optionally under
+// filters and projections — is split into morsels: fixed-size row ranges
+// claimed from a shared atomic cursor, the scheduling unit of [Leis et al.,
+// SIGMOD 2014]. Every worker owns a private copy of the whole pipeline
+// (its own compiled kernels, batch buffers and interrupt state) over a
+// shared immutable snapshot of the input, so no synchronization happens on
+// the data path; workers coordinate only when claiming the next morsel.
+//
+// Two operators recombine worker output:
+//
+//   - VecGather re-emits produced batches in morsel order, so a parallel
+//     scan streams rows in exactly the serial scan's order (ORDER BY ...
+//     LIMIT stays deterministic even with ties in the sort key).
+//   - VecParallelHashAggregate runs a partial-aggregate phase per worker
+//     and merges the partial states once at the end (COUNT/SUM/AVG
+//     additively, MIN/MAX by comparison, VAR/STDDEV through the Welford
+//     combination), emitting groups in serial first-seen order.
+//
+// Because the merge reassociates floating-point addition, SUM/AVG/VAR
+// results can differ from serial execution in the last few ulps; everything
+// else — row sets, row order, NULL (3VL) semantics, error messages — is
+// identical. Plans with no parallelizable source (joins, sorts as sources,
+// VALUES, row-only operators) keep the serial batch pipeline.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/table"
+)
+
+// Options configures how BuildSelectOpts lowers a plan.
+type Options struct {
+	// Mode selects batch versus row execution (see Mode).
+	Mode Mode
+	// Parallelism bounds the morsel-driven worker pool: 0 selects
+	// GOMAXPROCS, 1 keeps the serial batch pipeline, and plans with no
+	// parallelizable source fall back to serial regardless.
+	Parallelism int
+}
+
+// Workers resolves the configured parallelism to a concrete worker count.
+func (o Options) Workers() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// morselRows is the number of rows in one table-scan morsel: a multiple of
+// BatchSize large enough to amortize claim overhead, small enough that
+// claims rebalance skewed per-morsel work across the pool. A var so tests
+// can shrink it to force many morsels over small fixtures.
+var morselRows = 16 * BatchSize
+
+// MorselSource is a VectorOperator that cooperates with sibling sources on
+// a shared morsel queue. NextBatch returns nil at the end of the current
+// morsel; NextMorsel claims the next unprocessed one. Morsel indexes are
+// dense (0..NumMorsels-1) and ordered like the serial scan, which is what
+// lets VecGather reconstruct deterministic output order. Open on any
+// sibling opens the shared input exactly once.
+type MorselSource interface {
+	VectorOperator
+	// NextMorsel claims the next morsel, reporting its dense index; ok is
+	// false when the input is exhausted.
+	NextMorsel() (idx int64, ok bool)
+	// NumMorsels reports the total morsel count (valid after Open).
+	NumMorsels() int64
+}
+
+// MorselSplitter is implemented by sources defined outside this package
+// (e.g. the aqp model scan) that can split themselves into cooperating
+// morsel streams for parallel execution.
+type MorselSplitter interface {
+	SplitMorsels(workers int) ([]MorselSource, bool)
+}
+
+// sharedTableMorsels is the worker-shared state of a parallel table scan:
+// one immutable column snapshot plus the morsel claim cursor. The snapshot
+// is (re)taken when the first sibling of an execution opens and torn down
+// when the last closes, so a re-executed plan sees fresh data.
+type sharedTableMorsels struct {
+	tbl  *table.Table
+	cols []string
+
+	mu     sync.Mutex
+	opened int
+	src    []vecColSrc
+	n      int
+	morsel int
+	total  int64
+	cursor atomic.Int64
+}
+
+func (s *sharedTableMorsels) open() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opened == 0 {
+		src, n, err := snapshotVecCols(s.tbl, len(s.cols))
+		if err != nil {
+			return err
+		}
+		s.src, s.n = src, n
+		s.morsel = morselRows
+		s.total = int64((n + s.morsel - 1) / s.morsel)
+		s.cursor.Store(0)
+	}
+	s.opened++
+	return nil
+}
+
+func (s *sharedTableMorsels) close() {
+	s.mu.Lock()
+	if s.opened > 0 {
+		s.opened--
+		if s.opened == 0 {
+			s.src = nil
+		}
+	}
+	s.mu.Unlock()
+}
+
+// vecMorselScan is one worker's view of a parallel table scan: it claims
+// row-range morsels from the shared cursor and materializes batch windows
+// into private buffers, exactly like VecTableScan does serially.
+type vecMorselScan struct {
+	shared *sharedTableMorsels
+	Interruptible
+
+	win         colWindow
+	lo, hi, pos int
+}
+
+// Columns implements VectorOperator.
+func (m *vecMorselScan) Columns() []string { return m.shared.cols }
+
+// Open implements VectorOperator.
+func (m *vecMorselScan) Open() error {
+	if err := m.shared.open(); err != nil {
+		return err
+	}
+	m.win.init(len(m.shared.cols))
+	m.lo, m.hi, m.pos = 0, 0, 0
+	m.ResetInterrupt()
+	return nil
+}
+
+// NextMorsel implements MorselSource.
+func (m *vecMorselScan) NextMorsel() (int64, bool) {
+	idx := m.shared.cursor.Add(1) - 1
+	if idx >= m.shared.total {
+		return 0, false
+	}
+	m.lo = int(idx) * m.shared.morsel
+	m.hi = m.lo + m.shared.morsel
+	if m.hi > m.shared.n {
+		m.hi = m.shared.n
+	}
+	m.pos = m.lo
+	return idx, true
+}
+
+// NumMorsels implements MorselSource.
+func (m *vecMorselScan) NumMorsels() int64 { return m.shared.total }
+
+// NextBatch implements VectorOperator, returning nil at the end of the
+// current morsel.
+func (m *vecMorselScan) NextBatch() (*Batch, error) {
+	if err := m.CheckInterruptNow(); err != nil {
+		return nil, err
+	}
+	if m.pos >= m.hi {
+		return nil, nil
+	}
+	lo := m.pos
+	hi := lo + BatchSize
+	if hi > m.hi {
+		hi = m.hi
+	}
+	m.pos = hi
+	return m.win.window(m.shared.src, lo, hi), nil
+}
+
+// Close implements VectorOperator.
+func (m *vecMorselScan) Close() error { m.shared.close(); return nil }
+
+// splitTableScan builds the worker-shared morsel sources for a table scan.
+// Tables that fit in a single morsel stay serial — a pool cannot help, and
+// per-query goroutines are not free — and the pool never exceeds the
+// morsel count the plan-time row count implies (workers beyond it would
+// compile kernels and allocate buffers only to claim nothing).
+func splitTableScan(t *table.Table, workers int) ([]MorselSource, bool) {
+	if t == nil {
+		return nil, false
+	}
+	rows := t.NumRows()
+	if rows <= morselRows {
+		return nil, false
+	}
+	if m := (rows + morselRows - 1) / morselRows; workers > m {
+		workers = m
+	}
+	shared := &sharedTableMorsels{tbl: t, cols: qualifiedCols(t)}
+	out := make([]MorselSource, workers)
+	for i := range out {
+		out[i] = &vecMorselScan{shared: shared}
+	}
+	return out, true
+}
+
+// workerPipe is one worker's private pipeline: the full vectorized operator
+// stack plus the morsel-claiming source at its bottom.
+type workerPipe struct {
+	pipe VectorOperator
+	src  MorselSource
+}
+
+// parallelPipelines builds per-worker copies of a scan/filter/project
+// subtree over a shared morsel source, reporting false when the subtree has
+// an unsplittable source or an expression with no batch kernel.
+func parallelPipelines(op Operator, workers int) ([]workerPipe, bool) {
+	switch o := op.(type) {
+	case *TableScan:
+		srcs, ok := splitTableScan(o.Table, workers)
+		if !ok {
+			return nil, false
+		}
+		return pipesFromSources(srcs), true
+	case *Filter:
+		pipes, ok := parallelPipelines(o.Child, workers)
+		if !ok {
+			return nil, false
+		}
+		if _, err := compileKernel(o.Pred, pipes[0].pipe.Columns()); err != nil {
+			return nil, false
+		}
+		for i := range pipes {
+			pipes[i].pipe = &VecFilter{Child: pipes[i].pipe, Pred: o.Pred}
+		}
+		return pipes, true
+	case *Project:
+		pipes, ok := parallelPipelines(o.Child, workers)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range o.Exprs {
+			if _, err := compileKernel(e, pipes[0].pipe.Columns()); err != nil {
+				return nil, false
+			}
+		}
+		for i := range pipes {
+			pipes[i].pipe = &VecProject{Child: pipes[i].pipe, Exprs: o.Exprs, Names: o.Names}
+		}
+		return pipes, true
+	}
+	if ms, ok := op.(MorselSplitter); ok {
+		srcs, ok := ms.SplitMorsels(workers)
+		if !ok || len(srcs) == 0 {
+			return nil, false
+		}
+		return pipesFromSources(srcs), true
+	}
+	return nil, false
+}
+
+func pipesFromSources(srcs []MorselSource) []workerPipe {
+	pipes := make([]workerPipe, len(srcs))
+	for i, s := range srcs {
+		pipes[i] = workerPipe{pipe: s, src: s}
+	}
+	return pipes
+}
+
+// parallelize rewrites a row subtree into a morsel-driven parallel plan:
+// per-worker pipelines recombined by a gather (scans) or a partial-
+// aggregate merge (hash aggregation). It reports false when no source in
+// the subtree can split, leaving the serial lowering to take over.
+func parallelize(op Operator, workers int) (VectorOperator, bool) {
+	if workers <= 1 {
+		return nil, false
+	}
+	if pipes, ok := parallelPipelines(op, workers); ok {
+		return newVecGather(pipes), true
+	}
+	switch o := op.(type) {
+	case *HashAggregate:
+		pipes, ok := parallelPipelines(o.Child, workers)
+		if !ok {
+			return nil, false
+		}
+		cols := pipes[0].pipe.Columns()
+		for _, g := range o.GroupExprs {
+			if _, err := compileKernel(g, cols); err != nil {
+				return nil, false
+			}
+		}
+		for _, spec := range o.Aggs {
+			if spec.Arg == nil {
+				continue
+			}
+			if _, err := compileKernel(spec.Arg, cols); err != nil {
+				return nil, false
+			}
+		}
+		return &VecParallelHashAggregate{pipes: pipes, GroupExprs: o.GroupExprs, Aggs: o.Aggs}, true
+	case *Filter:
+		// Filter above an aggregate (HAVING): parallelize below, filter the
+		// merged groups serially — group counts are small.
+		child, ok := parallelize(o.Child, workers)
+		if !ok {
+			return nil, false
+		}
+		if _, err := compileKernel(o.Pred, child.Columns()); err != nil {
+			return nil, false
+		}
+		return &VecFilter{Child: child, Pred: o.Pred}, true
+	case *Project:
+		child, ok := parallelize(o.Child, workers)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range o.Exprs {
+			if _, err := compileKernel(e, child.Columns()); err != nil {
+				return nil, false
+			}
+		}
+		return &VecProject{Child: child, Exprs: o.Exprs, Names: o.Names}, true
+	}
+	return nil, false
+}
+
+// morselItem is one morsel's worth of worker output: the compacted batches
+// it produced and the error that stopped it, if any.
+type morselItem struct {
+	idx     int64
+	batches []*Batch
+	err     error
+}
+
+// VecGather is the parallel scan's exchange operator: it runs one goroutine
+// per worker pipeline, collects each morsel's output, and re-emits batches
+// in morsel order — the serial scan's order — buffering out-of-order
+// morsels until their turn. Errors surface at the position the serial plan
+// would have reported them. Closing the gather (early termination, LIMIT)
+// stops the pool without draining the input.
+// morselLead bounds how many claimed-but-unemitted morsels the pool may
+// hold per worker. Without it, one slow morsel would let the siblings race
+// through the whole input and buffer the entire compacted result in the
+// reorder map; with it, gather memory is O(morselLead × workers × morsel).
+const morselLead = 4
+
+type VecGather struct {
+	pipes []workerPipe
+
+	ctx     context.Context
+	ch      chan morselItem
+	done    chan struct{}
+	credits chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+
+	buf     map[int64]morselItem
+	nextIdx int64
+	total   int64
+	cur     []*Batch
+	curPos  int
+	curErr  error
+}
+
+// newVecGather wraps per-worker pipelines in a gather.
+func newVecGather(pipes []workerPipe) *VecGather {
+	return &VecGather{pipes: pipes}
+}
+
+// Columns implements VectorOperator.
+func (g *VecGather) Columns() []string { return g.pipes[0].pipe.Columns() }
+
+// SetContext implements ContextAware: the gather itself watches the context
+// while waiting on workers (each worker's scan checks it independently).
+func (g *VecGather) SetContext(ctx context.Context) { g.ctx = ctx }
+
+// Open implements VectorOperator: it opens every worker pipeline and starts
+// the pool.
+func (g *VecGather) Open() error {
+	for i := range g.pipes {
+		if err := g.pipes[i].pipe.Open(); err != nil {
+			for j := 0; j < i; j++ {
+				g.pipes[j].pipe.Close()
+			}
+			return err
+		}
+	}
+	g.total = g.pipes[0].src.NumMorsels()
+	g.nextIdx = 0
+	g.buf = make(map[int64]morselItem)
+	g.cur, g.curPos, g.curErr = nil, 0, nil
+	g.ch = make(chan morselItem, len(g.pipes))
+	g.done = make(chan struct{})
+	g.credits = make(chan struct{}, morselLead*len(g.pipes))
+	for i := 0; i < cap(g.credits); i++ {
+		g.credits <- struct{}{}
+	}
+	g.closed = false
+	g.wg = sync.WaitGroup{}
+	for i := range g.pipes {
+		g.wg.Add(1)
+		go g.worker(g.pipes[i])
+	}
+	return nil
+}
+
+// worker claims morsels and runs its pipeline over each, compacting the
+// surviving rows into fresh batches (worker buffers are reused per call, so
+// output must not alias them).
+func (g *VecGather) worker(p workerPipe) {
+	defer g.wg.Done()
+	for {
+		// One credit per claimed-but-unemitted morsel: the consumer hands
+		// credits back as it emits, so the pool cannot run unboundedly
+		// ahead of a slow in-order morsel.
+		select {
+		case <-g.credits:
+		case <-g.done:
+			return
+		}
+		idx, ok := p.src.NextMorsel()
+		if !ok {
+			return
+		}
+		var out []*Batch
+		var werr error
+		for {
+			b, err := p.pipe.NextBatch()
+			if err != nil {
+				werr = err
+				break
+			}
+			if b == nil {
+				break
+			}
+			out = append(out, cloneBatchCompact(b))
+		}
+		select {
+		case g.ch <- morselItem{idx: idx, batches: out, err: werr}:
+		case <-g.done:
+			return
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// NextBatch implements VectorOperator, emitting batches in morsel order.
+func (g *VecGather) NextBatch() (*Batch, error) {
+	for {
+		if g.curPos < len(g.cur) {
+			b := g.cur[g.curPos]
+			g.curPos++
+			return b, nil
+		}
+		if g.curErr != nil {
+			return nil, g.curErr
+		}
+		if g.nextIdx >= g.total {
+			return nil, nil
+		}
+		if item, ok := g.buf[g.nextIdx]; ok {
+			delete(g.buf, g.nextIdx)
+			g.nextIdx++
+			g.cur, g.curPos, g.curErr = item.batches, 0, item.err
+			// Return the morsel's credit; non-blocking because a worker
+			// that claimed and found the input exhausted keeps its credit.
+			select {
+			case g.credits <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		var ctxDone <-chan struct{}
+		if g.ctx != nil {
+			ctxDone = g.ctx.Done()
+		}
+		select {
+		case item := <-g.ch:
+			g.buf[item.idx] = item
+		case <-ctxDone:
+			return nil, g.ctx.Err()
+		}
+	}
+}
+
+// Close implements VectorOperator: it stops the pool (workers between sends
+// exit at their next claim or send) and closes every pipeline.
+func (g *VecGather) Close() error {
+	if g.done != nil && !g.closed {
+		g.closed = true
+		close(g.done)
+		g.wg.Wait()
+	}
+	var err error
+	for i := range g.pipes {
+		if cerr := g.pipes[i].pipe.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	g.buf, g.cur = nil, nil
+	return err
+}
+
+// Workers reports the pool size; used by EXPLAIN.
+func (g *VecGather) Workers() int { return len(g.pipes) }
+
+// cloneBatchCompact copies a batch's selected rows into a fresh dense batch
+// that does not alias the producing worker's reusable buffers, so the
+// gather can hand it downstream while the worker moves on. Unfiltered
+// Stable vectors (int/float scan windows over the immutable snapshot) are
+// aliased instead of copied — only their scratch null masks are cloned.
+func cloneBatchCompact(b *Batch) *Batch {
+	sel := b.selection()
+	n := len(sel)
+	identity := b.Sel == nil
+	out := &Batch{N: n, Cols: make([]*Vector, len(b.Cols))}
+	for c, v := range b.Cols {
+		out.Cols[c] = compactVector(v, sel, n, identity)
+	}
+	return out
+}
+
+func compactVector(v *Vector, sel []int, n int, identity bool) *Vector {
+	out := &Vector{Kind: v.Kind}
+	if identity && v.Stable {
+		switch v.Kind {
+		case expr.KindInt:
+			out.I, out.Stable = v.I, true
+		case expr.KindFloat:
+			out.F, out.Stable = v.F, true
+		}
+		if out.Stable {
+			if v.Null != nil {
+				out.Null = append([]bool(nil), v.Null[:n]...)
+			}
+			return out
+		}
+	}
+	switch v.Kind {
+	case expr.KindInt:
+		out.I = make([]int64, n)
+		for j, i := range sel {
+			out.I[j] = v.I[i]
+		}
+	case expr.KindFloat:
+		out.F = make([]float64, n)
+		for j, i := range sel {
+			out.F[j] = v.F[i]
+		}
+	case expr.KindString:
+		out.S = make([]string, n)
+		for j, i := range sel {
+			out.S[j] = v.S[i]
+		}
+	case expr.KindBool:
+		out.B = make([]bool, n)
+		for j, i := range sel {
+			out.B[j] = v.B[i]
+		}
+	case anyKind:
+		out.Any = make([]expr.Value, n)
+		for j, i := range sel {
+			out.Any[j] = v.Any[i]
+		}
+	default: // all-NULL vector: the mask carries the length
+		out.Null = make([]bool, n)
+		for j := range out.Null {
+			out.Null[j] = true
+		}
+		return out
+	}
+	if v.Null != nil {
+		nulls := make([]bool, n)
+		any := false
+		for j, i := range sel {
+			if v.Null[i] {
+				nulls[j] = true
+				any = true
+			}
+		}
+		if any {
+			out.Null = nulls
+		}
+	}
+	return out
+}

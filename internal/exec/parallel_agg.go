@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"datalaws/internal/expr"
+)
+
+// VecParallelHashAggregate executes hash aggregation in two phases: every
+// worker folds its morsels into a private partial-aggregate table (no locks
+// on the data path), then a single merge recombines the partial states —
+// COUNT/SUM/AVG additively, MIN/MAX by comparison, VAR/STDDEV through the
+// Welford combination — preserving SQL NULL semantics (aggregates skip
+// NULLs; empty inputs yield NULL, except COUNT). Groups are emitted in the
+// order the serial plan would first have seen them, tracked as the minimum
+// (morsel, row-within-morsel) position across workers, so output order is
+// deterministic and matches serial execution. Output columns are
+// "$grp0…$agg0…", like VecHashAggregate.
+type VecParallelHashAggregate struct {
+	pipes      []workerPipe
+	GroupExprs []expr.Expr
+	Aggs       []AggSpec
+
+	cols   []string
+	groups []*aggGroup
+	pos    int
+	failed atomic.Bool // set by the first failing worker; siblings stop claiming
+}
+
+// Columns implements VectorOperator.
+func (h *VecParallelHashAggregate) Columns() []string {
+	if h.cols == nil {
+		h.cols = aggOutputCols(len(h.GroupExprs), len(h.Aggs))
+	}
+	return h.cols
+}
+
+// Workers reports the pool size; used by EXPLAIN.
+func (h *VecParallelHashAggregate) Workers() int { return len(h.pipes) }
+
+// partialErr is a worker failure pinned to its input position, so the merge
+// can report the error the serial plan would have hit first.
+type partialErr struct {
+	err         error
+	morsel, row int64
+}
+
+func (e *partialErr) before(o *partialErr) bool {
+	if e.morsel != o.morsel {
+		return e.morsel < o.morsel
+	}
+	return e.row < o.row
+}
+
+// Open implements VectorOperator: it runs the full two-phase aggregation —
+// parallel partial fold, then merge — so NextBatch only emits results.
+func (h *VecParallelHashAggregate) Open() error {
+	for i := range h.pipes {
+		if err := h.pipes[i].pipe.Open(); err != nil {
+			for j := 0; j < i; j++ {
+				h.pipes[j].pipe.Close()
+			}
+			return err
+		}
+	}
+	h.groups = nil
+	h.pos = 0
+	h.failed.Store(false)
+
+	partials := make([]*partialAgg, len(h.pipes))
+	fails := make([]partialErr, len(h.pipes))
+	var wg sync.WaitGroup
+	for w := range h.pipes {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			partials[w], fails[w] = h.runWorker(h.pipes[w])
+		}(w)
+	}
+	wg.Wait()
+	var fail *partialErr
+	for w := range fails {
+		e := &fails[w]
+		if e.err == nil {
+			continue
+		}
+		if fail == nil || e.before(fail) {
+			fail = e
+		}
+	}
+	if fail != nil {
+		return fail.err
+	}
+	return h.merge(partials)
+}
+
+// runWorker drains one worker pipeline morsel by morsel into a private
+// partial-aggregate table.
+func (h *VecParallelHashAggregate) runWorker(p workerPipe) (*partialAgg, partialErr) {
+	pa, err := newPartialAgg(h.GroupExprs, h.Aggs, p.pipe.Columns())
+	if err != nil {
+		h.failed.Store(true)
+		return nil, partialErr{err: err}
+	}
+	for {
+		// A sibling already failed: the whole Open will error, so stop
+		// claiming instead of draining the rest of the input for nothing.
+		if h.failed.Load() {
+			return pa, partialErr{}
+		}
+		idx, ok := p.src.NextMorsel()
+		if !ok {
+			return pa, partialErr{}
+		}
+		var rows int64
+		for {
+			b, err := p.pipe.NextBatch()
+			if err != nil {
+				h.failed.Store(true)
+				return pa, partialErr{err: err, morsel: idx, row: rows}
+			}
+			if b == nil {
+				break
+			}
+			sel := b.selection()
+			if err := pa.fold(b, sel, idx, rows); err != nil {
+				h.failed.Store(true)
+				return pa, partialErr{err: err, morsel: idx, row: rows}
+			}
+			rows += int64(len(sel))
+		}
+	}
+}
+
+// merge recombines the workers' partial tables into the final group list.
+func (h *VecParallelHashAggregate) merge(partials []*partialAgg) error {
+	index := make(map[string]*partialGroup)
+	var merged []*partialGroup
+	for _, pa := range partials {
+		if pa == nil {
+			continue
+		}
+		for _, pg := range pa.order {
+			ex, ok := index[pg.keyStr]
+			if !ok {
+				index[pg.keyStr] = pg
+				merged = append(merged, pg)
+				continue
+			}
+			for a := range h.Aggs {
+				if err := ex.states[a].merge(&pg.states[a], h.Aggs[a].Kind); err != nil {
+					return fmt.Errorf("exec: aggregate: %w", err)
+				}
+			}
+			if pg.morsel < ex.morsel || (pg.morsel == ex.morsel && pg.row < ex.row) {
+				ex.morsel, ex.row = pg.morsel, pg.row
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].morsel != merged[j].morsel {
+			return merged[i].morsel < merged[j].morsel
+		}
+		return merged[i].row < merged[j].row
+	})
+	h.groups = make([]*aggGroup, len(merged))
+	for i, pg := range merged {
+		h.groups[i] = &pg.aggGroup
+	}
+	// A global aggregate over zero rows still yields one output row.
+	if len(h.groups) == 0 && len(h.GroupExprs) == 0 {
+		h.groups = append(h.groups, &aggGroup{states: make([]aggState, len(h.Aggs))})
+	}
+	return nil
+}
+
+// NextBatch implements VectorOperator, emitting the merged groups.
+func (h *VecParallelHashAggregate) NextBatch() (*Batch, error) {
+	if h.pos >= len(h.groups) {
+		return nil, nil
+	}
+	lo := h.pos
+	hi := lo + BatchSize
+	if hi > len(h.groups) {
+		hi = len(h.groups)
+	}
+	h.pos = hi
+	return emitGroupBatch(h.groups, lo, hi, len(h.GroupExprs), h.Aggs), nil
+}
+
+// Close implements VectorOperator.
+func (h *VecParallelHashAggregate) Close() error {
+	h.groups = nil
+	var err error
+	for i := range h.pipes {
+		if cerr := h.pipes[i].pipe.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// partialGroup is one group's partial state plus the earliest input
+// position any of its rows was seen at (for deterministic output order).
+type partialGroup struct {
+	aggGroup
+	keyStr      string
+	morsel, row int64
+}
+
+// partialAgg is one worker's aggregation state: compiled kernels plus the
+// group table it folds morsels into.
+type partialAgg struct {
+	aggs       []AggSpec
+	groupKerns []kernelFn
+	argKerns   []kernelFn
+	index      map[string]*partialGroup
+	order      []*partialGroup
+	keyVecs    []*Vector
+	argVecs    []*Vector
+	kb         []byte
+}
+
+func newPartialAgg(groupExprs []expr.Expr, aggs []AggSpec, cols []string) (*partialAgg, error) {
+	pa := &partialAgg{
+		aggs:       aggs,
+		groupKerns: make([]kernelFn, len(groupExprs)),
+		argKerns:   make([]kernelFn, len(aggs)),
+		index:      map[string]*partialGroup{},
+		keyVecs:    make([]*Vector, len(groupExprs)),
+		argVecs:    make([]*Vector, len(aggs)),
+	}
+	for i, g := range groupExprs {
+		k, err := compileKernel(g, cols)
+		if err != nil {
+			return nil, fmt.Errorf("exec: GROUP BY: %w", err)
+		}
+		pa.groupKerns[i] = k
+	}
+	for i, spec := range aggs {
+		if spec.Arg == nil {
+			continue // COUNT(*) needs no argument kernel
+		}
+		k, err := compileKernel(spec.Arg, cols)
+		if err != nil {
+			return nil, fmt.Errorf("exec: aggregate arg: %w", err)
+		}
+		pa.argKerns[i] = k
+	}
+	return pa, nil
+}
+
+// fold accumulates one batch. morsel and rowBase locate the batch's first
+// selected row in the serial input order.
+func (pa *partialAgg) fold(b *Batch, sel []int, morsel, rowBase int64) error {
+	for i, k := range pa.groupKerns {
+		v, err := k(b, sel)
+		if err != nil {
+			return fmt.Errorf("exec: GROUP BY: %w", err)
+		}
+		pa.keyVecs[i] = v
+	}
+	for i, k := range pa.argKerns {
+		if k == nil {
+			continue
+		}
+		v, err := k(b, sel)
+		if err != nil {
+			return fmt.Errorf("exec: aggregate arg: %w", err)
+		}
+		pa.argVecs[i] = v
+	}
+	if len(pa.groupKerns) == 0 {
+		// Global aggregation: one group, bulk fold.
+		if len(pa.order) == 0 {
+			grp := &partialGroup{morsel: morsel, row: rowBase}
+			grp.states = make([]aggState, len(pa.aggs))
+			pa.order = append(pa.order, grp)
+		}
+		return foldAggArgs(&pa.order[0].aggGroup, pa.aggs, pa.argVecs, sel)
+	}
+	kb := pa.kb
+	for pos, i := range sel {
+		kb = kb[:0]
+		for _, kv := range pa.keyVecs {
+			kb = appendKeyEntry(kb, kv, i)
+			kb = append(kb, 0)
+		}
+		grp, ok := pa.index[string(kb)]
+		if !ok {
+			key := make([]expr.Value, len(pa.keyVecs))
+			for j, kv := range pa.keyVecs {
+				key[j] = kv.Value(i)
+			}
+			grp = &partialGroup{keyStr: string(kb), morsel: morsel, row: rowBase + int64(pos)}
+			grp.key = key
+			grp.states = make([]aggState, len(pa.aggs))
+			pa.index[grp.keyStr] = grp
+			pa.order = append(pa.order, grp)
+		}
+		for a, spec := range pa.aggs {
+			var v expr.Value
+			if spec.Arg == nil {
+				v = expr.Int(1)
+			} else {
+				v = pa.argVecs[a].Value(i)
+			}
+			if err := grp.states[a].update(spec.Kind, v); err != nil {
+				return fmt.Errorf("exec: aggregate: %w", err)
+			}
+		}
+	}
+	pa.kb = kb
+	return nil
+}

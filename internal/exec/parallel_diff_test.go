@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/sql"
+	"datalaws/internal/storage"
+	"datalaws/internal/table"
+)
+
+// largeDiffFixture is diffFixture scaled to span many morsels: the same
+// schemas and value distributions (NULLs in every nullable position, the
+// 'NULL' literal-string pitfall, negative and zero values), generated
+// deterministically so serial and parallel runs see identical data.
+func largeDiffFixture(t *testing.T, rows int) *table.Catalog {
+	t.Helper()
+	cat := table.NewCatalog()
+	ts, err := table.NewSchema(
+		table.ColumnDef{Name: "id", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "grp", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "x", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "y", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "label", Type: storage.TypeString},
+		table.ColumnDef{Name: "flag", Type: storage.TypeBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := cat.Create("t", ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{"a", "b", "c", "NULL", "d"}
+	null := expr.Null()
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	batch := make([][]expr.Value, 0, 1024)
+	for i := 0; i < rows; i++ {
+		r := next()
+		row := []expr.Value{
+			expr.Int(int64(i + 1)),
+			expr.Int(int64(r % 7)),
+			expr.Float(float64(int64(r%2001)-1000) / 8),
+			expr.Float(float64(int64(next()%4001) - 2000)),
+			expr.Str(labels[next()%uint64(len(labels))]),
+			expr.Bool(next()%2 == 0),
+		}
+		// Sprinkle NULLs over every nullable column on co-prime strides so
+		// all 3VL combinations occur.
+		if i%5 == 3 {
+			row[2] = null
+		}
+		if i%7 == 2 {
+			row[3] = null
+		}
+		if i%11 == 6 {
+			row[1] = null
+		}
+		if i%13 == 4 {
+			row[4] = null
+		}
+		if i%17 == 9 {
+			row[5] = null
+		}
+		batch = append(batch, row)
+		if len(batch) == cap(batch) {
+			if _, err := tb.AppendRows(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if _, err := tb.AppendRows(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := table.NewSchema(
+		table.ColumnDef{Name: "grp", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "name", Type: storage.TypeString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cat.Create("g", ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"zero", "one", "two", "three", "four", "five", "six"} {
+		if err := s.AppendRow([]expr.Value{expr.Int(int64(i)), expr.Str(name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// withSmallMorsels shrinks the morsel size so small fixtures span many
+// morsels, restoring it when the test ends.
+func withSmallMorsels(t *testing.T, rows int) {
+	t.Helper()
+	old := morselRows
+	morselRows = rows
+	t.Cleanup(func() { morselRows = old })
+}
+
+// closeValue compares kind-exactly, with a relative tolerance for floats:
+// the partial-aggregate merge reassociates floating-point addition, so
+// SUM/AVG/VAR/STDDEV may differ from serial execution in the last few ulps.
+func closeValue(a, b expr.Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	if a.K == expr.KindFloat {
+		if a.String() == b.String() {
+			return true // covers NaN, ±Inf, -0 exactly
+		}
+		scale := math.Max(math.Abs(a.F), math.Abs(b.F))
+		return math.Abs(a.F-b.F) <= 1e-9*scale
+	}
+	return a.String() == b.String()
+}
+
+func buildParallel(t *testing.T, cat *table.Catalog, q string, workers int) (Operator, error) {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return BuildSelectOpts(cat, st.(*sql.SelectStmt), nil, Options{Mode: ModeAuto, Parallelism: workers})
+}
+
+// compareRuns checks two drained results row by row IN ORDER: the gather
+// re-emits morsels in serial scan order and the parallel aggregate merges
+// groups in serial first-seen order, so even queries without ORDER BY must
+// match serial row order.
+func compareRuns(t *testing.T, q, label string, want, got []Row, wantErr, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%q [%s]: serial err = %v, parallel err = %v", q, label, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%q [%s]: error mismatch: serial %q vs parallel %q", q, label, wantErr, gotErr)
+		}
+		return
+	}
+	if len(want) != len(got) {
+		t.Fatalf("%q [%s]: serial %d rows vs parallel %d rows", q, label, len(want), len(got))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("%q [%s] row %d: width %d vs %d", q, label, i, len(want[i]), len(got[i]))
+		}
+		for c := range want[i] {
+			if !closeValue(want[i][c], got[i][c]) {
+				t.Fatalf("%q [%s] row %d col %d: serial %v (%s) vs parallel %v (%s)",
+					q, label, i, c, want[i][c], want[i][c].K, got[i][c], got[i][c].K)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelVsSerial runs the entire differential corpus at
+// parallelism 1, 2, 4 and GOMAXPROCS against the serial row engine, over
+// both the small edge-case fixture and a large many-morsel fixture.
+func TestDifferentialParallelVsSerial(t *testing.T) {
+	withSmallMorsels(t, 256)
+	levels := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	fixtures := []struct {
+		name string
+		cat  *table.Catalog
+	}{
+		{"small", diffFixture(t)},
+		{"large", largeDiffFixture(t, 4000)},
+	}
+	for _, fx := range fixtures {
+		for _, q := range differentialQueries {
+			rowOp, err := buildMode(t, fx.cat, q, ModeRow)
+			if err != nil {
+				t.Fatalf("plan (row) %q: %v", q, err)
+			}
+			want, wantErr := Drain(rowOp)
+			for _, p := range levels {
+				parOp, err := buildParallel(t, fx.cat, q, p)
+				if err != nil {
+					t.Fatalf("plan (parallel %d) %q: %v", p, q, err)
+				}
+				got, gotErr := Drain(parOp)
+				compareRuns(t, q, fmt.Sprintf("%s p=%d", fx.name, p), want, got, wantErr, gotErr)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelErrors checks that runtime errors surface with
+// identical messages through the parallel pipelines: the gather reports the
+// first erroring morsel in serial order, and the parallel aggregate the
+// in-order-first worker failure.
+func TestDifferentialParallelErrors(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 3000)
+	for _, q := range []string{
+		"SELECT 1 / 0 FROM t",
+		"SELECT id FROM t WHERE 1 % 0 = 1",
+		"SELECT id + label FROM t WHERE label = 'a'",
+		"SELECT id FROM t WHERE label AND flag",
+		"SELECT sum(label) FROM t GROUP BY grp",
+	} {
+		rowOp, err := buildMode(t, cat, q, ModeRow)
+		if err != nil {
+			t.Fatalf("plan (row) %q: %v", q, err)
+		}
+		_, rowErr := Drain(rowOp)
+		if rowErr == nil {
+			t.Fatalf("%q: want a serial error", q)
+		}
+		for _, p := range []int{2, 4} {
+			parOp, err := buildParallel(t, cat, q, p)
+			if err != nil {
+				t.Fatalf("plan (parallel %d) %q: %v", p, q, err)
+			}
+			_, parErr := Drain(parOp)
+			if parErr == nil {
+				t.Fatalf("%q p=%d: want an error, got none", q, p)
+			}
+			if rowErr.Error() != parErr.Error() {
+				t.Fatalf("%q p=%d: error mismatch:\n  serial:   %v\n  parallel: %v", q, p, rowErr, parErr)
+			}
+		}
+	}
+}
+
+// TestParallelOrderByDeterministic pins deterministic output for ORDER BY
+// (+ LIMIT) under parallel execution: the ordered gather preserves serial
+// scan order, so stable sort ties and LIMIT cutoffs cannot flap between
+// runs or parallelism levels.
+func TestParallelOrderByDeterministic(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 3000)
+	queries := []string{
+		// x carries NULLs and duplicates, so the sort has genuine ties.
+		"SELECT id, x AS ex FROM t ORDER BY ex DESC LIMIT 25",
+		"SELECT id FROM t WHERE flag ORDER BY label LIMIT 40",
+		"SELECT grp, count(*) FROM t GROUP BY grp ORDER BY grp",
+	}
+	for _, q := range queries {
+		var baseline []Row
+		for run := 0; run < 3; run++ {
+			for _, p := range []int{2, 4} {
+				op, err := buildParallel(t, cat, q, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rows, err := Drain(op)
+				if err != nil {
+					t.Fatalf("%q: %v", q, err)
+				}
+				if baseline == nil {
+					baseline = rows
+					continue
+				}
+				compareRuns(t, q, fmt.Sprintf("run=%d p=%d", run, p), baseline, rows, nil, nil)
+			}
+		}
+	}
+}

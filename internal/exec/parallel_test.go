@@ -1,0 +1,228 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/sql"
+)
+
+// TestParallelPlansUseGather pins that the flagship shapes actually lower
+// onto the parallel operators instead of silently staying serial.
+func TestParallelPlansUseGather(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 3000)
+	for q, want := range map[string]string{
+		"SELECT * FROM t":                                              "Gather workers=4",
+		"SELECT id, x FROM t WHERE x > 0":                              "Gather workers=4",
+		"SELECT grp, sum(x) FROM t GROUP BY grp":                       "ParallelHashAggregate",
+		"SELECT count(*) FROM t":                                       "ParallelHashAggregate",
+		"SELECT grp, count(*) FROM t GROUP BY grp HAVING count(*) > 1": "ParallelHashAggregate",
+		"SELECT id FROM t ORDER BY x LIMIT 2":                          "Gather workers=4", // sort stays row, scan parallelizes
+	} {
+		op, err := buildParallel(t, cat, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan := PlanString(op); !strings.Contains(plan, want) {
+			t.Errorf("%q plan missing %q:\n%s", q, want, plan)
+		}
+	}
+	// The join stage itself stays row-mode (its big input may still gather
+	// underneath), and a table that fits in one morsel stays serial.
+	op0, err := buildParallel(t, cat, "SELECT t.id, g.name FROM t JOIN g ON t.grp = g.grp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := PlanString(op0); !strings.Contains(plan, "HashJoin") {
+		t.Errorf("join plan lost its row-mode join stage:\n%s", plan)
+	}
+	opSmall, err := buildParallel(t, cat, "SELECT name FROM g", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := PlanString(opSmall); strings.Contains(plan, "Gather") {
+		t.Errorf("single-morsel table unexpectedly parallelized:\n%s", plan)
+	}
+	// Parallelism 1 never builds a pool.
+	op, err := buildParallel(t, cat, "SELECT * FROM t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := PlanString(op); strings.Contains(plan, "Gather") {
+		t.Errorf("parallelism 1 built a gather:\n%s", plan)
+	}
+}
+
+// TestGatherPreservesScanOrder checks the ordered gather's core contract:
+// a parallel scan emits rows in exactly the serial scan's order even
+// without ORDER BY.
+func TestGatherPreservesScanOrder(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 5000)
+	serialOp, err := buildMode(t, cat, "SELECT id FROM t", ModeRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Drain(serialOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOp, err := buildParallel(t, cat, "SELECT id FROM t", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(parOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i][0].I != got[i][0].I {
+			t.Fatalf("row %d: serial id %d, parallel id %d — gather broke scan order", i, want[i][0].I, got[i][0].I)
+		}
+	}
+}
+
+// TestParallelCancellation checks that a canceled statement context stops a
+// parallel query mid-flight, through both the gather and the partial
+// aggregate.
+func TestParallelCancellation(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 20000)
+	for _, q := range []string{
+		"SELECT id, x FROM t WHERE x > -10000",
+		"SELECT grp, sum(x), avg(y) FROM t GROUP BY grp",
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already canceled: the first interrupt check must fire
+		op, err := buildParallel(t, cat, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		BindContext(op, ctx)
+		_, drainErr := Drain(op)
+		if drainErr == nil {
+			t.Fatalf("%q: want context error, got full result", q)
+		}
+		if drainErr != context.Canceled {
+			t.Fatalf("%q: err = %v, want context.Canceled", q, drainErr)
+		}
+	}
+}
+
+// TestParallelEarlyClose checks that abandoning a parallel cursor (LIMIT
+// semantics) shuts the pool down cleanly.
+func TestParallelEarlyClose(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 20000)
+	op, err := buildParallel(t, cat, "SELECT id FROM t LIMIT 3", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		row, err := op.Next()
+		if err != nil || row == nil {
+			t.Fatalf("row %d: %v, %v", i, row, err)
+		}
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggStateMerge exercises the partial-state recombination directly:
+// splitting a value stream across partials and merging must agree with the
+// serial fold for every aggregate kind, including NULL skipping and empty
+// partials.
+func TestAggStateMerge(t *testing.T) {
+	vals := []expr.Value{
+		expr.Float(1.5), expr.Null(), expr.Float(-2.25), expr.Float(4),
+		expr.Float(10.5), expr.Null(), expr.Float(0), expr.Float(-7.75),
+		expr.Float(3.125), expr.Float(8),
+	}
+	kinds := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax, AggVar, AggStdDev}
+	for _, kind := range kinds {
+		var serial aggState
+		for _, v := range vals {
+			if err := serial.update(kind, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, split := range []int{0, 1, 3, len(vals)} {
+			var a, b, empty aggState
+			for i, v := range vals {
+				st := &a
+				if i >= split {
+					st = &b
+				}
+				if err := st.update(kind, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var merged aggState
+			for _, part := range []*aggState{&empty, &a, &b} {
+				if err := merged.merge(part, kind); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, got := serial.final(kind), merged.final(kind)
+			if !closeValue(want, got) {
+				t.Errorf("kind %d split %d: serial %v vs merged %v", kind, split, want, got)
+			}
+		}
+	}
+	// MIN/MAX preserve the argument kind through merges (strings here).
+	var l, r aggState
+	for _, s := range []string{"pear", "apple"} {
+		if err := l.update(AggMin, expr.Str(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.update(AggMin, expr.Str("banana")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.merge(&r, AggMin); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.final(AggMin); got.S != "apple" {
+		t.Errorf("string MIN merge = %v, want apple", got)
+	}
+}
+
+// TestParallelReExecute checks that a parallel plan can be opened and
+// drained twice (prepared-statement style) and sees fresh snapshots.
+func TestParallelReExecute(t *testing.T) {
+	withSmallMorsels(t, 256)
+	cat := largeDiffFixture(t, 3000)
+	st, err := sql.Parse("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := BuildSelectOpts(cat, st.(*sql.SelectStmt), nil, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || len(second) != 1 || first[0][0].I != second[0][0].I {
+		t.Fatalf("re-executed parallel plan disagrees: %v vs %v", first, second)
+	}
+}

@@ -29,8 +29,17 @@ func BuildSelectOver(cat *table.Catalog, st *sql.SelectStmt, source Operator) (O
 }
 
 // BuildSelectOverMode is BuildSelectOver with explicit control over row
-// versus batch lowering; ModeRow skips vectorization entirely.
+// versus batch lowering; ModeRow skips vectorization entirely. It keeps
+// the serial pipeline — BuildSelectOpts adds morsel-driven parallelism.
 func BuildSelectOverMode(cat *table.Catalog, st *sql.SelectStmt, source Operator, mode Mode) (Operator, error) {
+	return BuildSelectOpts(cat, st, source, Options{Mode: mode, Parallelism: 1})
+}
+
+// BuildSelectOpts is BuildSelectOver with full execution options: row
+// versus batch mode plus the morsel-driven parallelism budget (see
+// Options). Plans whose source cannot split into morsels fall back to the
+// serial pipeline regardless of the budget.
+func BuildSelectOpts(cat *table.Catalog, st *sql.SelectStmt, source Operator, opts Options) (Operator, error) {
 	base, err := buildFrom(cat, st, source)
 	if err != nil {
 		return nil, err
@@ -120,8 +129,8 @@ func BuildSelectOverMode(cat *table.Catalog, st *sql.SelectStmt, source Operator
 	if st.Limit >= 0 {
 		op = &Limit{Child: op, N: st.Limit}
 	}
-	if mode != ModeRow {
-		op = Lower(op)
+	if opts.Mode != ModeRow {
+		op = LowerOpts(op, opts.Workers())
 	}
 	return op, nil
 }

@@ -20,12 +20,18 @@ type TableScan struct {
 
 // NewTableScan builds a scan over t with qualified output columns.
 func NewTableScan(t *table.Table) *TableScan {
+	return &TableScan{Table: t, cols: qualifiedCols(t)}
+}
+
+// qualifiedCols names a table's columns as "table.column", the form every
+// scan variant (row, vectorized, morsel) exposes.
+func qualifiedCols(t *table.Table) []string {
 	names := t.Schema().Names()
 	cols := make([]string, len(names))
 	for i, n := range names {
 		cols[i] = t.Name + "." + n
 	}
-	return &TableScan{Table: t, cols: cols}
+	return cols
 }
 
 // Columns implements Operator.

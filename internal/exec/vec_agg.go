@@ -27,14 +27,7 @@ type VecHashAggregate struct {
 // Columns implements VectorOperator.
 func (h *VecHashAggregate) Columns() []string {
 	if h.cols == nil {
-		cols := make([]string, 0, len(h.GroupExprs)+len(h.Aggs))
-		for i := range h.GroupExprs {
-			cols = append(cols, fmt.Sprintf("$grp%d", i))
-		}
-		for i := range h.Aggs {
-			cols = append(cols, fmt.Sprintf("$agg%d", i))
-		}
-		h.cols = cols
+		h.cols = aggOutputCols(len(h.GroupExprs), len(h.Aggs))
 	}
 	return h.cols
 }
@@ -105,7 +98,7 @@ func (h *VecHashAggregate) Open() error {
 				grp := &aggGroup{states: make([]aggState, len(h.Aggs))}
 				order = append(order, grp)
 			}
-			if err := h.updateGroup(order[0], argVecs, sel); err != nil {
+			if err := foldAggArgs(order[0], h.Aggs, argVecs, sel); err != nil {
 				return err
 			}
 			continue
@@ -147,10 +140,11 @@ func (h *VecHashAggregate) Open() error {
 	return nil
 }
 
-// updateGroup folds a batch's aggregate argument vectors into one group's
-// states using bulk/typed paths where possible.
-func (h *VecHashAggregate) updateGroup(grp *aggGroup, argVecs []*Vector, sel []int) error {
-	for a, spec := range h.Aggs {
+// foldAggArgs folds a batch's aggregate argument vectors into one group's
+// states using bulk/typed paths where possible; shared by the serial
+// aggregate's global path and the parallel partial-aggregate phase.
+func foldAggArgs(grp *aggGroup, aggs []AggSpec, argVecs []*Vector, sel []int) error {
+	for a, spec := range aggs {
 		st := &grp.states[a]
 		if spec.Arg == nil {
 			// COUNT(*): every selected row counts, no per-row work.
@@ -228,23 +222,28 @@ func (h *VecHashAggregate) NextBatch() (*Batch, error) {
 		hi = len(h.groups)
 	}
 	h.pos = hi
+	return emitGroupBatch(h.groups, lo, hi, len(h.GroupExprs), h.Aggs), nil
+}
+
+// emitGroupBatch materializes groups [lo, hi) as a columnar batch; shared
+// by the serial and parallel hash aggregates.
+func emitGroupBatch(groups []*aggGroup, lo, hi, ngroup int, aggs []AggSpec) *Batch {
 	n := hi - lo
-	ng := len(h.GroupExprs)
-	b := &Batch{N: n, Cols: make([]*Vector, ng+len(h.Aggs))}
+	b := &Batch{N: n, Cols: make([]*Vector, ngroup+len(aggs))}
 	vals := make([]expr.Value, n)
-	for c := 0; c < ng; c++ {
+	for c := 0; c < ngroup; c++ {
 		for i := 0; i < n; i++ {
-			vals[i] = h.groups[lo+i].key[c]
+			vals[i] = groups[lo+i].key[c]
 		}
 		b.Cols[c] = vectorFromValues(vals)
 	}
-	for a, spec := range h.Aggs {
+	for a, spec := range aggs {
 		for i := 0; i < n; i++ {
-			vals[i] = h.groups[lo+i].states[a].final(spec.Kind)
+			vals[i] = groups[lo+i].states[a].final(spec.Kind)
 		}
-		b.Cols[ng+a] = vectorFromValues(vals)
+		b.Cols[ngroup+a] = vectorFromValues(vals)
 	}
-	return b, nil
+	return b
 }
 
 // Close implements VectorOperator.

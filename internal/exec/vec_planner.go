@@ -33,18 +33,30 @@ type Vectorizable interface {
 // vectorized implementation (sort, limit, join) keep their row form and
 // pull from the adapters; plans with no vectorizable parts come back
 // unchanged.
-func Lower(op Operator) Operator {
+func Lower(op Operator) Operator { return LowerOpts(op, 1) }
+
+// LowerOpts is Lower with a worker budget: when workers > 1 it first tries
+// to rewrite each maximal vectorizable subtree into a morsel-driven
+// parallel plan (per-worker scan pipelines behind a gather, or a partial
+// aggregate with a merge phase), falling back to the serial batch pipeline
+// and finally to row execution.
+func LowerOpts(op Operator, workers int) Operator {
 	// Pass-through tops: lower underneath, keep the row operator.
 	switch o := op.(type) {
 	case *Limit:
-		o.Child = Lower(o.Child)
+		o.Child = LowerOpts(o.Child, workers)
 		return o
 	case *Sort:
-		o.Child = Lower(o.Child)
+		o.Child = LowerOpts(o.Child, workers)
 		return o
 	case *sliceOp:
-		o.Child = Lower(o.Child)
+		o.Child = LowerOpts(o.Child, workers)
 		return o
+	}
+	if workers > 1 {
+		if vop, ok := parallelize(op, workers); ok {
+			return NewRowAdapter(vop)
+		}
 	}
 	if vop, ok := vectorize(op); ok {
 		return NewRowAdapter(vop)
@@ -54,17 +66,17 @@ func Lower(op Operator) Operator {
 	// runs in batch mode.
 	switch o := op.(type) {
 	case *Filter:
-		o.Child = Lower(o.Child)
+		o.Child = LowerOpts(o.Child, workers)
 	case *Project:
-		o.Child = Lower(o.Child)
+		o.Child = LowerOpts(o.Child, workers)
 	case *HashAggregate:
-		o.Child = Lower(o.Child)
+		o.Child = LowerOpts(o.Child, workers)
 	case *HashJoin:
-		o.Left = Lower(o.Left)
-		o.Right = Lower(o.Right)
+		o.Left = LowerOpts(o.Left, workers)
+		o.Right = LowerOpts(o.Right, workers)
 	case *Concat:
 		for i, c := range o.Children {
-			o.Children[i] = Lower(c)
+			o.Children[i] = LowerOpts(c, workers)
 		}
 	}
 	return op

@@ -29,13 +29,10 @@ type VecTableScan struct {
 	Table *table.Table
 	Interruptible
 
-	cols     []string
-	src      []vecColSrc
-	n, pos   int
-	batch    Batch
-	nullBufs [][]bool
-	strBufs  [][]string
-	boolBufs [][]bool
+	cols   []string
+	src    []vecColSrc
+	n, pos int
+	win    colWindow
 }
 
 // vecColSrc is the Open-time snapshot of one storage column: typed slice
@@ -54,12 +51,7 @@ type vecColSrc struct {
 // NewVecTableScan builds a vectorized scan over t with qualified output
 // columns.
 func NewVecTableScan(t *table.Table) *VecTableScan {
-	names := t.Schema().Names()
-	cols := make([]string, len(names))
-	for i, n := range names {
-		cols[i] = t.Name + "." + n
-	}
-	return &VecTableScan{Table: t, cols: cols}
+	return &VecTableScan{Table: t, cols: qualifiedCols(t)}
 }
 
 // Columns implements VectorOperator.
@@ -67,46 +59,14 @@ func (s *VecTableScan) Columns() []string { return s.cols }
 
 // Open implements VectorOperator.
 func (s *VecTableScan) Open() error {
-	if s.Table == nil {
-		return fmt.Errorf("exec: scan over nil table")
-	}
-	s.pos = 0
-	s.ResetInterrupt()
-	nc := len(s.cols)
-	s.src = make([]vecColSrc, nc)
-	// Snapshot the typed slice headers and row count under one table lock:
-	// headers read outside it would race with a concurrent append's slice
-	// growth, even though the first n elements are immutable. Bitmaps pack
-	// many rows per word, so appends mutate words earlier rows share —
-	// those are deep-copied up to the snapshot length.
-	err := s.Table.View(func(cols []storage.Column, rows int) error {
-		s.n = rows
-		for i := 0; i < nc; i++ {
-			switch tc := cols[i].(type) {
-			case *storage.Int64Column:
-				s.src[i] = vecColSrc{kind: expr.KindInt, i64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
-			case *storage.Float64Column:
-				s.src[i] = vecColSrc{kind: expr.KindFloat, f64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
-			case *storage.StringColumn:
-				s.src[i] = vecColSrc{kind: expr.KindString, codes: tc.Codes, dict: tc.Dict, nulls: tc.Nulls.ClonePrefix(rows)}
-			case *storage.BoolColumn:
-				s.src[i] = vecColSrc{kind: expr.KindBool, bools: tc.Vals.ClonePrefix(rows), nulls: tc.Nulls.ClonePrefix(rows)}
-			default:
-				return fmt.Errorf("exec: cannot vectorize column type %T", tc)
-			}
-		}
-		return nil
-	})
+	src, n, err := snapshotVecCols(s.Table, len(s.cols))
 	if err != nil {
 		return err
 	}
-	s.batch.Cols = make([]*Vector, nc)
-	for i := range s.batch.Cols {
-		s.batch.Cols[i] = &Vector{}
-	}
-	s.nullBufs = make([][]bool, nc)
-	s.strBufs = make([][]string, nc)
-	s.boolBufs = make([][]bool, nc)
+	s.src, s.n = src, n
+	s.pos = 0
+	s.ResetInterrupt()
+	s.win.init(len(s.cols))
 	return nil
 }
 
@@ -124,54 +84,122 @@ func (s *VecTableScan) NextBatch() (*Batch, error) {
 		hi = s.n
 	}
 	s.pos = hi
+	return s.win.window(s.src, lo, hi), nil
+}
+
+// snapshotVecCols snapshots a table's typed column slice headers and row
+// count under one table lock: headers read outside it would race with a
+// concurrent append's slice growth, even though the first n elements are
+// immutable. Bitmaps pack many rows per word, so appends mutate words
+// earlier rows share — those are deep-copied up to the snapshot length. The
+// returned snapshot is immutable and safe to read from many goroutines
+// (morsel workers share one).
+func snapshotVecCols(t *table.Table, nc int) ([]vecColSrc, int, error) {
+	if t == nil {
+		return nil, 0, fmt.Errorf("exec: scan over nil table")
+	}
+	src := make([]vecColSrc, nc)
+	var n int
+	err := t.View(func(cols []storage.Column, rows int) error {
+		n = rows
+		for i := 0; i < nc; i++ {
+			switch tc := cols[i].(type) {
+			case *storage.Int64Column:
+				src[i] = vecColSrc{kind: expr.KindInt, i64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
+			case *storage.Float64Column:
+				src[i] = vecColSrc{kind: expr.KindFloat, f64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
+			case *storage.StringColumn:
+				src[i] = vecColSrc{kind: expr.KindString, codes: tc.Codes, dict: tc.Dict, nulls: tc.Nulls.ClonePrefix(rows)}
+			case *storage.BoolColumn:
+				src[i] = vecColSrc{kind: expr.KindBool, bools: tc.Vals.ClonePrefix(rows), nulls: tc.Nulls.ClonePrefix(rows)}
+			default:
+				return fmt.Errorf("exec: cannot vectorize column type %T", tc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return src, n, nil
+}
+
+// colWindow materializes [lo, hi) row windows of a column snapshot into a
+// reusable batch. Int and float vectors are zero-copy views of the storage
+// slices; strings, bools and null masks fill per-window scratch buffers.
+// Each consumer owns its own colWindow, so parallel morsel workers never
+// share output buffers.
+type colWindow struct {
+	batch    Batch
+	nullBufs [][]bool
+	strBufs  [][]string
+	boolBufs [][]bool
+}
+
+// init sizes the window for nc columns; call it from Open.
+func (w *colWindow) init(nc int) {
+	w.batch.Cols = make([]*Vector, nc)
+	for i := range w.batch.Cols {
+		w.batch.Cols[i] = &Vector{}
+	}
+	w.nullBufs = make([][]bool, nc)
+	w.strBufs = make([][]string, nc)
+	w.boolBufs = make([][]bool, nc)
+}
+
+// window fills the batch with rows [lo, hi) of the snapshot. The returned
+// batch is valid until the next window call.
+func (w *colWindow) window(src []vecColSrc, lo, hi int) *Batch {
 	n := hi - lo
-	b := &s.batch
+	b := &w.batch
 	b.N = n
 	b.Sel = nil
-	for c := range s.src {
-		src := &s.src[c]
+	for c := range src {
+		sc := &src[c]
 		v := b.Cols[c]
-		*v = Vector{Kind: src.kind, Null: s.nullSlice(c, src.nulls, lo, n)}
-		switch src.kind {
+		*v = Vector{Kind: sc.kind, Null: w.nullSlice(c, sc.nulls, lo, n)}
+		switch sc.kind {
 		case expr.KindInt:
-			v.I = src.i64[lo:hi]
+			v.I = sc.i64[lo:hi]
+			v.Stable = true
 		case expr.KindFloat:
-			v.F = src.f64[lo:hi]
+			v.F = sc.f64[lo:hi]
+			v.Stable = true
 		case expr.KindString:
-			if cap(s.strBufs[c]) < n {
-				s.strBufs[c] = make([]string, BatchSize)
+			if cap(w.strBufs[c]) < n {
+				w.strBufs[c] = make([]string, BatchSize)
 			}
-			buf := s.strBufs[c][:n]
+			buf := w.strBufs[c][:n]
 			for i := 0; i < n; i++ {
 				if v.Null == nil || !v.Null[i] {
-					buf[i] = src.dict[src.codes[lo+i]]
+					buf[i] = sc.dict[sc.codes[lo+i]]
 				}
 			}
 			v.S = buf
 		case expr.KindBool:
-			if cap(s.boolBufs[c]) < n {
-				s.boolBufs[c] = make([]bool, BatchSize)
+			if cap(w.boolBufs[c]) < n {
+				w.boolBufs[c] = make([]bool, BatchSize)
 			}
-			buf := s.boolBufs[c][:n]
+			buf := w.boolBufs[c][:n]
 			for i := 0; i < n; i++ {
-				buf[i] = src.bools.Get(lo + i)
+				buf[i] = sc.bools.Get(lo + i)
 			}
 			v.B = buf
 		}
 	}
-	return b, nil
+	return b
 }
 
 // nullSlice materializes the [lo, lo+n) window of a null bitmap into a bool
 // slice, returning nil when the whole column is null-free.
-func (s *VecTableScan) nullSlice(c int, bm *storage.Bitmap, lo, n int) []bool {
+func (w *colWindow) nullSlice(c int, bm *storage.Bitmap, lo, n int) []bool {
 	if bm == nil || !bm.Any() {
 		return nil
 	}
-	if cap(s.nullBufs[c]) < n {
-		s.nullBufs[c] = make([]bool, BatchSize)
+	if cap(w.nullBufs[c]) < n {
+		w.nullBufs[c] = make([]bool, BatchSize)
 	}
-	buf := s.nullBufs[c][:n]
+	buf := w.nullBufs[c][:n]
 	for i := 0; i < n; i++ {
 		buf[i] = bm.Get(lo + i)
 	}

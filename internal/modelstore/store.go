@@ -189,6 +189,7 @@ type Store struct {
 	byTable map[string][]*CapturedModel
 	nextID  int
 	epoch   uint64 // bumped on every capture/refit/drop/load
+	fitPar  int    // GroupedFit worker bound; 0 = GOMAXPROCS
 }
 
 // NewStore returns an empty catalog.
@@ -206,6 +207,21 @@ func (s *Store) Epoch() uint64 {
 	return s.epoch
 }
 
+// SetFitParallelism bounds the worker pool that fits groups during Capture
+// and Refit (0 restores the GOMAXPROCS default, 1 fits serially).
+// Background refits go through Refit, so the knob covers them too.
+func (s *Store) SetFitParallelism(n int) {
+	s.mu.Lock()
+	s.fitPar = n
+	s.mu.Unlock()
+}
+
+func (s *Store) fitParallelism() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fitPar
+}
+
 // Capture fits spec against t and stores the result — steps 2–3 of the
 // paper's Figure 2 (the database "dutifully fits the model … at the same
 // time, the database stores the model as well as its parameters for later
@@ -217,7 +233,7 @@ func (s *Store) Capture(t *table.Table, spec Spec) (*CapturedModel, error) {
 	if exists {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, spec.Name)
 	}
-	cm, err := fitSpec(t, spec, nil)
+	cm, err := fitSpec(t, spec, nil, s.fitParallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +282,7 @@ func (s *Store) refit(name string, t *table.Table, warm bool) (*CapturedModel, e
 	if warm {
 		prev = old
 	}
-	cm, err := fitSpec(t, old.Spec, prev)
+	cm, err := fitSpec(t, old.Spec, prev, s.fitParallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +428,9 @@ func (s *Store) BestFor(tableName, output string, t *table.Table, pol SelectionP
 // fitSpec runs the fitting workload for a spec against a consistent table
 // snapshot. When prev is non-nil, the fit warm-starts from prev's fitted
 // parameters group by group.
-func fitSpec(t *table.Table, spec Spec, prev *CapturedModel) (*CapturedModel, error) {
+// fitSpec fits one model spec against a consistent snapshot of t;
+// parallelism bounds the per-group fitting workers (0 = GOMAXPROCS).
+func fitSpec(t *table.Table, spec Spec, prev *CapturedModel, parallelism int) (*CapturedModel, error) {
 	model, err := fit.ParseModel(spec.Formula, spec.Inputs)
 	if err != nil {
 		return nil, err
@@ -507,7 +525,7 @@ func fitSpec(t *table.Table, spec Spec, prev *CapturedModel) (*CapturedModel, er
 		cm.Groups[0] = groupFromResult(0, res)
 		cm.Order = []int64{0}
 	} else {
-		gf := &fit.GroupedFit{Model: model, Start: spec.Start, StartFor: startFor, Opts: opts}
+		gf := &fit.GroupedFit{Model: model, Start: spec.Start, StartFor: startFor, Opts: opts, Parallelism: parallelism}
 		results, err := gf.Run(group, cols)
 		if err != nil {
 			return nil, err

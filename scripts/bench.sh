@@ -23,6 +23,12 @@ fi
 if [ "$pattern" = "ingest" ]; then
   pattern='Ingest|RefitWarmVsCold|DriftObserve|ModelRefitSwitch'
 fi
+# Shorthand for morsel-driven parallel execution: scan, group-by and
+# grouped-fit scaling across 1/2/4/8 workers. Meaningful numbers need a
+# machine with at least as many free cores as workers.
+if [ "$pattern" = "parallel" ]; then
+  pattern='ParallelScan|ParallelGroupBy|ParallelFit'
+fi
 outdir="bench-results"
 mkdir -p "$outdir"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"

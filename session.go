@@ -324,10 +324,10 @@ func (s *Stmt) querySelect(ctx context.Context, sel *sql.SelectStmt) (*Rows, err
 			// ErrNoModel, or a failure of the exact plan itself (e.g. the
 			// query projects model-only _lo/_hi columns), reports the
 			// original approximate-planning error.
-			if !s.eng.AQP.FallbackExact || !errors.Is(err, modelstore.ErrNoModel) {
+			if !s.eng.aqpOptions().FallbackExact || !errors.Is(err, modelstore.ErrNoModel) {
 				return nil, err
 			}
-			exact, exErr := exec.BuildSelectOverMode(s.eng.Catalog, sel, nil, s.eng.ExecMode)
+			exact, exErr := exec.BuildSelectOpts(s.eng.Catalog, sel, nil, s.eng.execOptions())
 			if exErr != nil {
 				return nil, err
 			}
@@ -343,7 +343,7 @@ func (s *Stmt) querySelect(ctx context.Context, sel *sql.SelectStmt) (*Rows, err
 		}
 	} else {
 		var err error
-		op, err = exec.BuildSelectOverMode(s.eng.Catalog, sel, nil, s.eng.ExecMode)
+		op, err = exec.BuildSelectOpts(s.eng.Catalog, sel, nil, s.eng.execOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -365,7 +365,7 @@ func (s *Stmt) prepared() (*aqp.Prepared, error) {
 	if !ok || !sel.Approx {
 		return nil, fmt.Errorf("datalaws: statement is not an APPROX SELECT")
 	}
-	opts := s.eng.AQP
+	opts := s.eng.aqpOptions()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.approx != nil && s.approxOpts == opts {
