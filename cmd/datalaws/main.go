@@ -5,6 +5,7 @@
 //
 //	\load lofar|sensors|retail   load a synthetic dataset
 //	\import NAME FILE.csv        load a CSV file as table NAME
+//	\tables                      list tables, partitioned ones with ranges
 //	\save DIR                    persist tables and models (crash-safe)
 //	\restore DIR                 load a saved directory
 //	\autorefit on|off            background drift detection + model refit
@@ -25,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -232,6 +234,40 @@ func shellCommand(eng *datalaws.Engine, line string, server **capture.Server) er
 			workers = runtime.GOMAXPROCS(0)
 		}
 		fmt.Printf("parallelism set to %d worker(s) for scans, aggregation and model fitting\n", workers)
+		return nil
+	case "\\tables":
+		if len(fields) != 1 {
+			return fmt.Errorf("usage: \\tables")
+		}
+		names := eng.Catalog.PartitionedNames()
+		sort.Strings(names)
+		shown := map[string]bool{}
+		for _, name := range names {
+			pt, ok := eng.Catalog.GetPartitioned(name)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%s  (%d rows, partitioned by range(%s))\n", name, pt.NumRows(), pt.Column())
+			for i, r := range pt.Ranges() {
+				child := pt.Part(i)
+				shown[child.Name] = true
+				bound := fmt.Sprintf("less than %g", r.Upper)
+				if r.Max {
+					bound = "less than MAXVALUE"
+				}
+				fmt.Printf("  partition %s  values %s  (%d rows)\n", r.Name, bound, child.NumRows())
+			}
+		}
+		plain := eng.Catalog.Names()
+		sort.Strings(plain)
+		for _, name := range plain {
+			if shown[name] {
+				continue
+			}
+			if t, ok := eng.Catalog.Get(name); ok {
+				fmt.Printf("%s  (%d rows)\n", name, t.NumRows())
+			}
+		}
 		return nil
 	case "\\serve":
 		if len(fields) != 2 {

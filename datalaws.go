@@ -40,6 +40,7 @@ package datalaws
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -50,6 +51,7 @@ import (
 	"datalaws/internal/modelstore"
 	"datalaws/internal/refit"
 	"datalaws/internal/sql"
+	"datalaws/internal/stats"
 	"datalaws/internal/table"
 )
 
@@ -133,6 +135,10 @@ type Result struct {
 	Hybrid        bool
 	SEInflation   float64
 	ExactFallback bool
+	// Partitions/PartitionsPruned report range-partition pruning for
+	// approximate plans (0/0 on unpartitioned tables and exact plans).
+	Partitions       int
+	PartitionsPruned int
 }
 
 // Exec parses and executes one SQL statement, materializing the full
@@ -167,13 +173,19 @@ func (e *Engine) execStmt(st sql.Stmt) (*Result, error) {
 	case *sql.ShowModelsStmt:
 		return e.execShowModels()
 	case *sql.DropModelStmt:
-		if !e.Models.Drop(s.Name) {
+		dropped := e.Models.DropFamily(s.Name)
+		if len(dropped) == 0 {
 			return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
 		}
-		if r := e.AutoRefit(); r != nil {
-			r.Reset(s.Name)
+		for _, name := range dropped {
+			if r := e.AutoRefit(); r != nil {
+				r.Reset(name)
+			}
 		}
-		return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
+		if len(dropped) == 1 && dropped[0] == s.Name {
+			return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
+		}
+		return &Result{Info: fmt.Sprintf("model %s dropped (%d per-partition model(s))", s.Name, len(dropped))}, nil
 	case *sql.RefitModelStmt:
 		return e.execRefit(s)
 	case *sql.ExplainStmt:
@@ -191,6 +203,18 @@ func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Partition != nil {
+		ranges := make([]table.RangePartition, len(s.Partition.Parts))
+		for i, p := range s.Partition.Parts {
+			ranges[i] = table.RangePartition{Name: p.Name, Upper: p.Upper, Max: p.Max}
+		}
+		pt, err := e.Catalog.CreatePartitioned(s.Name, schema, s.Partition.Column, ranges)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Info: fmt.Sprintf("table %s created (%d partitions by range(%s))",
+			s.Name, pt.NumParts(), pt.Column())}, nil
+	}
 	if _, err := e.Catalog.Create(s.Name, schema); err != nil {
 		return nil, err
 	}
@@ -198,17 +222,30 @@ func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 }
 
 func (e *Engine) execDropTable(s *sql.DropTableStmt) (*Result, error) {
+	// A partitioned parent cascades to its children's tables and models.
+	var childNames []string
+	if pt, ok := e.Catalog.GetPartitioned(s.Name); ok {
+		for _, child := range pt.Partitions() {
+			childNames = append(childNames, child.Name)
+		}
+	}
 	if !e.Catalog.Drop(s.Name) {
 		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownTable, s.Name)
 	}
 	// Models captured on the table describe data that no longer exists.
 	dropped := e.Models.DropForTable(s.Name)
+	for _, child := range childNames {
+		dropped = append(dropped, e.Models.DropForTable(child)...)
+	}
 	for _, name := range dropped {
 		if r := e.AutoRefit(); r != nil {
 			r.Reset(name)
 		}
 	}
 	info := fmt.Sprintf("table %s dropped", s.Name)
+	if len(childNames) > 0 {
+		info = fmt.Sprintf("table %s dropped (%d partitions)", s.Name, len(childNames))
+	}
 	if len(dropped) > 0 {
 		info += fmt.Sprintf(" (with %d captured model(s): %s)", len(dropped), strings.Join(dropped, ", "))
 	}
@@ -216,10 +253,6 @@ func (e *Engine) execDropTable(s *sql.DropTableStmt) (*Result, error) {
 }
 
 func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
-	t, err := e.Catalog.Lookup(s.Table)
-	if err != nil {
-		return nil, fmt.Errorf("datalaws: %w", err)
-	}
 	env := expr.MapEnv{}
 	rows := make([][]expr.Value, len(s.Rows))
 	for r, rowExprs := range s.Rows {
@@ -233,6 +266,17 @@ func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
 		}
 		rows[r] = row
 	}
+	if pt, ok := e.Catalog.GetPartitioned(s.Table); ok {
+		n, err := e.appendPartitioned(pt, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Info: fmt.Sprintf("%d rows inserted", n)}, nil
+	}
+	t, err := e.Catalog.Lookup(s.Table)
+	if err != nil {
+		return nil, fmt.Errorf("datalaws: %w", err)
+	}
 	n, err := t.AppendRows(rows)
 	e.afterAppend(t, rows[:n])
 	if err != nil {
@@ -242,10 +286,6 @@ func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
 }
 
 func (e *Engine) execFit(s *sql.FitModelStmt) (*Result, error) {
-	t, err := e.Catalog.Lookup(s.Table)
-	if err != nil {
-		return nil, fmt.Errorf("datalaws: %w", err)
-	}
 	spec := modelstore.Spec{
 		Name:    s.Name,
 		Table:   s.Table,
@@ -255,6 +295,33 @@ func (e *Engine) execFit(s *sql.FitModelStmt) (*Result, error) {
 		Where:   s.Where,
 		Start:   s.Start,
 		Method:  s.Method,
+	}
+	if pt, ok := e.Catalog.GetPartitioned(s.Table); ok {
+		caps, err := e.Models.CapturePartitioned(pt, spec)
+		if err != nil {
+			return nil, err
+		}
+		fitted, failed, bytes := 0, 0, 0
+		var failures []string
+		for _, c := range caps {
+			if c.Err != nil {
+				failed++
+				failures = append(failures, fmt.Sprintf("%s: %v", c.Partition, c.Err))
+				continue
+			}
+			fitted++
+			bytes += c.Model.ParamSizeBytes()
+		}
+		info := fmt.Sprintf("model %s captured on %d/%d partitions of %s, parameter tables %d bytes",
+			s.Name, fitted, len(caps), s.Table, bytes)
+		if failed > 0 {
+			info += fmt.Sprintf(" (%d partition(s) unmodeled, answered raw: %s)", failed, strings.Join(failures, "; "))
+		}
+		return &Result{Model: s.Name, Info: info}, nil
+	}
+	t, err := e.Catalog.Lookup(s.Table)
+	if err != nil {
+		return nil, fmt.Errorf("datalaws: %w", err)
 	}
 	m, err := e.Models.Capture(t, spec)
 	if err != nil {
@@ -288,6 +355,37 @@ func (e *Engine) execShowModels() (*Result, error) {
 func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
 	m, ok := e.Models.Get(s.Name)
 	if !ok {
+		// A partitioned family refits member by member, each against its own
+		// partition — a manual REFIT of the family touches every partition,
+		// while background refits stay per-partition.
+		if fam := e.Models.Family(s.Name); len(fam) > 0 {
+			refitted := 0
+			var errs []string
+			for _, fm := range fam {
+				t, err := e.Catalog.Lookup(fm.Spec.Table)
+				if err != nil {
+					errs = append(errs, fmt.Sprintf("%s: %v", fm.Spec.Name, err))
+					continue
+				}
+				nm, err := e.Models.Refit(fm.Spec.Name, t)
+				if err != nil {
+					errs = append(errs, fmt.Sprintf("%s: %v", fm.Spec.Name, err))
+					continue
+				}
+				refitted++
+				if r := e.AutoRefit(); r != nil {
+					r.Reset(nm.Spec.Name)
+				}
+			}
+			info := fmt.Sprintf("model %s refitted on %d/%d partitions", s.Name, refitted, len(fam))
+			if len(errs) > 0 {
+				info += " (" + strings.Join(errs, "; ") + ")"
+			}
+			if refitted == 0 {
+				return nil, fmt.Errorf("datalaws: refit of %q failed on every partition: %s", s.Name, strings.Join(errs, "; "))
+			}
+			return &Result{Model: s.Name, Info: info}, nil
+		}
 		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
 	}
 	t, err := e.Catalog.Lookup(m.Spec.Table)
@@ -319,8 +417,13 @@ func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
 		if plan.Hybrid {
 			info += ", hybrid"
 		}
-		info += ")\n" + exec.PlanString(plan.Op)
-		return &Result{Info: info, Model: plan.Model.Spec.Name, ApproxGrid: plan.GridRows, Hybrid: plan.Hybrid}, nil
+		info += ")"
+		if plan.PartsTotal > 0 {
+			info += fmt.Sprintf("\npartitions: %d/%d pruned", plan.PartsPruned, plan.PartsTotal)
+		}
+		info += "\n" + exec.PlanString(plan.Op)
+		return &Result{Info: info, Model: plan.Model.Spec.Name, ApproxGrid: plan.GridRows, Hybrid: plan.Hybrid,
+			Partitions: plan.PartsTotal, PartitionsPruned: plan.PartsPruned}, nil
 	}
 	op, err := exec.BuildSelectOpts(e.Catalog, s.Inner, nil, e.execOptions())
 	if err != nil {
@@ -364,6 +467,9 @@ func (e *Engine) SetParallelism(n int) {
 
 // TableInfo implements capture.Backend.
 func (e *Engine) TableInfo(name string) ([]string, int, error) {
+	if pt, ok := e.Catalog.GetPartitioned(name); ok {
+		return pt.Schema().Names(), pt.NumRows(), nil
+	}
 	t, err := e.Catalog.Lookup(name)
 	if err != nil {
 		return nil, 0, fmt.Errorf("datalaws: %w", err)
@@ -372,8 +478,16 @@ func (e *Engine) TableInfo(name string) ([]string, int, error) {
 }
 
 // FitModel implements capture.Backend: the transparent server-side capture
-// of a user model fitted from a statistical session.
+// of a user model fitted from a statistical session. On a partitioned table
+// the capture fans out per partition and the summary aggregates the family.
 func (e *Engine) FitModel(spec modelstore.Spec) (capture.FitSummary, error) {
+	if pt, ok := e.Catalog.GetPartitioned(spec.Table); ok {
+		caps, err := e.Models.CapturePartitioned(pt, spec)
+		if err != nil {
+			return capture.FitSummary{}, err
+		}
+		return partitionedFitSummary(spec.Name, caps), nil
+	}
 	t, err := e.Catalog.Lookup(spec.Table)
 	if err != nil {
 		return capture.FitSummary{}, fmt.Errorf("datalaws: %w", err)
@@ -383,6 +497,49 @@ func (e *Engine) FitModel(spec modelstore.Spec) (capture.FitSummary, error) {
 		return capture.FitSummary{}, err
 	}
 	return capture.SummaryFromModel(m), nil
+}
+
+// partitionedFitSummary aggregates a family capture into one client-visible
+// summary. Quality figures pool every partition's fitted groups — medians
+// are computed across all group R²/SE values, weighted by how many groups
+// each partition fitted — so one good partition cannot advertise quality
+// the rest of the family lacks. A partition whose whole fit failed counts
+// its (unknown) group total as one failure and surfaces in GroupsFailed.
+func partitionedFitSummary(name string, caps []modelstore.PartitionCapture) capture.FitSummary {
+	sum := capture.FitSummary{Name: name, WorstR2: math.Inf(1)}
+	var r2s, ses []float64
+	for _, c := range caps {
+		if c.Err != nil {
+			sum.GroupsFailed++
+			continue
+		}
+		m := c.Model
+		if sum.Formula == "" {
+			sum.Formula = m.Spec.Formula
+			sum.Params = append([]string(nil), m.Model.Params...)
+			sum.ModelVersion = m.Version
+		}
+		sum.Groups += m.Quality.GroupsOK
+		sum.GroupsFailed += m.Quality.GroupsFailed
+		sum.ParamTableBytes += m.ParamSizeBytes()
+		for _, g := range m.Groups {
+			if g.OK() {
+				r2s = append(r2s, g.R2)
+				ses = append(ses, g.ResidualSE)
+				if g.R2 < sum.WorstR2 {
+					sum.WorstR2 = g.R2
+				}
+			}
+		}
+	}
+	if len(r2s) > 0 {
+		sum.MedianR2 = stats.Median(r2s)
+		sum.MeanR2 = stats.Mean(r2s)
+		sum.MedianResidSE = stats.Median(ses)
+	} else {
+		sum.WorstR2 = math.NaN()
+	}
+	return sum
 }
 
 // ApproxPoint implements capture.Backend: a zero-IO point lookup against a

@@ -25,6 +25,13 @@ const copyBatchSize = 1024
 // one remain (ingestion is append-only). Appended rows are accounted against
 // captured models' drift state when auto-refit is enabled.
 func (e *Engine) Append(tableName string, rows [][]expr.Value) (int, error) {
+	if pt, ok := e.Catalog.GetPartitioned(tableName); ok {
+		n, err := e.appendPartitioned(pt, rows)
+		if err != nil {
+			return n, fmt.Errorf("datalaws: append to %q: %w", tableName, err)
+		}
+		return n, nil
+	}
 	t, err := e.Catalog.Lookup(tableName)
 	if err != nil {
 		return 0, fmt.Errorf("datalaws: %w", err)
@@ -37,14 +44,49 @@ func (e *Engine) Append(tableName string, rows [][]expr.Value) (int, error) {
 	return n, nil
 }
 
+// appendPartitioned routes a batch across a partitioned table's children,
+// one child-lock acquisition per touched partition, feeding each partition's
+// slice of the batch through drift detection — per-partition models
+// accumulate evidence only for rows that landed in their regime.
+func (e *Engine) appendPartitioned(pt *table.PartitionedTable, rows [][]expr.Value) (int, error) {
+	batches, err := pt.RouteRows(rows)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for i, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		child := pt.Part(i)
+		n, err := child.AppendRows(b)
+		e.afterAppend(child, b[:n])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // CopyFrom streams rows from src into a table in bounded batches. src
 // returns one schema-aligned row per call and (nil, nil) at end of input; a
 // source error aborts the copy after flushing the rows already produced.
 // It returns the total number of rows appended.
 func (e *Engine) CopyFrom(tableName string, src func() ([]expr.Value, error)) (int, error) {
-	t, err := e.Catalog.Lookup(tableName)
-	if err != nil {
-		return 0, fmt.Errorf("datalaws: %w", err)
+	var appendBatch func(batch [][]expr.Value) (int, error)
+	if pt, ok := e.Catalog.GetPartitioned(tableName); ok {
+		appendBatch = func(batch [][]expr.Value) (int, error) { return e.appendPartitioned(pt, batch) }
+	} else {
+		t, err := e.Catalog.Lookup(tableName)
+		if err != nil {
+			return 0, fmt.Errorf("datalaws: %w", err)
+		}
+		appendBatch = func(batch [][]expr.Value) (int, error) {
+			n, err := t.AppendRows(batch)
+			e.afterAppend(t, batch[:n])
+			return n, err
+		}
 	}
 	total := 0
 	batch := make([][]expr.Value, 0, copyBatchSize)
@@ -52,8 +94,7 @@ func (e *Engine) CopyFrom(tableName string, src func() ([]expr.Value, error)) (i
 		if len(batch) == 0 {
 			return nil
 		}
-		n, err := t.AppendRows(batch)
-		e.afterAppend(t, batch[:n])
+		n, err := appendBatch(batch)
 		total += n
 		batch = batch[:0]
 		if err != nil {

@@ -1,0 +1,152 @@
+package aqp
+
+import (
+	"fmt"
+
+	"datalaws/internal/exec"
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/sql"
+)
+
+// Approximate planning over range-partitioned tables. A model captured on a
+// partitioned table is a family of per-partition models (see
+// modelstore.CapturePartitioned); an APPROX SELECT first prunes partitions
+// whose range cannot satisfy the WHERE predicate — skipping their models the
+// same way the exact planner skips their rows — and then answers each
+// surviving partition from its own model. Partitions with no trusted model
+// (fit failed, model stale, dropped) are answered from raw rows, so one
+// drifting regime degrades only its own partition to exact scanning.
+
+// familyTemplate returns a deterministic family member covering the query's
+// referenced columns, preferring earlier partitions. It establishes the
+// column shape for raw-side projections and empty results, and proves at
+// prepare time that the family can cover the query at all.
+func (p *Prepared) familyTemplate() (*modelstore.CapturedModel, error) {
+	pt := p.parted
+	for i := 0; i < pt.NumParts(); i++ {
+		for _, m := range p.store.ForTable(pt.Part(i).Name) {
+			if covers(m, pt.Name, p.refs, p.withError) {
+				return m, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no captured model covers the referenced columns of partitioned table %q",
+		modelstore.ErrNoModel, pt.Name)
+}
+
+// bindPartitioned instantiates one execution's operator tree for a
+// partitioned APPROX SELECT: prune partitions, route each survivor through
+// its best trusted model (or its raw rows), and stitch the pieces under the
+// ordinary relational pipeline.
+func (p *Prepared) bindPartitioned(st *sql.SelectStmt) (*Plan, error) {
+	pt := p.parted
+	template, err := p.familyTemplate()
+	if err != nil {
+		return nil, err
+	}
+	keep := pt.PruneExpr(st.Where, pt.Name)
+
+	var sources []exec.Operator
+	var firstModel *modelstore.CapturedModel
+	grid := 0
+	hybrid := false
+	inflateMax := 1.0
+	for _, idx := range keep {
+		child := pt.Part(idx)
+		model, err := chooseModel(p.store, child.Name, pt.Name, child, p.refs, p.withError, p.opts.Policy)
+		if err != nil {
+			// No trusted model for this partition (never fitted, fit failed,
+			// or revoked by staleness): answer its region from raw rows.
+			raw, rerr := rawProjection(child, pt.Name, template, p.withError)
+			if rerr != nil {
+				return nil, rerr
+			}
+			sources = append(sources, raw)
+			hybrid = true
+			continue
+		}
+		if firstModel == nil {
+			firstModel = model
+		}
+		domains, err := p.opts.Cache.domainsFor(child, model, p.opts.MaxDistinct)
+		if err != nil {
+			return nil, err
+		}
+		var legal LegalSet
+		if !p.opts.AllowIllegal {
+			legal, err = p.opts.Cache.legalFor(child, model, p.opts.UseBloom, p.opts.FPRate)
+			if err != nil {
+				return nil, err
+			}
+		}
+		inflate := staleInflation(model, child, p.opts)
+		if inflate > inflateMax {
+			inflateMax = inflate
+		}
+		scan, err := NewModelScan(model, domains, legal)
+		if err != nil {
+			return nil, err
+		}
+		scan.WithError = st.WithError
+		scan.Level = p.opts.Level
+		scan.SEInflation = inflate
+		scan.TableName = pt.Name
+		grid += GridSize(domains) * model.Quality.GroupsOK
+
+		var source exec.Operator = scan
+		if empty := pushDownEqualities(scan, st, model, domains); empty {
+			source = &exec.ValuesScan{Cols: scan.Columns()}
+		}
+		if model.Spec.Where != nil {
+			// The family was fitted on a restricted region: model tuples
+			// inside it, this partition's raw rows outside it.
+			modelSide := &exec.Filter{Child: source, Pred: model.Spec.Where}
+			rawSide, err := rawProjection(child, pt.Name, model, st.WithError)
+			if err != nil {
+				return nil, err
+			}
+			notWhere := &expr.Unary{Op: expr.OpNot, X: model.Spec.Where}
+			source = &exec.Concat{Children: []exec.Operator{
+				modelSide,
+				&exec.Filter{Child: rawSide, Pred: notWhere},
+			}}
+			hybrid = true
+		}
+		sources = append(sources, source)
+	}
+
+	// Even when no surviving partition has a trusted model, the family
+	// exists (familyTemplate proved coverage), so the plan still answers —
+	// entirely from raw rows, marked hybrid. APPROX thus degrades partition
+	// by partition instead of bouncing the whole query.
+	if firstModel == nil {
+		firstModel = template
+	}
+
+	var source exec.Operator
+	switch len(sources) {
+	case 0:
+		// Every partition pruned: the result is provably empty.
+		tmpl := &ModelScan{Model: template, TableName: pt.Name, WithError: st.WithError}
+		source = &exec.ValuesScan{Cols: tmpl.Columns()}
+	case 1:
+		source = sources[0]
+	default:
+		source = &exec.Concat{Children: sources}
+	}
+
+	op, err := exec.BuildSelectOpts(p.cat, st, source, exec.Options{Mode: p.opts.ExecMode, Parallelism: p.opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Op:          op,
+		Model:       firstModel,
+		Hybrid:      hybrid,
+		GridRows:    grid,
+		SEInflation: inflateMax,
+		PartsTotal:  pt.NumParts(),
+		PartsPruned: pt.NumParts() - len(keep),
+	}, nil
+}

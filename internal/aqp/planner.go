@@ -67,6 +67,12 @@ type Plan struct {
 	// SEInflation is the staleness widening applied to WITH ERROR bounds
 	// (1 when the model is fresh or StaleInflate is off).
 	SEInflation float64
+	// PartsTotal/PartsPruned report partition pruning on range-partitioned
+	// tables: of PartsTotal partitions, PartsPruned were eliminated before
+	// their models (or rows) were touched. Both are 0 for unpartitioned
+	// tables.
+	PartsTotal  int
+	PartsPruned int
 }
 
 // BuildApproxSelect plans an APPROX SELECT: it picks the best applicable
@@ -100,6 +106,11 @@ type Prepared struct {
 	withError bool
 	refs      map[string]bool
 
+	// parted is set when the FROM table is range-partitioned; Bind then
+	// routes through the per-partition planner (partition.go) instead of the
+	// single-model path below.
+	parted *table.PartitionedTable
+
 	mu sync.Mutex
 	// Plan-time artifacts, revalidated against table/model versions on every
 	// Bind so appends and refits are picked up without a re-prepare.
@@ -127,6 +138,16 @@ func PrepareApproxSelect(cat *table.Catalog, store *modelstore.Store, st *sql.Se
 		withError: st.WithError,
 		refs:      queryColumnRefs(st),
 	}
+	if pt, ok := cat.GetPartitioned(st.From); ok {
+		p.parted = pt
+		// Partitioned plans resolve per partition at Bind (pruning depends on
+		// the bound predicate values); prepare only proves some family member
+		// can cover the referenced columns.
+		if _, err := p.familyTemplate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.revalidateLocked(); err != nil {
@@ -149,7 +170,7 @@ func (p *Prepared) revalidateLocked() error {
 			return nil
 		}
 	}
-	model, err := chooseModel(p.store, p.tableName, t, p.refs, p.withError, p.opts.Policy)
+	model, err := chooseModel(p.store, p.tableName, p.tableName, t, p.refs, p.withError, p.opts.Policy)
 	if err != nil {
 		return err
 	}
@@ -188,6 +209,9 @@ func staleInflation(m *modelstore.CapturedModel, t *table.Table, opts Options) f
 // artifacts. st must be the (parameter-bound) statement the plan was
 // prepared from: same FROM table, same referenced columns.
 func (p *Prepared) Bind(st *sql.SelectStmt) (*Plan, error) {
+	if p.parted != nil {
+		return p.bindPartitioned(st)
+	}
 	p.mu.Lock()
 	if err := p.revalidateLocked(); err != nil {
 		p.mu.Unlock()
@@ -413,17 +437,20 @@ func queryColumnRefs(st *sql.SelectStmt) map[string]bool {
 }
 
 // chooseModel picks the best stored model whose generated columns cover the
-// query's references.
-func chooseModel(store *modelstore.Store, tableName string, t *table.Table, refs map[string]bool, withError bool, pol modelstore.SelectionPolicy) (*modelstore.CapturedModel, error) {
+// query's references. lookupName is the table the models were fitted on;
+// qualName is the name query references qualify with — they differ only for
+// partitions, whose models live on the child table while queries reference
+// the parent.
+func chooseModel(store *modelstore.Store, lookupName, qualName string, t *table.Table, refs map[string]bool, withError bool, pol modelstore.SelectionPolicy) (*modelstore.CapturedModel, error) {
 	var best *modelstore.CapturedModel
-	for _, m := range store.ForTable(tableName) {
+	for _, m := range store.ForTable(lookupName) {
 		if m.Quality.MedianR2 < pol.MinMedianR2 {
 			continue
 		}
 		if pol.MaxStalenessFrac > 0 && m.StalenessAgainst(t).GrowthFrac > pol.MaxStalenessFrac {
 			continue
 		}
-		if !covers(m, tableName, refs, withError) {
+		if !covers(m, qualName, refs, withError) {
 			continue
 		}
 		if best == nil || m.Quality.MedianR2 > best.Quality.MedianR2 ||
@@ -433,7 +460,7 @@ func chooseModel(store *modelstore.Store, tableName string, t *table.Table, refs
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("%w: no trusted model covers the referenced columns of %q", modelstore.ErrNoModel, tableName)
+		return nil, fmt.Errorf("%w: no trusted model covers the referenced columns of %q", modelstore.ErrNoModel, lookupName)
 	}
 	return best, nil
 }
@@ -468,9 +495,10 @@ func covers(m *modelstore.CapturedModel, tableName string, refs map[string]bool,
 
 // rawProjection shapes a raw table scan to the model scan's column list so
 // the two sides of a hybrid plan concatenate. Raw rows are exact, so their
-// error bounds collapse to the value itself.
+// error bounds collapse to the value itself. tableName qualifies the output
+// columns (the parent name when t is a partition child).
 func rawProjection(t *table.Table, tableName string, m *modelstore.CapturedModel, withError bool) (exec.Operator, error) {
-	scan := exec.NewTableScan(t)
+	scan := exec.NewTableScanAs(t, tableName)
 	var exprs []expr.Expr
 	var names []string
 	addCol := func(col string) {

@@ -94,6 +94,9 @@ func bindRowCtx(op Operator, ctx context.Context) {
 		for _, c := range o.Children {
 			bindRowCtx(c, ctx)
 		}
+	case *PartitionScan:
+		// Child partition scans are built at Open and inherit the bound
+		// context from the scan itself (ContextAware above).
 	case *rowAdapter:
 		bindVecCtx(o.V, ctx)
 	}
@@ -111,6 +114,10 @@ func bindVecCtx(op VectorOperator, ctx context.Context) {
 	case *VecHashAggregate:
 		bindVecCtx(o.Child, ctx)
 	case *VecConcat:
+		for _, c := range o.Children {
+			bindVecCtx(c, ctx)
+		}
+	case *vecPartitionScan:
 		for _, c := range o.Children {
 			bindVecCtx(c, ctx)
 		}

@@ -198,7 +198,7 @@ func (m *vecMorselScan) Close() error { m.shared.close(); return nil }
 // per-query goroutines are not free — and the pool never exceeds the
 // morsel count the plan-time row count implies (workers beyond it would
 // compile kernels and allocate buffers only to claim nothing).
-func splitTableScan(t *table.Table, workers int) ([]MorselSource, bool) {
+func splitTableScan(t *table.Table, cols []string, workers int) ([]MorselSource, bool) {
 	if t == nil {
 		return nil, false
 	}
@@ -209,7 +209,7 @@ func splitTableScan(t *table.Table, workers int) ([]MorselSource, bool) {
 	if m := (rows + morselRows - 1) / morselRows; workers > m {
 		workers = m
 	}
-	shared := &sharedTableMorsels{tbl: t, cols: qualifiedCols(t)}
+	shared := &sharedTableMorsels{tbl: t, cols: cols}
 	out := make([]MorselSource, workers)
 	for i := range out {
 		out[i] = &vecMorselScan{shared: shared}
@@ -230,7 +230,7 @@ type workerPipe struct {
 func parallelPipelines(op Operator, workers int) ([]workerPipe, bool) {
 	switch o := op.(type) {
 	case *TableScan:
-		srcs, ok := splitTableScan(o.Table, workers)
+		srcs, ok := splitTableScan(o.Table, o.cols, workers)
 		if !ok {
 			return nil, false
 		}

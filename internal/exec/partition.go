@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/table"
+)
+
+// PartitionScan reads the surviving partitions of a range-partitioned table
+// in partition order, exposing parent-qualified columns. The planner prunes
+// partitions whose range cannot satisfy the statement's WHERE predicate
+// before the scan is built, so a selective query touches only the rows (and,
+// on the approximate path, the models) of the partitions it can match.
+//
+// It participates in all three execution strategies: row-at-a-time (this
+// operator), serial vectorized (AsVectorOperator) and morsel-driven parallel
+// (SplitMorsels — the surviving partitions' row ranges form one dense morsel
+// space, so the existing gather/partial-aggregate machinery applies
+// unchanged).
+type PartitionScan struct {
+	Parted *table.PartitionedTable
+	// Parts are the surviving partitions in range order; Total counts the
+	// partitions before pruning.
+	Parts []*table.Table
+	Total int
+	Interruptible
+
+	cols  []string
+	scans []*TableScan
+	cur   int
+}
+
+// NewPartitionScan prunes pt's partitions with the bounds where implies for
+// the partition column and builds a scan over the survivors.
+func NewPartitionScan(pt *table.PartitionedTable, where expr.Expr) *PartitionScan {
+	keep := pt.PruneExpr(where, pt.Name)
+	parts := make([]*table.Table, len(keep))
+	for i, idx := range keep {
+		parts[i] = pt.Part(idx)
+	}
+	return &PartitionScan{Parted: pt, Parts: parts, Total: pt.NumParts(), cols: partitionCols(pt)}
+}
+
+func partitionCols(pt *table.PartitionedTable) []string {
+	names := pt.Schema().Names()
+	cols := make([]string, len(names))
+	for i, n := range names {
+		cols[i] = pt.Name + "." + n
+	}
+	return cols
+}
+
+// Columns implements Operator.
+func (s *PartitionScan) Columns() []string { return s.cols }
+
+// ExplainInfo implements Explainer.
+func (s *PartitionScan) ExplainInfo() string {
+	rows := 0
+	for _, p := range s.Parts {
+		rows += p.NumRows()
+	}
+	return fmt.Sprintf("PartitionScan %s (%d rows) partitions: %d/%d pruned",
+		s.Parted.Name, rows, s.Total-len(s.Parts), s.Total)
+}
+
+// Open implements Operator.
+func (s *PartitionScan) Open() error {
+	s.scans = make([]*TableScan, len(s.Parts))
+	for i, p := range s.Parts {
+		s.scans[i] = NewTableScanAs(p, s.Parted.Name)
+		s.scans[i].SetContext(s.Context())
+	}
+	s.cur = 0
+	if len(s.scans) > 0 {
+		return s.scans[0].Open()
+	}
+	return nil
+}
+
+// Next implements Operator, draining each surviving partition in turn.
+func (s *PartitionScan) Next() (Row, error) {
+	for s.cur < len(s.scans) {
+		row, err := s.scans[s.cur].Next()
+		if err != nil || row != nil {
+			return row, err
+		}
+		if err := s.scans[s.cur].Close(); err != nil {
+			return nil, err
+		}
+		s.cur++
+		if s.cur < len(s.scans) {
+			if err := s.scans[s.cur].Open(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (s *PartitionScan) Close() error {
+	if s.cur < len(s.scans) {
+		return s.scans[s.cur].Close()
+	}
+	return nil
+}
+
+// AsVectorOperator implements Vectorizable: the serial batch form is a
+// concatenation of per-partition vectorized scans.
+func (s *PartitionScan) AsVectorOperator() (VectorOperator, bool) {
+	children := make([]VectorOperator, len(s.Parts))
+	for i, p := range s.Parts {
+		children[i] = NewVecTableScanAs(p, s.Parted.Name)
+	}
+	return &vecPartitionScan{VecConcat: VecConcat{Children: children}, src: s}, true
+}
+
+// vecPartitionScan is the serial vectorized partition scan: a VecConcat of
+// the surviving partitions' scans that keeps the pruning provenance for
+// EXPLAIN. Empty survivor sets (everything pruned) emit nothing.
+type vecPartitionScan struct {
+	VecConcat
+	src *PartitionScan
+}
+
+// Columns implements VectorOperator even when every partition was pruned
+// (the embedded concat has no children to ask).
+func (v *vecPartitionScan) Columns() []string { return v.src.cols }
+
+// Open implements VectorOperator.
+func (v *vecPartitionScan) Open() error {
+	if len(v.Children) == 0 {
+		return nil
+	}
+	return v.VecConcat.Open()
+}
+
+// NextBatch implements VectorOperator.
+func (v *vecPartitionScan) NextBatch() (*Batch, error) {
+	if len(v.Children) == 0 {
+		return nil, nil
+	}
+	return v.VecConcat.NextBatch()
+}
+
+// Close implements VectorOperator.
+func (v *vecPartitionScan) Close() error {
+	if len(v.Children) == 0 {
+		return nil
+	}
+	return v.VecConcat.Close()
+}
+
+// ExplainInfo implements Explainer.
+func (v *vecPartitionScan) ExplainInfo() string {
+	return "Vec" + v.src.ExplainInfo()
+}
+
+// sharedPartMorsels is the worker-shared state of a parallel partition scan:
+// one immutable snapshot per surviving partition plus a claim cursor over
+// the combined morsel space. Morsel indexes are dense across partitions in
+// range order, so VecGather reconstructs exactly the serial partition-order
+// output.
+type sharedPartMorsels struct {
+	src *PartitionScan
+
+	mu     sync.Mutex
+	opened int
+	snaps  [][]vecColSrc
+	ns     []int
+	starts []int64 // first global morsel index of each partition
+	total  int64
+	cursor atomic.Int64
+}
+
+func (s *sharedPartMorsels) open() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opened == 0 {
+		nc := len(s.src.cols)
+		s.snaps = make([][]vecColSrc, len(s.src.Parts))
+		s.ns = make([]int, len(s.src.Parts))
+		s.starts = make([]int64, len(s.src.Parts))
+		var total int64
+		for i, p := range s.src.Parts {
+			src, n, err := snapshotVecCols(p, nc)
+			if err != nil {
+				return err
+			}
+			s.snaps[i], s.ns[i] = src, n
+			s.starts[i] = total
+			total += int64((n + morselRows - 1) / morselRows)
+		}
+		s.total = total
+		s.cursor.Store(0)
+	}
+	s.opened++
+	return nil
+}
+
+func (s *sharedPartMorsels) close() {
+	s.mu.Lock()
+	if s.opened > 0 {
+		s.opened--
+		if s.opened == 0 {
+			s.snaps = nil
+		}
+	}
+	s.mu.Unlock()
+}
+
+// vecPartMorselScan is one worker's view of a parallel partition scan.
+type vecPartMorselScan struct {
+	shared *sharedPartMorsels
+	Interruptible
+
+	win         colWindow
+	part        int
+	lo, hi, pos int
+}
+
+// Columns implements VectorOperator.
+func (m *vecPartMorselScan) Columns() []string { return m.shared.src.cols }
+
+// ExplainInfo implements Explainer.
+func (m *vecPartMorselScan) ExplainInfo() string {
+	return "VecMorsel" + m.shared.src.ExplainInfo()
+}
+
+// Open implements VectorOperator.
+func (m *vecPartMorselScan) Open() error {
+	if err := m.shared.open(); err != nil {
+		return err
+	}
+	m.win.init(len(m.shared.src.cols))
+	m.part, m.lo, m.hi, m.pos = 0, 0, 0, 0
+	m.ResetInterrupt()
+	return nil
+}
+
+// NextMorsel implements MorselSource: it claims the next global morsel and
+// resolves it to a (partition, row range) pair.
+func (m *vecPartMorselScan) NextMorsel() (int64, bool) {
+	idx := m.shared.cursor.Add(1) - 1
+	if idx >= m.shared.total {
+		return 0, false
+	}
+	// Resolve the partition owning this dense index: starts is ascending, so
+	// find the last start ≤ idx.
+	p := len(m.shared.starts) - 1
+	for p > 0 && m.shared.starts[p] > idx {
+		p--
+	}
+	local := int(idx - m.shared.starts[p])
+	m.part = p
+	m.lo = local * morselRows
+	m.hi = m.lo + morselRows
+	if m.hi > m.shared.ns[p] {
+		m.hi = m.shared.ns[p]
+	}
+	m.pos = m.lo
+	return idx, true
+}
+
+// NumMorsels implements MorselSource.
+func (m *vecPartMorselScan) NumMorsels() int64 { return m.shared.total }
+
+// NextBatch implements VectorOperator, returning nil at the end of the
+// current morsel.
+func (m *vecPartMorselScan) NextBatch() (*Batch, error) {
+	if err := m.CheckInterruptNow(); err != nil {
+		return nil, err
+	}
+	if m.pos >= m.hi {
+		return nil, nil
+	}
+	lo := m.pos
+	hi := lo + BatchSize
+	if hi > m.hi {
+		hi = m.hi
+	}
+	m.pos = hi
+	return m.win.window(m.shared.snaps[m.part], lo, hi), nil
+}
+
+// Close implements VectorOperator.
+func (m *vecPartMorselScan) Close() error { m.shared.close(); return nil }
+
+// SplitMorsels implements MorselSplitter: the surviving partitions' row
+// ranges form one combined morsel space. Inputs small enough for a single
+// morsel stay serial, and the pool never exceeds the morsel count.
+func (s *PartitionScan) SplitMorsels(workers int) ([]MorselSource, bool) {
+	rows := 0
+	for _, p := range s.Parts {
+		rows += p.NumRows()
+	}
+	if rows <= morselRows {
+		return nil, false
+	}
+	if m := (rows + morselRows - 1) / morselRows; workers > m {
+		workers = m
+	}
+	shared := &sharedPartMorsels{src: s}
+	out := make([]MorselSource, workers)
+	for i := range out {
+		out[i] = &vecPartMorselScan{shared: shared}
+	}
+	return out, true
+}

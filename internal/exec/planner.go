@@ -140,20 +140,36 @@ func buildFrom(cat *table.Catalog, st *sql.SelectStmt, source Operator) (Operato
 	if source != nil {
 		op = source
 	} else {
-		t, err := cat.Lookup(st.From)
+		s, err := buildScan(cat, st.From, st.Where)
 		if err != nil {
-			return nil, fmt.Errorf("exec: %w", err)
+			return nil, err
 		}
-		op = NewTableScan(t)
+		op = s
 	}
 	for _, j := range st.Joins {
-		rt, err := cat.Lookup(j.Table)
+		// Pruning the right side by the statement's WHERE is sound for inner
+		// joins: a conjunct restricting this table's partition column must
+		// hold on every joined result row.
+		right, err := buildScan(cat, j.Table, st.Where)
 		if err != nil {
-			return nil, fmt.Errorf("exec: %w", err)
+			return nil, err
 		}
-		op = &HashJoin{Left: op, Right: NewTableScan(rt), On: j.On}
+		op = &HashJoin{Left: op, Right: right, On: j.On}
 	}
 	return op, nil
+}
+
+// buildScan builds the base scan for a named table: a pruned PartitionScan
+// for range-partitioned tables, a plain TableScan otherwise.
+func buildScan(cat *table.Catalog, name string, where expr.Expr) (Operator, error) {
+	if pt, ok := cat.GetPartitioned(name); ok {
+		return NewPartitionScan(pt, where), nil
+	}
+	t, err := cat.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	return NewTableScan(t), nil
 }
 
 func expandStars(items []sql.SelectItem, cols []string) ([]sql.SelectItem, error) {

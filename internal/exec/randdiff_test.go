@@ -1,0 +1,333 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/sql"
+	"datalaws/internal/storage"
+	"datalaws/internal/table"
+)
+
+// Randomized differential testing: a seeded generator produces queries —
+// projections, filters, GROUP BY aggregates, ORDER BY/LIMIT — over
+// partitioned and unpartitioned fixtures, and every query runs through row
+// mode, the serial batch pipeline, and morsel-driven parallelism 1/2/4. All
+// strategies must agree on results (exactly, except for documented
+// last-ulps float divergence in merged aggregates) and on error messages.
+//
+// The run is deterministic from the logged seed: reproduce a failure with
+//
+//	RANDDIFF_SEED=<seed> RANDDIFF_ITERS=<n> go test -run TestRandomizedDifferential ./internal/exec
+//
+// RANDDIFF_ITERS bounds the query count (default 500; the race job runs a
+// smaller bound).
+
+const (
+	defaultRanddiffIters = 500
+	defaultRanddiffSeed  = 20260730
+)
+
+func randdiffConfig(t *testing.T) (seed int64, iters int) {
+	t.Helper()
+	seed, iters = defaultRanddiffSeed, defaultRanddiffIters
+	if s := os.Getenv("RANDDIFF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad RANDDIFF_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	if s := os.Getenv("RANDDIFF_ITERS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("bad RANDDIFF_ITERS %q", s)
+		}
+		iters = v
+	}
+	if testing.Short() {
+		iters = min(iters, 60)
+	}
+	return seed, iters
+}
+
+// randdiffFixture builds a partitioned table "t" and an identical
+// unpartitioned "flat": k BIGINT (partition key, no NULLs), id BIGINT, x/y
+// DOUBLE and s VARCHAR and b BOOLEAN with NULLs sprinkled in.
+func randdiffFixture(t *testing.T, rng *rand.Rand, rows int) *table.Catalog {
+	t.Helper()
+	cat := table.NewCatalog()
+	schema, err := table.NewSchema(
+		table.ColumnDef{Name: "k", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "id", Type: storage.TypeInt64},
+		table.ColumnDef{Name: "x", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "y", Type: storage.TypeFloat64},
+		table.ColumnDef{Name: "s", Type: storage.TypeString},
+		table.ColumnDef{Name: "b", Type: storage.TypeBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := cat.CreatePartitioned("t", schema, "k", []table.RangePartition{
+		{Name: "p0", Upper: 100},
+		{Name: "p1", Upper: 200},
+		{Name: "p2", Upper: 300},
+		{Name: "p3", Max: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := cat.Create("flat", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]expr.Value, 0, rows)
+	maybeNull := func(p float64, v expr.Value) expr.Value {
+		if rng.Float64() < p {
+			return expr.Null()
+		}
+		return v
+	}
+	for i := 0; i < rows; i++ {
+		row := []expr.Value{
+			expr.Int(int64(rng.Intn(400))),
+			expr.Int(int64(i)),
+			maybeNull(0.08, expr.Float(float64(rng.Intn(2000))/100-10)),
+			maybeNull(0.08, expr.Float(rng.NormFloat64()*50)),
+			maybeNull(0.05, expr.Str(fmt.Sprintf("s%d", rng.Intn(9)))),
+			maybeNull(0.05, expr.Bool(rng.Intn(2) == 0)),
+		}
+		batch = append(batch, row)
+	}
+	if n, err := pt.AppendRows(batch); err != nil || n != rows {
+		t.Fatalf("append t: %d, %v", n, err)
+	}
+	if n, err := flat.AppendRows(batch); err != nil || n != rows {
+		t.Fatalf("append flat: %d, %v", n, err)
+	}
+	return cat
+}
+
+// genQuery emits one random SELECT; grouped reports whether it aggregates
+// (its results then compare with float tolerance), ordered whether output
+// order is fully determined.
+func genQuery(rng *rand.Rand) (q string, grouped, ordered bool) {
+	from := "t"
+	if rng.Intn(2) == 0 {
+		from = "flat"
+	}
+	var sb strings.Builder
+	where := genWhere(rng)
+
+	if rng.Intn(3) > 0 { // 2/3 aggregate queries
+		grouped = true
+		keys := [][2]string{
+			{"k % 4", "kmod"},
+			{"s", "s"},
+			{"b", "b"},
+			{"k", "k"},
+			{"id % 10", "idmod"},
+		}
+		nk := 1 + rng.Intn(2)
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		sel := keys[:nk]
+		aggPool := []string{"count(*)", "count(x)", "sum(x)", "avg(y)", "min(x)", "max(y)", "sum(x + y)", "min(s)"}
+		na := 1 + rng.Intn(3)
+		var items []string
+		var keyExprs []string
+		for _, kk := range sel {
+			items = append(items, fmt.Sprintf("%s AS %s", kk[0], kk[1]))
+			keyExprs = append(keyExprs, kk[0])
+		}
+		for i := 0; i < na; i++ {
+			items = append(items, aggPool[rng.Intn(len(aggPool))])
+		}
+		fmt.Fprintf(&sb, "SELECT %s FROM %s", strings.Join(items, ", "), from)
+		if where != "" {
+			fmt.Fprintf(&sb, " WHERE %s", where)
+		}
+		fmt.Fprintf(&sb, " GROUP BY %s", strings.Join(keyExprs, ", "))
+		if rng.Intn(4) == 0 {
+			fmt.Fprintf(&sb, " HAVING count(*) > %d", rng.Intn(3))
+		}
+		// Always order by the group keys: deterministic output without
+		// ordering by merged float aggregates.
+		var ord []string
+		for _, kk := range sel {
+			dir := ""
+			if rng.Intn(3) == 0 {
+				dir = " DESC"
+			}
+			ord = append(ord, kk[1]+dir)
+		}
+		fmt.Fprintf(&sb, " ORDER BY %s", strings.Join(ord, ", "))
+		ordered = true
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, " LIMIT %d", 1+rng.Intn(20))
+		}
+		return sb.String(), grouped, ordered
+	}
+
+	// Plain projection query.
+	projPool := []string{"k", "id", "x", "y", "s", "b", "x + y", "id * 2", "-x", "abs(x)", "round(y)", "x IS NULL", "id % 7"}
+	np := 1 + rng.Intn(4)
+	var items []string
+	for i := 0; i < np; i++ {
+		items = append(items, projPool[rng.Intn(len(projPool))])
+	}
+	fmt.Fprintf(&sb, "SELECT id, %s FROM %s", strings.Join(items, ", "), from)
+	if where != "" {
+		fmt.Fprintf(&sb, " WHERE %s", where)
+	}
+	if rng.Intn(2) == 0 {
+		// id is unique, so ordering by it is total.
+		dir := ""
+		if rng.Intn(2) == 0 {
+			dir = " DESC"
+		}
+		fmt.Fprintf(&sb, " ORDER BY id%s", dir)
+		ordered = true
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&sb, " LIMIT %d", 1+rng.Intn(50))
+		}
+	}
+	return sb.String(), grouped, ordered
+}
+
+func genWhere(rng *rand.Rand) string {
+	if rng.Intn(4) == 0 {
+		return ""
+	}
+	atoms := []string{
+		"k < 100", "k >= 100 AND k < 300", "k = 250", "k > 380",
+		"x > 0", "x <= 2.5", "y < 10 OR y > 40", "x IS NULL", "y IS NOT NULL",
+		"s = 's3'", "s <> 's1'", "b", "NOT b", "b IS NULL",
+		"x BETWEEN -2 AND 6", "id % 3 = 1", "x + y > 0",
+		"x <> 0 AND 10.0 / x > 2", // guarded division
+	}
+	n := 1 + rng.Intn(3)
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, atoms[rng.Intn(len(atoms))])
+	}
+	op := " AND "
+	if rng.Intn(3) == 0 {
+		op = " OR "
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}
+
+// randdiffStrategies are the execution strategies every generated query
+// must agree across; row mode is the baseline.
+func randdiffStrategies() []Options {
+	return []Options{
+		{Mode: ModeRow},
+		{Mode: ModeAuto, Parallelism: 1},
+		{Mode: ModeAuto, Parallelism: 2},
+		{Mode: ModeAuto, Parallelism: 4},
+	}
+}
+
+func TestRandomizedDifferential(t *testing.T) {
+	seed, iters := randdiffConfig(t)
+	t.Logf("randdiff: seed=%d iters=%d (set RANDDIFF_SEED / RANDDIFF_ITERS to reproduce)", seed, iters)
+	rng := rand.New(rand.NewSource(seed))
+	withSmallMorsels(t, 256)
+	cat := randdiffFixture(t, rng, 3000)
+
+	for i := 0; i < iters; i++ {
+		q, grouped, ordered := genQuery(rng)
+		st, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("iter %d: generator produced unparsable query %q: %v", i, q, err)
+		}
+		var baseRows []Row
+		var baseErr error
+		for si, opts := range randdiffStrategies() {
+			stmt, err := sql.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, err := BuildSelectOpts(cat, stmt.(*sql.SelectStmt), nil, opts)
+			if err != nil {
+				t.Fatalf("iter %d: plan %q (%+v): %v", i, q, opts, err)
+			}
+			rows, runErr := Drain(op)
+			if si == 0 {
+				baseRows, baseErr = rows, runErr
+				continue
+			}
+			if (runErr == nil) != (baseErr == nil) {
+				t.Fatalf("iter %d: %q: row err = %v, %+v err = %v", i, q, baseErr, opts, runErr)
+			}
+			if runErr != nil {
+				if runErr.Error() != baseErr.Error() {
+					t.Fatalf("iter %d: %q: error mismatch:\n  row:  %v\n  %+v: %v", i, q, baseErr, opts, runErr)
+				}
+				continue
+			}
+			compareRanddiff(t, i, q, opts, baseRows, rows, grouped, ordered)
+		}
+		_ = st
+	}
+}
+
+// compareRanddiff compares a strategy's result against the row-mode
+// baseline. Ordered results compare positionally; unordered ones as sorted
+// multisets. Grouped (aggregated) queries tolerate last-ulps float drift
+// from the parallel partial-aggregate merge; everything else must match
+// exactly.
+func compareRanddiff(t *testing.T, iter int, q string, opts Options, want, got []Row, grouped, ordered bool) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("iter %d: %q (%+v): %d rows, want %d", iter, q, opts, len(got), len(want))
+	}
+	w, g := want, got
+	if !ordered {
+		w, g = sortedRows(want), sortedRows(got)
+	}
+	for r := range w {
+		if len(w[r]) != len(g[r]) {
+			t.Fatalf("iter %d: %q (%+v) row %d: width %d vs %d", iter, q, opts, r, len(g[r]), len(w[r]))
+		}
+		for c := range w[r] {
+			same := sameValue(w[r][c], g[r][c])
+			if !same && grouped {
+				same = closeValue(w[r][c], g[r][c])
+			}
+			if !same {
+				t.Fatalf("iter %d: %q (%+v) row %d col %d: %v (%s) vs baseline %v (%s)",
+					iter, q, opts, r, c, g[r][c], g[r][c].K, w[r][c], w[r][c].K)
+			}
+		}
+	}
+}
+
+// sortedRows returns rows sorted by their rendered form (multiset compare).
+func sortedRows(rows []Row) []Row {
+	keys := make([]string, len(rows))
+	idx := make([]int, len(rows))
+	for i, r := range rows {
+		var sb strings.Builder
+		for c, v := range r {
+			if c > 0 {
+				sb.WriteByte('|')
+			}
+			fmt.Fprintf(&sb, "%s:%s", v.K, v)
+		}
+		keys[i] = sb.String()
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]Row, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}

@@ -23,13 +23,25 @@ func NewTableScan(t *table.Table) *TableScan {
 	return &TableScan{Table: t, cols: qualifiedCols(t)}
 }
 
+// NewTableScanAs is NewTableScan with the qualifier overridden: partition
+// child tables scan under their parent's name, so queries reference
+// "parent.column" regardless of which partitions survive pruning.
+func NewTableScanAs(t *table.Table, alias string) *TableScan {
+	return &TableScan{Table: t, cols: qualifiedColsAs(t, alias)}
+}
+
 // qualifiedCols names a table's columns as "table.column", the form every
 // scan variant (row, vectorized, morsel) exposes.
 func qualifiedCols(t *table.Table) []string {
+	return qualifiedColsAs(t, t.Name)
+}
+
+// qualifiedColsAs names a table's columns as "alias.column".
+func qualifiedColsAs(t *table.Table, alias string) []string {
 	names := t.Schema().Names()
 	cols := make([]string, len(names))
 	for i, n := range names {
-		cols[i] = t.Name + "." + n
+		cols[i] = alias + "." + n
 	}
 	return cols
 }

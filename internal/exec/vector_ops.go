@@ -54,6 +54,12 @@ func NewVecTableScan(t *table.Table) *VecTableScan {
 	return &VecTableScan{Table: t, cols: qualifiedCols(t)}
 }
 
+// NewVecTableScanAs is NewVecTableScan with the qualifier overridden (see
+// NewTableScanAs).
+func NewVecTableScanAs(t *table.Table, alias string) *VecTableScan {
+	return &VecTableScan{Table: t, cols: qualifiedColsAs(t, alias)}
+}
+
 // Columns implements VectorOperator.
 func (s *VecTableScan) Columns() []string { return s.cols }
 

@@ -1,0 +1,117 @@
+package modelstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datalaws/internal/table"
+)
+
+// Per-partition model capture. A model fitted on a range-partitioned table
+// becomes a family of independent captured models, one per partition, named
+// "<model>#<partition>" and fitted on the partition's child table. Each
+// family member carries its own parameter table, quality judgment, version
+// counter and staleness state, so drift detection and background refit stay
+// local: a hot partition re-fits alone, and a model gone stale in one regime
+// does not revoke the others.
+
+// PartitionModelName is the store name of one partition's family member.
+func PartitionModelName(model, part string) string { return model + "#" + part }
+
+// familyPrefix is the key prefix shared by a family's members.
+func familyPrefix(model string) string { return model + "#" }
+
+// nameFree reports whether a model name is available: not taken exactly,
+// and not the base name of an existing partitioned family.
+func (s *Store) nameFree(name string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nameFreeLocked(name)
+}
+
+func (s *Store) nameFreeLocked(name string) error {
+	if _, exists := s.models[name]; exists {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	prefix := familyPrefix(name)
+	for n := range s.models {
+		if strings.HasPrefix(n, prefix) {
+			return fmt.Errorf("%w: %q (per-partition family)", ErrDuplicate, name)
+		}
+	}
+	return nil
+}
+
+// PartitionCapture reports one partition's outcome within a family capture.
+type PartitionCapture struct {
+	Partition string
+	Model     *CapturedModel // nil when the fit failed
+	Err       error
+}
+
+// CapturePartitioned fits spec independently against every partition of pt,
+// storing one family member per partition that fitted. Partitions whose fit
+// fails (too few rows, no convergence) are reported but do not abort the
+// capture — the approximate planner answers them from raw rows instead. An
+// error is returned only when the name collides or every partition failed.
+func (s *Store) CapturePartitioned(pt *table.PartitionedTable, spec Spec) ([]PartitionCapture, error) {
+	if name := spec.Name; name == "" {
+		return nil, fmt.Errorf("modelstore: empty model name")
+	}
+	if err := s.nameFree(spec.Name); err != nil {
+		return nil, err
+	}
+
+	ranges := pt.Ranges()
+	out := make([]PartitionCapture, 0, len(ranges))
+	ok := 0
+	for i, r := range ranges {
+		sub := spec
+		sub.Name = PartitionModelName(spec.Name, r.Name)
+		sub.Table = pt.Part(i).Name
+		m, err := s.Capture(pt.Part(i), sub)
+		out = append(out, PartitionCapture{Partition: r.Name, Model: m, Err: err})
+		if err == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		// Nothing was stored (every Capture failed before registering), so
+		// there is nothing to roll back.
+		first := out[0].Err
+		return out, fmt.Errorf("modelstore: fitting %q failed on every partition of %q: %w", spec.Name, pt.Name, first)
+	}
+	return out, nil
+}
+
+// Family returns the members of a partitioned model family, sorted by name;
+// empty when name is not a family.
+func (s *Store) Family(name string) []*CapturedModel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*CapturedModel
+	prefix := familyPrefix(name)
+	for n, m := range s.models {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// DropFamily removes a model by name together with any partitioned family
+// members ("name#..."), returning the dropped names (nil when none existed).
+func (s *Store) DropFamily(name string) []string {
+	var dropped []string
+	if s.Drop(name) {
+		dropped = append(dropped, name)
+	}
+	for _, m := range s.Family(name) {
+		if s.Drop(m.Spec.Name) {
+			dropped = append(dropped, m.Spec.Name)
+		}
+	}
+	return dropped
+}

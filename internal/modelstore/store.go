@@ -225,13 +225,13 @@ func (s *Store) fitParallelism() int {
 // Capture fits spec against t and stores the result — steps 2–3 of the
 // paper's Figure 2 (the database "dutifully fits the model … at the same
 // time, the database stores the model as well as its parameters for later
-// use"). A model with the same name must not already exist.
+// use"). A model with the same name must not already exist; a partitioned
+// family "name#..." occupies its base name too (DROP MODEL name drops the
+// family, so letting an unrelated plain model share the base would make
+// that drop destroy both).
 func (s *Store) Capture(t *table.Table, spec Spec) (*CapturedModel, error) {
-	s.mu.RLock()
-	_, exists := s.models[spec.Name]
-	s.mu.RUnlock()
-	if exists {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicate, spec.Name)
+	if err := s.nameFree(spec.Name); err != nil {
+		return nil, err
 	}
 	cm, err := fitSpec(t, spec, nil, s.fitParallelism())
 	if err != nil {
@@ -239,8 +239,8 @@ func (s *Store) Capture(t *table.Table, spec Spec) (*CapturedModel, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.models[spec.Name]; exists {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicate, spec.Name)
+	if err := s.nameFreeLocked(spec.Name); err != nil {
+		return nil, err
 	}
 	s.nextID++
 	cm.ID = s.nextID

@@ -47,13 +47,30 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
-// CreateTableStmt creates a table.
+// PartitionDef is one partition of a PARTITION BY RANGE clause: rows route
+// here while the partition column is below Upper; Max marks VALUES LESS
+// THAN (MAXVALUE).
+type PartitionDef struct {
+	Name  string
+	Upper float64
+	Max   bool
+}
+
+// PartitionBySpec is the PARTITION BY RANGE(col) (...) clause of CREATE
+// TABLE.
+type PartitionBySpec struct {
+	Column string
+	Parts  []PartitionDef
+}
+
+// CreateTableStmt creates a table, optionally range-partitioned.
 type CreateTableStmt struct {
 	Name string
 	Cols []struct {
 		Name string
 		Type storage.ColType
 	}
+	Partition *PartitionBySpec
 }
 
 func (*CreateTableStmt) stmt() {}

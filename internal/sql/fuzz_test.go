@@ -39,6 +39,11 @@ var fuzzSeeds = []string{
 	"SELECT 1e999, 0x, 9223372036854775808 FROM t",
 	"select is null not between and or -- comment\n;",
 	"((((((((((", "", " ", ";", "?", "'';''", "\x00\xff",
+	// PARTITION BY RANGE grammar (the committed testdata/fuzz corpus covers
+	// more shapes, including malformed ones).
+	"CREATE TABLE t (k BIGINT, x DOUBLE) PARTITION BY RANGE(k) (PARTITION p0 VALUES LESS THAN (100), PARTITION p1 VALUES LESS THAN (MAXVALUE))",
+	"CREATE TABLE t (k DOUBLE) PARTITION BY RANGE(k) (PARTITION neg VALUES LESS THAN (-2.5e3))",
+	"CREATE TABLE t (k BIGINT) PARTITION BY RANGE(k) (PARTITION p VALUES LESS THAN",
 }
 
 // FuzzParse throws arbitrary statement text at the lexer and parser. The

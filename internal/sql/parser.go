@@ -65,6 +65,30 @@ func (p *parser) expect(k TokKind, text string) (Token, error) {
 	return p.advance(), nil
 }
 
+// atWord reports whether the next token is the given contextual word: an
+// identifier spelled like it (case-insensitive). Words that are only
+// meaningful inside one clause (PARTITION, RANGE, LESS, THAN, MAXVALUE)
+// are matched this way instead of being reserved globally.
+func (p *parser) atWord(word string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, word)
+}
+
+func (p *parser) acceptWord(word string) bool {
+	if p.atWord(word) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(word string) (Token, error) {
+	if !p.atWord(word) {
+		return Token{}, fmt.Errorf("sql: expected %s, found %s at offset %d", word, p.peek(), p.peek().Pos)
+	}
+	return p.advance(), nil
+}
+
 func (p *parser) parseStmt() (Stmt, error) {
 	switch {
 	case p.at(TokKeyword, "EXPLAIN"):
@@ -285,7 +309,95 @@ func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
 	if _, err := p.expect(TokOp, ")"); err != nil {
 		return nil, err
 	}
+	if p.atWord("PARTITION") {
+		spec, err := p.parsePartitionBy()
+		if err != nil {
+			return nil, err
+		}
+		st.Partition = spec
+	}
 	return st, nil
+}
+
+// parsePartitionBy parses
+//
+//	PARTITION BY RANGE (col) (
+//	    PARTITION p0 VALUES LESS THAN (10),
+//	    PARTITION p1 VALUES LESS THAN (MAXVALUE)
+//	)
+func (p *parser) parsePartitionBy() (*PartitionBySpec, error) {
+	p.advance() // PARTITION
+	if _, err := p.expect(TokKeyword, "BY"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectWord("RANGE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	spec := &PartitionBySpec{Column: col.Text}
+	for {
+		if _, err := p.expectWord("PARTITION"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectWord("LESS"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectWord("THAN"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		def := PartitionDef{Name: name.Text}
+		if p.acceptWord("MAXVALUE") {
+			def.Max = true
+		} else {
+			neg := p.accept(TokOp, "-")
+			num, err := p.expect(TokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseFloat(num.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad partition bound %q", num.Text)
+			}
+			if neg {
+				v = -v
+			}
+			def.Upper = v
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		spec.Parts = append(spec.Parts, def)
+		if p.accept(TokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return spec, nil
 }
 
 func typeFromKeyword(t Token) (storage.ColType, error) {

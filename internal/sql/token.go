@@ -54,6 +54,11 @@ var keywords = map[string]bool{
 	"EXACT": true, "REFIT": true, "EXPLAIN": true,
 }
 
+// PARTITION, RANGE, LESS, THAN and MAXVALUE are deliberately NOT reserved:
+// they appear only in the PARTITION BY clause of CREATE TABLE, where the
+// parser matches them as contextual words (parser.atWord), so pre-existing
+// schemas with columns named "range" or "partition" keep working.
+
 // Lex tokenizes a statement.
 func Lex(src string) ([]Token, error) {
 	var toks []Token

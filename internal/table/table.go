@@ -312,15 +312,22 @@ func (t *Table) RawSizeBytes() int {
 	return total
 }
 
-// Catalog is a named collection of tables.
+// Catalog is a named collection of tables. Partitioned tables register
+// twice: the parent under its own name in a partitioned map, and every
+// partition's child table under its "<table>#<partition>" name among the
+// plain tables (which is what lets model capture, drift detection and
+// persistence treat partitions as ordinary tables).
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	parted map[string]*PartitionedTable
 	epoch  uint64 // bumped on every create/add/drop; plan-cache invalidation
 }
 
 // NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Table{}, parted: map[string]*PartitionedTable{}}
+}
 
 // Epoch returns a counter that increases whenever the set of tables changes
 // (create, add, drop). Cached plans record the epoch they were compiled
@@ -336,8 +343,8 @@ func (c *Catalog) Epoch() uint64 {
 func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.tables[name]; exists {
-		return nil, fmt.Errorf("table: %q already exists", name)
+	if err := c.freeNameLocked(name); err != nil {
+		return nil, err
 	}
 	t := New(name, schema)
 	c.tables[name] = t
@@ -345,19 +352,73 @@ func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
 	return t, nil
 }
 
+// freeNameLocked reports whether a name is taken by any table or partitioned
+// table; callers hold c.mu.
+func (c *Catalog) freeNameLocked(name string) error {
+	if _, exists := c.tables[name]; exists {
+		return fmt.Errorf("table: %q already exists", name)
+	}
+	if _, exists := c.parted[name]; exists {
+		return fmt.Errorf("table: %q already exists", name)
+	}
+	return nil
+}
+
 // Add registers an existing table.
 func (c *Catalog) Add(t *Table) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.tables[t.Name]; exists {
-		return fmt.Errorf("table: %q already exists", t.Name)
+	if err := c.freeNameLocked(t.Name); err != nil {
+		return err
 	}
 	c.tables[t.Name] = t
 	c.epoch++
 	return nil
 }
 
-// Get looks up a table by name.
+// CreatePartitioned registers a new empty range-partitioned table: the
+// parent under name, plus one child table per partition under its
+// "<table>#<partition>" name.
+func (c *Catalog) CreatePartitioned(name string, schema *Schema, column string, ranges []RangePartition) (*PartitionedTable, error) {
+	pt, err := NewPartitioned(name, schema, column, ranges)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.AddPartitioned(pt); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// AddPartitioned registers an existing partitioned table and its children.
+func (c *Catalog) AddPartitioned(pt *PartitionedTable) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.freeNameLocked(pt.Name); err != nil {
+		return err
+	}
+	for _, child := range pt.parts {
+		if err := c.freeNameLocked(child.Name); err != nil {
+			return err
+		}
+	}
+	c.parted[pt.Name] = pt
+	for _, child := range pt.parts {
+		c.tables[child.Name] = child
+	}
+	c.epoch++
+	return nil
+}
+
+// GetPartitioned looks up a partitioned table by its parent name.
+func (c *Catalog) GetPartitioned(name string) (*PartitionedTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pt, ok := c.parted[name]
+	return pt, ok
+}
+
+// Get looks up a plain table by name (partition children included).
 func (c *Catalog) Get(name string) (*Table, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -366,33 +427,67 @@ func (c *Catalog) Get(name string) (*Table, bool) {
 }
 
 // Lookup is Get with an ErrUnknownTable-wrapped error instead of a boolean,
-// for callers that propagate the failure.
+// for callers that propagate the failure. Looking up a partitioned parent
+// reports ErrPartitioned: callers that support partitioning check
+// GetPartitioned first, and everything else fails loudly rather than
+// treating the parent as an empty table.
 func (c *Catalog) Lookup(name string) (*Table, error) {
 	t, ok := c.Get(name)
 	if !ok {
+		if _, parted := c.GetPartitioned(name); parted {
+			return nil, fmt.Errorf("table: %w: %q", ErrPartitioned, name)
+		}
 		return nil, fmt.Errorf("table: %w %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
 
-// Drop removes a table.
+// Drop removes a table. Dropping a partitioned parent removes its children
+// with it; partition children cannot be dropped individually.
 func (c *Catalog) Drop(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if pt, ok := c.parted[name]; ok {
+		delete(c.parted, name)
+		for _, child := range pt.parts {
+			delete(c.tables, child.Name)
+		}
+		c.epoch++
+		return true
+	}
 	if _, ok := c.tables[name]; !ok {
 		return false
+	}
+	// Refuse to drop a partition child out from under its parent.
+	for _, pt := range c.parted {
+		for _, child := range pt.parts {
+			if child.Name == name {
+				return false
+			}
+		}
 	}
 	delete(c.tables, name)
 	c.epoch++
 	return true
 }
 
-// Names lists the registered table names.
+// Names lists the registered table names, partition children included.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PartitionedNames lists the partitioned parent names.
+func (c *Catalog) PartitionedNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.parted))
+	for n := range c.parted {
 		out = append(out, n)
 	}
 	return out

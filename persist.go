@@ -1,6 +1,7 @@
 package datalaws
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,27 @@ import (
 	"datalaws/internal/table"
 )
 
+// partitionsManifest is the on-disk record of partitioned-table structure
+// (partitions.json): partition children persist as ordinary .dltab files
+// named "<table>#<partition>.dltab", and the manifest is what reassembles
+// them into PartitionedTables on load.
+type partitionsManifest struct {
+	FormatVersion int              `json:"format_version"`
+	Tables        []partitionEntry `json:"tables"`
+}
+
+type partitionEntry struct {
+	Table  string           `json:"table"`
+	Column string           `json:"column"`
+	Parts  []partitionRange `json:"parts"`
+}
+
+type partitionRange struct {
+	Name  string  `json:"name"`
+	Upper float64 `json:"upper,omitempty"`
+	Max   bool    `json:"max,omitempty"`
+}
+
 // SaveDir persists the engine to a directory: every table as a binary
 // column file (<name>.dltab, inheriting the lightweight column encodings)
 // and the captured model catalog as models.json with formulas in source
@@ -16,12 +38,17 @@ import (
 //
 // The save is crash-safe: everything is written into a temporary staging
 // directory first, fsynced, and only then renamed over the previous files
-// one by one (models.json last, so models never refer to tables that were
-// not yet swapped in). A crash or error mid-save leaves the previous good
-// state untouched; at worst some tables are new while models.json is still
+// one by one (partitions.json after the tables it describes, models.json
+// last, so models never refer to tables that were not yet swapped in). A
+// crash or error mid-save leaves the previous good state untouched; at
+// worst some tables are new while partitions.json/models.json are still
 // old, which LoadDir tolerates (models are revalidated against formulas on
 // load, and staleness tracking re-anchors on first use). Stale .dltab files
 // from tables that no longer exist are not deleted.
+//
+// Partitioned tables persist as their children's .dltab files (named
+// "<table>#<partition>.dltab") plus an entry in the partitions.json
+// manifest; LoadDir reassembles them.
 func (e *Engine) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -46,6 +73,12 @@ func (e *Engine) SaveDir(dir string) error {
 		}
 		files = append(files, fn)
 	}
+	if err := writeFileSynced(filepath.Join(stage, "partitions.json"), func(f *os.File) error {
+		return writePartitionsManifest(e.Catalog, f)
+	}); err != nil {
+		return fmt.Errorf("datalaws: saving partition manifest: %w", err)
+	}
+	files = append(files, "partitions.json")
 	if err := writeFileSynced(filepath.Join(stage, "models.json"), func(f *os.File) error {
 		return e.Models.Save(f)
 	}); err != nil {
@@ -93,14 +126,38 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// writePartitionsManifest records every partitioned table's structure. It
+// is written on every save (an empty manifest is meaningful: it says no
+// table is partitioned) so a reload never resurrects structure dropped
+// since the previous save.
+func writePartitionsManifest(cat *table.Catalog, f *os.File) error {
+	man := partitionsManifest{FormatVersion: 1}
+	names := cat.PartitionedNames()
+	for _, name := range names {
+		pt, ok := cat.GetPartitioned(name)
+		if !ok {
+			continue
+		}
+		entry := partitionEntry{Table: pt.Name, Column: pt.Column()}
+		for _, r := range pt.Ranges() {
+			entry.Parts = append(entry.Parts, partitionRange{Name: r.Name, Upper: r.Upper, Max: r.Max})
+		}
+		man.Tables = append(man.Tables, entry)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(man)
+}
+
 // LoadDir restores an engine persisted with SaveDir into this engine.
 // Loaded names must not collide with existing tables or models.
 //
-// The load is staged: every table file is read and decoded, and the model
-// catalog parsed, before anything is committed to the engine. An error at
-// any point — an unreadable file, a corrupt table, a malformed models.json,
-// a name collision — leaves the engine exactly as it was; a partial catalog
-// is never observable.
+// The load is staged: every table file is read and decoded, the partition
+// manifest resolved against the decoded tables, and the model catalog
+// parsed, before anything is committed to the engine. An error at any point
+// — an unreadable file, a corrupt table, a malformed manifest, a name
+// collision — leaves the engine exactly as it was; a partial catalog is
+// never observable.
 func (e *Engine) LoadDir(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -124,6 +181,10 @@ func (e *Engine) LoadDir(dir string) error {
 		}
 		tables = append(tables, t)
 	}
+	parted, children, err := stagePartitioned(dir, tables)
+	if err != nil {
+		return err
+	}
 	var models *os.File
 	if mf, err := os.Open(filepath.Join(dir, "models.json")); err == nil {
 		models = mf
@@ -133,6 +194,7 @@ func (e *Engine) LoadDir(dir string) error {
 	}
 
 	// Commit tables, rolling back the ones added here on any failure.
+	// Partition children commit through their parent, not individually.
 	var added []string
 	rollback := func() {
 		for _, name := range added {
@@ -140,11 +202,21 @@ func (e *Engine) LoadDir(dir string) error {
 		}
 	}
 	for _, t := range tables {
+		if children[t.Name] {
+			continue
+		}
 		if err := e.Catalog.Add(t); err != nil {
 			rollback()
 			return err
 		}
 		added = append(added, t.Name)
+	}
+	for _, pt := range parted {
+		if err := e.Catalog.AddPartitioned(pt); err != nil {
+			rollback()
+			return err
+		}
+		added = append(added, pt.Name)
 	}
 	// Commit models last. Store.Load is itself all-or-nothing (it decodes,
 	// rebuilds and collision-checks everything before mutating the store),
@@ -157,4 +229,53 @@ func (e *Engine) LoadDir(dir string) error {
 		}
 	}
 	return nil
+}
+
+// stagePartitioned reads partitions.json (if present) and reassembles
+// PartitionedTables around the staged child tables. It returns the
+// assembled parents plus the set of child table names they own.
+func stagePartitioned(dir string, tables []*table.Table) ([]*table.PartitionedTable, map[string]bool, error) {
+	children := map[string]bool{}
+	f, err := os.Open(filepath.Join(dir, "partitions.json"))
+	if os.IsNotExist(err) {
+		return nil, children, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var man partitionsManifest
+	if err := json.NewDecoder(f).Decode(&man); err != nil {
+		return nil, nil, fmt.Errorf("datalaws: loading partitions.json: %w", err)
+	}
+	byName := map[string]*table.Table{}
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+	var out []*table.PartitionedTable
+	for _, entry := range man.Tables {
+		ranges := make([]table.RangePartition, len(entry.Parts))
+		kids := make([]*table.Table, len(entry.Parts))
+		for i, p := range entry.Parts {
+			ranges[i] = table.RangePartition{Name: p.Name, Upper: p.Upper, Max: p.Max}
+			child, ok := byName[table.PartitionTableName(entry.Table, p.Name)]
+			if !ok {
+				return nil, nil, fmt.Errorf("datalaws: partitions.json lists partition %q of %q but %s.dltab is missing",
+					p.Name, entry.Table, table.PartitionTableName(entry.Table, p.Name))
+			}
+			kids[i] = child
+		}
+		if len(kids) == 0 {
+			return nil, nil, fmt.Errorf("datalaws: partitions.json entry %q has no partitions", entry.Table)
+		}
+		pt, err := table.NewPartitionedFrom(entry.Table, kids[0].Schema(), entry.Column, ranges, kids)
+		if err != nil {
+			return nil, nil, fmt.Errorf("datalaws: reassembling partitioned table %q: %w", entry.Table, err)
+		}
+		for _, k := range kids {
+			children[k.Name] = true
+		}
+		out = append(out, pt)
+	}
+	return out, children, nil
 }

@@ -1,0 +1,222 @@
+package datalaws
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datalaws/internal/table"
+)
+
+// TestPartitionedSaveLoadRoundTrip: a partitioned table and its per-
+// partition model family round-trip through SaveDir/LoadDir, preserving
+// partition bounds, routing, per-partition model versions, and answers.
+func TestPartitionedSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e1 := partedEngine(t, 4, 0.01, 11)
+	fitParted(t, e1)
+	// Refit one partition so versions differ across the family.
+	if _, err := e1.Models.Refit("law#p2", mustChild(t, e1, "m", "p2")); err != nil {
+		t.Fatal(err)
+	}
+	before := e1.MustExec(`APPROX SELECT intensity FROM m WHERE source = 250 AND nu = 1.5`)
+
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	if err := e2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	pt, ok := e2.Catalog.GetPartitioned("m")
+	if !ok {
+		t.Fatal("partitioned table missing after load")
+	}
+	orig, _ := e1.Catalog.GetPartitioned("m")
+	if pt.NumRows() != orig.NumRows() {
+		t.Fatalf("rows %d vs %d", pt.NumRows(), orig.NumRows())
+	}
+	// Partition bounds survive exactly.
+	or, nr := orig.Ranges(), pt.Ranges()
+	if len(or) != len(nr) {
+		t.Fatalf("ranges %d vs %d", len(nr), len(or))
+	}
+	for i := range or {
+		if or[i] != nr[i] {
+			t.Fatalf("range %d: %+v vs %+v", i, nr[i], or[i])
+		}
+	}
+	if pt.Column() != orig.Column() {
+		t.Fatalf("column %q vs %q", pt.Column(), orig.Column())
+	}
+	// Per-partition model versions survive (p2 was refit to v2).
+	fam := e2.Models.Family("law")
+	if len(fam) != 4 {
+		t.Fatalf("family = %d members", len(fam))
+	}
+	for _, m := range fam {
+		want := 1
+		if m.Spec.Name == "law#p2" {
+			want = 2
+		}
+		if m.Version != want {
+			t.Errorf("%s version = %d, want %d", m.Spec.Name, m.Version, want)
+		}
+	}
+	// The loaded engine routes appends and answers point queries identically.
+	after := e2.MustExec(`APPROX SELECT intensity FROM m WHERE source = 250 AND nu = 1.5`)
+	if after.PartitionsPruned != 3 {
+		t.Fatalf("pruned = %d, want 3", after.PartitionsPruned)
+	}
+	if math.Abs(after.Rows[0][0].F-before.Rows[0][0].F) > 1e-9 {
+		t.Fatalf("approx answer drifted: %v vs %v", after.Rows[0], before.Rows[0])
+	}
+	eng2Rows := pt.Part(0).NumRows()
+	if _, err := e2.Exec(`INSERT INTO m VALUES (5, 1.0, 2.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Part(0).NumRows(); got != eng2Rows+1 {
+		t.Fatalf("append after load routed wrong: p0 %d -> %d", eng2Rows, got)
+	}
+}
+
+func mustChild(t *testing.T, e *Engine, tbl, part string) *table.Table {
+	t.Helper()
+	child, ok := e.Catalog.Get(table.PartitionTableName(tbl, part))
+	if !ok {
+		t.Fatalf("child %s#%s missing", tbl, part)
+	}
+	return child
+}
+
+// TestPartitionedSaveCrashSafe: a save that dies mid-commit (obstructed
+// rename of one partition child) leaves the previous on-disk state loadable
+// and consistent — the staged files never replace good ones partially in a
+// way that breaks the load.
+func TestPartitionedSaveCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	e1 := partedEngine(t, 4, 0.01, 12)
+	fitParted(t, e1)
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the table, then obstruct one partition child's target so the
+	// commit fails partway through the renames.
+	if _, err := e1.Exec(`INSERT INTO m VALUES (150, 1.0, 2.0)`); err != nil {
+		t.Fatal(err)
+	}
+	obstruction := filepath.Join(dir, "m#p3.dltab")
+	if err := os.Remove(obstruction); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(obstruction, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.SaveDir(dir); err == nil {
+		t.Fatal("save over an obstructed partition child should fail")
+	}
+	if err := os.RemoveAll(obstruction); err != nil {
+		t.Fatal(err)
+	}
+
+	// partitions.json and models.json were not replaced (they rename after
+	// the failing child), so whatever tables did swap in still load into a
+	// consistent engine... except p3's table file is now missing entirely —
+	// the load must reject the directory atomically rather than resurrect a
+	// 3-legged partitioned table.
+	e2 := NewEngine()
+	err := e2.LoadDir(dir)
+	if err == nil {
+		t.Fatal("load with a missing partition child should fail")
+	}
+	if len(e2.Catalog.Names()) != 0 || len(e2.Catalog.PartitionedNames()) != 0 {
+		t.Fatalf("failed load left tables behind: %v %v", e2.Catalog.Names(), e2.Catalog.PartitionedNames())
+	}
+	if len(e2.Models.List()) != 0 {
+		t.Fatalf("failed load left models behind")
+	}
+}
+
+// TestPartitionedLoadRollbackOnCollision: loading into an engine that
+// already has one of the saved names rolls everything back — plain tables,
+// partitioned parents and children alike.
+func TestPartitionedLoadRollbackOnCollision(t *testing.T) {
+	dir := t.TempDir()
+	e1 := partedEngine(t, 4, 0.01, 13)
+	e1.MustExec(`CREATE TABLE plain (a BIGINT)`)
+	if err := e1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine()
+	e2.MustExec(`CREATE TABLE m (other DOUBLE)`) // collides with the parent
+	if err := e2.LoadDir(dir); err == nil {
+		t.Fatal("load over a colliding name should fail")
+	}
+	if _, ok := e2.Catalog.Get("plain"); ok {
+		t.Fatal("rollback left a plain table behind")
+	}
+	if _, ok := e2.Catalog.GetPartitioned("m"); ok {
+		t.Fatal("rollback left the partitioned parent behind")
+	}
+	if _, ok := e2.Catalog.Get("m#p0"); ok {
+		t.Fatal("rollback left a partition child behind")
+	}
+}
+
+// TestPartitionedPlanCacheInvalidation: cached plans cannot survive a DROP
+// TABLE / re-CREATE of a partitioned table, nor a LoadDir — the catalog
+// epoch moves and the plan cache re-prepares.
+func TestPartitionedPlanCacheInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	e := partedEngine(t, 4, 0.01, 14)
+	fitParted(t, e)
+	if err := e.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	q := `APPROX SELECT intensity FROM m WHERE source = 250 AND nu = 1.5`
+	first := e.MustExec(q) // populates the plan cache
+	if first.Model == "" {
+		t.Fatal("expected a model-backed answer")
+	}
+
+	// DROP and re-create the table unpartitioned and unmodeled: the cached
+	// approximate plan must not survive; the same text now errors (no model,
+	// no fallback configured).
+	e.MustExec(`DROP TABLE m`)
+	e.MustExec(`CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)`)
+	if _, err := e.Exec(q); err == nil {
+		t.Fatal("cached plan survived DROP TABLE/re-CREATE")
+	}
+
+	// Restore via LoadDir into the same engine after dropping the empty
+	// replacement: the epoch moves again and the re-prepared plan answers.
+	e.MustExec(`DROP TABLE m`)
+	if err := e.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionsPruned != 3 {
+		t.Fatalf("pruned = %d, want 3", res.PartitionsPruned)
+	}
+	if !strings.Contains(res.Model, "law#") {
+		t.Fatalf("model = %q", res.Model)
+	}
+	// Prepared statements revalidate per Bind too.
+	stmt, err := e.Prepare(`APPROX SELECT intensity FROM m WHERE source = ? AND nu = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Query(context.Background(), 250, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+}

@@ -29,6 +29,11 @@ fi
 if [ "$pattern" = "parallel" ]; then
   pattern='ParallelScan|ParallelGroupBy|ParallelFit'
 fi
+# Shorthand for range partitioning: the selective query over a 16-partition
+# table vs the identical unpartitioned one (pruning skips 15/16 partitions).
+if [ "$pattern" = "partition" ]; then
+  pattern='PartitionPruning'
+fi
 outdir="bench-results"
 mkdir -p "$outdir"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"

@@ -40,6 +40,12 @@ type Rows struct {
 	Hybrid        bool
 	SEInflation   float64
 	ExactFallback bool
+	// Partitions/PartitionsPruned report range-partition pruning for
+	// approximate plans: of Partitions partitions, PartitionsPruned were
+	// skipped — models and rows — before execution (0/0 when the FROM table
+	// is not partitioned).
+	Partitions       int
+	PartitionsPruned int
 
 	cols   []string
 	op     exec.Operator // streaming source; nil for materialized results
@@ -289,14 +295,16 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (*Result, error) {
 	}
 	defer rows.Close()
 	res := &Result{
-		Columns:       rows.Columns(),
-		Info:          rows.Info,
-		Model:         rows.Model,
-		ModelVersion:  rows.ModelVersion,
-		ApproxGrid:    rows.ApproxGrid,
-		Hybrid:        rows.Hybrid,
-		SEInflation:   rows.SEInflation,
-		ExactFallback: rows.ExactFallback,
+		Columns:          rows.Columns(),
+		Info:             rows.Info,
+		Model:            rows.Model,
+		ModelVersion:     rows.ModelVersion,
+		ApproxGrid:       rows.ApproxGrid,
+		Hybrid:           rows.Hybrid,
+		SEInflation:      rows.SEInflation,
+		ExactFallback:    rows.ExactFallback,
+		Partitions:       rows.Partitions,
+		PartitionsPruned: rows.PartitionsPruned,
 	}
 	for rows.Next() {
 		res.Rows = append(res.Rows, rows.Row())
@@ -340,6 +348,8 @@ func (s *Stmt) querySelect(ctx context.Context, sel *sql.SelectStmt) (*Rows, err
 			rows.ApproxGrid = plan.GridRows
 			rows.Hybrid = plan.Hybrid
 			rows.SEInflation = plan.SEInflation
+			rows.Partitions = plan.PartsTotal
+			rows.PartitionsPruned = plan.PartsPruned
 		}
 	} else {
 		var err error
@@ -382,15 +392,17 @@ func (s *Stmt) prepared() (*aqp.Prepared, error) {
 // materializedRows wraps an eagerly computed Result as a cursor.
 func materializedRows(res *Result) *Rows {
 	return &Rows{
-		Info:          res.Info,
-		Model:         res.Model,
-		ModelVersion:  res.ModelVersion,
-		ApproxGrid:    res.ApproxGrid,
-		Hybrid:        res.Hybrid,
-		SEInflation:   res.SEInflation,
-		ExactFallback: res.ExactFallback,
-		cols:          res.Columns,
-		buf:           res.Rows,
+		Info:             res.Info,
+		Model:            res.Model,
+		ModelVersion:     res.ModelVersion,
+		ApproxGrid:       res.ApproxGrid,
+		Hybrid:           res.Hybrid,
+		SEInflation:      res.SEInflation,
+		ExactFallback:    res.ExactFallback,
+		Partitions:       res.Partitions,
+		PartitionsPruned: res.PartitionsPruned,
+		cols:             res.Columns,
+		buf:              res.Rows,
 	}
 }
 
