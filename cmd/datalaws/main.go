@@ -8,10 +8,17 @@
 //	\tables                      list tables, partitioned ones with ranges
 //	\save DIR                    persist tables and models (crash-safe)
 //	\restore DIR                 load a saved directory
+//	\wal                         write-ahead-log status (needs -data)
+//	\checkpoint                  compact the WAL into a fresh snapshot (needs -data)
 //	\autorefit on|off            background drift detection + model refit
 //	\parallelism N               morsel worker pool size (0 = GOMAXPROCS, 1 = serial)
 //	\serve ADDR                  expose the engine to strawman sessions
 //	\q                           quit
+//
+// With -data DIR the shell opens a durable engine: the previous state is
+// recovered from DIR (snapshot + WAL replay) and every mutation is written
+// ahead to the log before it is applied, so a crash or kill loses nothing
+// that was acknowledged.
 //
 // Statements run through the engine's streaming Query API: rows print as
 // the executor produces them, and Ctrl-C cancels the in-flight statement
@@ -22,6 +29,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -37,10 +45,26 @@ import (
 	"datalaws/internal/refit"
 	"datalaws/internal/synth"
 	"datalaws/internal/table"
+	"datalaws/internal/wal"
 )
 
 func main() {
-	eng := datalaws.NewEngine()
+	dataDir := flag.String("data", "", "durable data directory: recover from it and write-ahead-log every mutation")
+	flag.Parse()
+	var eng *datalaws.Engine
+	if *dataDir != "" {
+		var err error
+		eng, err = datalaws.Open(*dataDir, wal.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		st, _ := eng.WALStats()
+		fmt.Printf("recovered from %s: %d table(s), %d model(s), %d wal record(s) replayed\n",
+			*dataDir, len(eng.Catalog.Names()), len(eng.Models.List()), st.Replayed)
+	} else {
+		eng = datalaws.NewEngine()
+	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("datalaws — capturing the laws of (data) nature. \\q to quit, Ctrl-C cancels a running statement.")
@@ -198,12 +222,41 @@ func shellCommand(eng *datalaws.Engine, line string, server **capture.Server) er
 		fmt.Printf("restored from %s: %d table(s), %d model(s)\n",
 			fields[1], len(eng.Catalog.Names()), len(eng.Models.List()))
 		return nil
+	case "\\wal":
+		if len(fields) != 1 {
+			return fmt.Errorf("usage: \\wal")
+		}
+		st, ok := eng.WALStats()
+		if !ok {
+			return fmt.Errorf("no write-ahead log attached (start with -data DIR)")
+		}
+		fmt.Printf("segment %d (%d live, %d bytes)\n", st.Segment, st.Segments, st.SegmentBytes)
+		fmt.Printf("records %d in %d commit group(s), %d fsync(s)\n", st.Records, st.Groups, st.Syncs)
+		fmt.Printf("recovery replayed %d record(s)", st.Replayed)
+		if st.Truncated {
+			fmt.Print(" (torn tail truncated)")
+		}
+		fmt.Println()
+		if st.Err != "" {
+			fmt.Printf("log POISONED: %s\n", st.Err)
+		}
+		return nil
+	case "\\checkpoint":
+		if len(fields) != 1 {
+			return fmt.Errorf("usage: \\checkpoint")
+		}
+		if err := eng.Checkpoint(); err != nil {
+			return err
+		}
+		st, _ := eng.WALStats()
+		fmt.Printf("checkpointed: snapshot written, wal resumes at segment %d\n", st.Segment)
+		return nil
 	case "\\autorefit":
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
 			return fmt.Errorf("usage: \\autorefit on|off")
 		}
 		if fields[1] == "off" {
-			eng.Close()
+			eng.DisableAutoRefit()
 			fmt.Println("auto-refit off")
 			return nil
 		}

@@ -53,6 +53,7 @@ import (
 	"datalaws/internal/sql"
 	"datalaws/internal/stats"
 	"datalaws/internal/table"
+	"datalaws/internal/wal"
 )
 
 // Sentinel errors, testable with errors.Is across every layer that wraps
@@ -103,6 +104,15 @@ type Engine struct {
 	// guarded by refitMu so ingestion can read it from any session.
 	refitMu  sync.Mutex
 	refitter *refit.Refitter
+
+	// walMu orders mutations against checkpoints: every mutation holds it
+	// shared across its log-then-apply window, and SaveDir holds it
+	// exclusively, so a snapshot can never capture an in-memory effect whose
+	// WAL record postdates the checkpoint's log rotation (which would
+	// double-apply on recovery). walLog is nil on non-durable engines.
+	walMu  sync.RWMutex
+	walLog *wal.Log
+	walDir string
 }
 
 // NewEngine returns an empty engine with default approximate-query options.
@@ -173,19 +183,12 @@ func (e *Engine) execStmt(st sql.Stmt) (*Result, error) {
 	case *sql.ShowModelsStmt:
 		return e.execShowModels()
 	case *sql.DropModelStmt:
-		dropped := e.Models.DropFamily(s.Name)
-		if len(dropped) == 0 {
+		if _, ok := e.Models.Get(s.Name); !ok && len(e.Models.Family(s.Name)) == 0 {
 			return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
 		}
-		for _, name := range dropped {
-			if r := e.AutoRefit(); r != nil {
-				r.Reset(name)
-			}
-		}
-		if len(dropped) == 1 && dropped[0] == s.Name {
-			return &Result{Info: fmt.Sprintf("model %s dropped", s.Name)}, nil
-		}
-		return &Result{Info: fmt.Sprintf("model %s dropped (%d per-partition model(s))", s.Name, len(dropped))}, nil
+		return e.mutate(&wal.Record{Type: wal.TypeDropModel, Name: s.Name}, func() (*Result, error) {
+			return e.applyDropModel(s.Name)
+		})
 	case *sql.RefitModelStmt:
 		return e.execRefit(s)
 	case *sql.ExplainStmt:
@@ -194,57 +197,101 @@ func (e *Engine) execStmt(st sql.Stmt) (*Result, error) {
 	return nil, fmt.Errorf("datalaws: unsupported statement %T", st)
 }
 
+func (e *Engine) applyDropModel(name string) (*Result, error) {
+	dropped := e.Models.DropFamily(name)
+	if len(dropped) == 0 {
+		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, name)
+	}
+	for _, mn := range dropped {
+		if r := e.AutoRefit(); r != nil {
+			r.Reset(mn)
+		}
+	}
+	if len(dropped) == 1 && dropped[0] == name {
+		return &Result{Info: fmt.Sprintf("model %s dropped", name)}, nil
+	}
+	return &Result{Info: fmt.Sprintf("model %s dropped (%d per-partition model(s))", name, len(dropped))}, nil
+}
+
 func (e *Engine) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	defs := make([]table.ColumnDef, len(s.Cols))
+	rec := &wal.Record{Type: wal.TypeCreateTable, Table: s.Name}
+	rec.Cols = make([]wal.ColumnDef, len(s.Cols))
 	for i, c := range s.Cols {
 		defs[i] = table.ColumnDef{Name: c.Name, Type: c.Type}
+		rec.Cols[i] = wal.ColumnDef{Name: c.Name, Type: uint8(c.Type)}
 	}
 	schema, err := table.NewSchema(defs...)
 	if err != nil {
 		return nil, err
 	}
+	var ranges []table.RangePartition
 	if s.Partition != nil {
-		ranges := make([]table.RangePartition, len(s.Partition.Parts))
+		rec.PartCol = s.Partition.Column
+		ranges = make([]table.RangePartition, len(s.Partition.Parts))
+		rec.Parts = make([]wal.PartDef, len(s.Partition.Parts))
 		for i, p := range s.Partition.Parts {
 			ranges[i] = table.RangePartition{Name: p.Name, Upper: p.Upper, Max: p.Max}
+			rec.Parts[i] = wal.PartDef{Name: p.Name, Upper: p.Upper, Max: p.Max}
 		}
-		pt, err := e.Catalog.CreatePartitioned(s.Name, schema, s.Partition.Column, ranges)
+	}
+	return e.mutate(rec, func() (*Result, error) {
+		return e.applyCreate(s.Name, schema, rec.PartCol, ranges)
+	})
+}
+
+func (e *Engine) applyCreate(name string, schema *table.Schema, partCol string, ranges []table.RangePartition) (*Result, error) {
+	if partCol != "" {
+		pt, err := e.Catalog.CreatePartitioned(name, schema, partCol, ranges)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Info: fmt.Sprintf("table %s created (%d partitions by range(%s))",
-			s.Name, pt.NumParts(), pt.Column())}, nil
+			name, pt.NumParts(), pt.Column())}, nil
 	}
-	if _, err := e.Catalog.Create(s.Name, schema); err != nil {
+	if _, err := e.Catalog.Create(name, schema); err != nil {
 		return nil, err
 	}
-	return &Result{Info: fmt.Sprintf("table %s created", s.Name)}, nil
+	return &Result{Info: fmt.Sprintf("table %s created", name)}, nil
 }
 
 func (e *Engine) execDropTable(s *sql.DropTableStmt) (*Result, error) {
+	// Existence is checked before logging so an unknown name does not leave
+	// a junk record in the WAL.
+	if _, ok := e.Catalog.GetPartitioned(s.Name); !ok {
+		if _, ok := e.Catalog.Get(s.Name); !ok {
+			return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownTable, s.Name)
+		}
+	}
+	return e.mutate(&wal.Record{Type: wal.TypeDropTable, Table: s.Name}, func() (*Result, error) {
+		return e.applyDropTable(s.Name)
+	})
+}
+
+func (e *Engine) applyDropTable(name string) (*Result, error) {
 	// A partitioned parent cascades to its children's tables and models.
 	var childNames []string
-	if pt, ok := e.Catalog.GetPartitioned(s.Name); ok {
+	if pt, ok := e.Catalog.GetPartitioned(name); ok {
 		for _, child := range pt.Partitions() {
 			childNames = append(childNames, child.Name)
 		}
 	}
-	if !e.Catalog.Drop(s.Name) {
-		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownTable, s.Name)
+	if !e.Catalog.Drop(name) {
+		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownTable, name)
 	}
 	// Models captured on the table describe data that no longer exists.
-	dropped := e.Models.DropForTable(s.Name)
+	dropped := e.Models.DropForTable(name)
 	for _, child := range childNames {
 		dropped = append(dropped, e.Models.DropForTable(child)...)
 	}
-	for _, name := range dropped {
+	for _, mn := range dropped {
 		if r := e.AutoRefit(); r != nil {
-			r.Reset(name)
+			r.Reset(mn)
 		}
 	}
-	info := fmt.Sprintf("table %s dropped", s.Name)
+	info := fmt.Sprintf("table %s dropped", name)
 	if len(childNames) > 0 {
-		info = fmt.Sprintf("table %s dropped (%d partitions)", s.Name, len(childNames))
+		info = fmt.Sprintf("table %s dropped (%d partitions)", name, len(childNames))
 	}
 	if len(dropped) > 0 {
 		info += fmt.Sprintf(" (with %d captured model(s): %s)", len(dropped), strings.Join(dropped, ", "))
@@ -266,19 +313,10 @@ func (e *Engine) execInsert(s *sql.InsertStmt) (*Result, error) {
 		}
 		rows[r] = row
 	}
-	if pt, ok := e.Catalog.GetPartitioned(s.Table); ok {
-		n, err := e.appendPartitioned(pt, rows)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Info: fmt.Sprintf("%d rows inserted", n)}, nil
+	if err := e.checkAppendTarget(s.Table); err != nil {
+		return nil, err
 	}
-	t, err := e.Catalog.Lookup(s.Table)
-	if err != nil {
-		return nil, fmt.Errorf("datalaws: %w", err)
-	}
-	n, err := t.AppendRows(rows)
-	e.afterAppend(t, rows[:n])
+	n, err := e.appendNamed(s.Table, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +334,13 @@ func (e *Engine) execFit(s *sql.FitModelStmt) (*Result, error) {
 		Start:   s.Start,
 		Method:  s.Method,
 	}
-	if pt, ok := e.Catalog.GetPartitioned(s.Table); ok {
+	return e.mutate(&wal.Record{Type: wal.TypeFitModel, Fit: fitSpecRecord(spec)}, func() (*Result, error) {
+		return e.applyFit(spec)
+	})
+}
+
+func (e *Engine) applyFit(spec modelstore.Spec) (*Result, error) {
+	if pt, ok := e.Catalog.GetPartitioned(spec.Table); ok {
 		caps, err := e.Models.CapturePartitioned(pt, spec)
 		if err != nil {
 			return nil, err
@@ -313,13 +357,13 @@ func (e *Engine) execFit(s *sql.FitModelStmt) (*Result, error) {
 			bytes += c.Model.ParamSizeBytes()
 		}
 		info := fmt.Sprintf("model %s captured on %d/%d partitions of %s, parameter tables %d bytes",
-			s.Name, fitted, len(caps), s.Table, bytes)
+			spec.Name, fitted, len(caps), spec.Table, bytes)
 		if failed > 0 {
 			info += fmt.Sprintf(" (%d partition(s) unmodeled, answered raw: %s)", failed, strings.Join(failures, "; "))
 		}
-		return &Result{Model: s.Name, Info: info}, nil
+		return &Result{Model: spec.Name, Info: info}, nil
 	}
-	t, err := e.Catalog.Lookup(s.Table)
+	t, err := e.Catalog.Lookup(spec.Table)
 	if err != nil {
 		return nil, fmt.Errorf("datalaws: %w", err)
 	}
@@ -353,12 +397,21 @@ func (e *Engine) execShowModels() (*Result, error) {
 }
 
 func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
-	m, ok := e.Models.Get(s.Name)
+	if _, ok := e.Models.Get(s.Name); !ok && len(e.Models.Family(s.Name)) == 0 {
+		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
+	}
+	return e.mutate(&wal.Record{Type: wal.TypeRefitModel, Name: s.Name}, func() (*Result, error) {
+		return e.applyRefit(s.Name)
+	})
+}
+
+func (e *Engine) applyRefit(name string) (*Result, error) {
+	m, ok := e.Models.Get(name)
 	if !ok {
 		// A partitioned family refits member by member, each against its own
 		// partition — a manual REFIT of the family touches every partition,
 		// while background refits stay per-partition.
-		if fam := e.Models.Family(s.Name); len(fam) > 0 {
+		if fam := e.Models.Family(name); len(fam) > 0 {
 			refitted := 0
 			var errs []string
 			for _, fm := range fam {
@@ -377,28 +430,28 @@ func (e *Engine) execRefit(s *sql.RefitModelStmt) (*Result, error) {
 					r.Reset(nm.Spec.Name)
 				}
 			}
-			info := fmt.Sprintf("model %s refitted on %d/%d partitions", s.Name, refitted, len(fam))
+			info := fmt.Sprintf("model %s refitted on %d/%d partitions", name, refitted, len(fam))
 			if len(errs) > 0 {
 				info += " (" + strings.Join(errs, "; ") + ")"
 			}
 			if refitted == 0 {
-				return nil, fmt.Errorf("datalaws: refit of %q failed on every partition: %s", s.Name, strings.Join(errs, "; "))
+				return nil, fmt.Errorf("datalaws: refit of %q failed on every partition: %s", name, strings.Join(errs, "; "))
 			}
-			return &Result{Model: s.Name, Info: info}, nil
+			return &Result{Model: name, Info: info}, nil
 		}
-		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, s.Name)
+		return nil, fmt.Errorf("datalaws: %w: %q", ErrUnknownModel, name)
 	}
 	t, err := e.Catalog.Lookup(m.Spec.Table)
 	if err != nil {
-		return nil, fmt.Errorf("datalaws: %w (model %q was fitted on it)", err, s.Name)
+		return nil, fmt.Errorf("datalaws: %w (model %q was fitted on it)", err, name)
 	}
-	nm, err := e.Models.Refit(s.Name, t)
+	nm, err := e.Models.Refit(name, t)
 	if err != nil {
 		return nil, err
 	}
 	// Drift evidence collected against the old version is obsolete.
 	if r := e.AutoRefit(); r != nil {
-		r.Reset(s.Name)
+		r.Reset(name)
 	}
 	return &Result{
 		Model: nm.Spec.Name,
@@ -481,6 +534,19 @@ func (e *Engine) TableInfo(name string) ([]string, int, error) {
 // of a user model fitted from a statistical session. On a partitioned table
 // the capture fans out per partition and the summary aggregates the family.
 func (e *Engine) FitModel(spec modelstore.Spec) (capture.FitSummary, error) {
+	// The transparent capture is a mutation like FIT MODEL: it is logged (as
+	// the same logical record) before the model store changes, so a captured
+	// session model survives recovery.
+	var sum capture.FitSummary
+	_, err := e.mutate(&wal.Record{Type: wal.TypeFitModel, Fit: fitSpecRecord(spec)}, func() (*Result, error) {
+		var aerr error
+		sum, aerr = e.applyFitSummary(spec)
+		return nil, aerr
+	})
+	return sum, err
+}
+
+func (e *Engine) applyFitSummary(spec modelstore.Spec) (capture.FitSummary, error) {
 	if pt, ok := e.Catalog.GetPartitioned(spec.Table); ok {
 		caps, err := e.Models.CapturePartitioned(pt, spec)
 		if err != nil {

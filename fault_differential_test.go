@@ -1,0 +1,238 @@
+//go:build faultinject
+
+package datalaws
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/wal"
+)
+
+// faultOp is one step of the differential script: a single mutation that
+// produces exactly one WAL record, so "ops acked" and "records durable"
+// share one counting scheme.
+type faultOp struct {
+	name string
+	run  func(e *Engine) error
+}
+
+func execOp(name, stmt string) faultOp {
+	return faultOp{name: name, run: func(e *Engine) error {
+		_, err := e.Exec(stmt)
+		return err
+	}}
+}
+
+// faultScript covers every mutation class the WAL logs: plain and
+// partitioned CREATE, programmatic Append, SQL INSERT, FIT, REFIT, DROP
+// MODEL, DROP TABLE. Each op changes the engine signature, so every prefix
+// of the script is distinguishable from its neighbors.
+func faultScript() []faultOp {
+	var rows [][]expr.Value
+	for s := 0; s < 2; s++ {
+		for i := 1; i <= 6; i++ {
+			nu := 0.5 * float64(i)
+			rows = append(rows, []expr.Value{
+				expr.Int(int64(s)), expr.Float(nu), expr.Float(float64(2+s)*nu + float64(s)),
+			})
+		}
+	}
+	return []faultOp{
+		execOp("create-m", `CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)`),
+		{name: "append-m", run: func(e *Engine) error {
+			_, err := e.Append("m", rows)
+			return err
+		}},
+		execOp("create-p", `CREATE TABLE p (k BIGINT, x DOUBLE) PARTITION BY RANGE(k) (
+			PARTITION lo VALUES LESS THAN (100),
+			PARTITION hi VALUES LESS THAN (MAXVALUE))`),
+		execOp("insert-p", `INSERT INTO p VALUES (5, 1.0), (50, 2.0), (500, 3.0)`),
+		execOp("fit-law", `FIT MODEL law ON m AS 'intensity ~ a * nu + b'
+			INPUTS (nu) GROUP BY source START (a = 1, b = 0)`),
+		execOp("insert-m", `INSERT INTO m VALUES (1, 5.0, 20.0)`),
+		execOp("refit-law", `REFIT MODEL law`),
+		execOp("fit-second", `FIT MODEL second ON m AS 'intensity ~ c * nu'
+			INPUTS (nu) GROUP BY source START (c = 1)`),
+		// Grow p between fit-second and drop-second: without it the drop
+		// would return the state to an earlier prefix and make the
+		// recovered-prefix mapping ambiguous.
+		execOp("insert-p2", `INSERT INTO p VALUES (7, 4.0)`),
+		execOp("drop-second", `DROP MODEL second`),
+		execOp("drop-p", `DROP TABLE p`),
+	}
+}
+
+// walCfg keeps the faulty and clean runs byte-for-byte identical so the
+// clean run's Ops() count enumerates the faulty runs' injection points.
+func walCfg(fs wal.FS) wal.Config {
+	return wal.Config{FS: fs, MaxWait: 50 * time.Microsecond}
+}
+
+// refSignatures applies the script to a WAL-less reference engine and
+// returns the signature after each prefix: sigs[k] is the state an engine
+// that executed exactly the first k ops must be in.
+func refSignatures(t *testing.T, ops []faultOp) []string {
+	t.Helper()
+	ref := NewEngine()
+	sigs := make([]string, 0, len(ops)+1)
+	sigs = append(sigs, engineSig(t, ref))
+	for _, op := range ops {
+		if err := op.run(ref); err != nil {
+			t.Fatalf("reference run: op %s: %v", op.name, err)
+		}
+		sigs = append(sigs, engineSig(t, ref))
+	}
+	// Every prefix must be globally distinct, or a recovered state could
+	// map to more than one k.
+	for a := 0; a < len(sigs); a++ {
+		for b := a + 1; b < len(sigs); b++ {
+			if sigs[a] == sigs[b] {
+				t.Fatalf("prefixes %d and %d share a signature; the script is ambiguous", a, b)
+			}
+		}
+	}
+	return sigs
+}
+
+// runFaulty executes the script against a durable engine whose filesystem
+// fails at the armed injection point. It returns the substrate MemFS (to
+// crash), the counting FaultFS, the number of acked ops, and the still-open
+// engine (the caller closes it after imaging the crash). A nil engine means
+// Open itself hit the injection.
+func runFaulty(t *testing.T, ops []faultOp, arm func(*wal.FaultFS)) (*wal.MemFS, *wal.FaultFS, int, *Engine) {
+	t.Helper()
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
+	arm(ffs)
+	e, err := Open("walmem-fault", walCfg(ffs))
+	if err != nil {
+		if !errors.Is(err, wal.ErrInjected) {
+			t.Fatalf("open failed outside the injection: %v", err)
+		}
+		return mem, ffs, 0, nil
+	}
+	acked := 0
+	for _, op := range ops {
+		if err := op.run(e); err != nil {
+			if !errors.Is(err, wal.ErrInjected) && !errors.Is(err, wal.ErrClosed) {
+				t.Fatalf("op %s failed outside the injection: %v", op.name, err)
+			}
+			break
+		}
+		acked++
+	}
+	return mem, ffs, acked, e
+}
+
+// recoverSig opens a fresh engine over a crash image and returns its
+// signature plus the number of WAL records replayed.
+func recoverSig(t *testing.T, img *wal.MemFS) (string, int) {
+	t.Helper()
+	e, err := Open("walmem-fault", walCfg(img))
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer e.Close()
+	st, ok := e.WALStats()
+	if !ok {
+		t.Fatal("recovered engine has no WAL")
+	}
+	return engineSig(t, e), st.Replayed
+}
+
+// TestDifferentialCrashRecovery is the exhaustive kill-point sweep: a clean
+// run counts every write and fsync the script issues, then the script is
+// re-run failing at each point in turn — hard write failure, short (torn)
+// write, and fsync failure — and the crash image is taken under all four
+// volatility policies. The recovered engine must equal the reference engine
+// fed exactly the first k ops, where acked <= k <= acked+1 (the one
+// in-flight record may or may not have reached the platter), and k == acked
+// exactly when the crash drops every unsynced byte.
+func TestDifferentialCrashRecovery(t *testing.T) {
+	ops := faultScript()
+	sigs := refSignatures(t, ops)
+
+	// Clean run: enumerate the injection-point space and sanity-check the
+	// no-fault signature while at it.
+	mem, ffs, acked, e := runFaulty(t, ops, func(*wal.FaultFS) {})
+	if acked != len(ops) {
+		t.Fatalf("clean run acked %d/%d ops", acked, len(ops))
+	}
+	if got := engineSig(t, e); got != sigs[len(ops)] {
+		t.Fatalf("durable engine diverged from reference on a clean run:\n%s\nvs\n%s", got, sigs[len(ops)])
+	}
+	if n := mem.UnsyncedBytes(); n != 0 {
+		t.Fatalf("%d bytes acked but unsynced after clean run", n)
+	}
+	e.Close()
+	writes, syncs := ffs.Ops()
+	t.Logf("injection space: %d writes, %d syncs", writes, syncs)
+
+	type scenario struct {
+		name string
+		arm  func(*wal.FaultFS)
+	}
+	var scenarios []scenario
+	for n := 1; n <= writes; n++ {
+		n := n
+		scenarios = append(scenarios,
+			scenario{fmt.Sprintf("write%d-hard", n), func(f *wal.FaultFS) { f.FailWriteAt(n, false) }},
+			scenario{fmt.Sprintf("write%d-short", n), func(f *wal.FaultFS) { f.FailWriteAt(n, true) }})
+	}
+	for n := 1; n <= syncs; n++ {
+		n := n
+		scenarios = append(scenarios,
+			scenario{fmt.Sprintf("sync%d", n), func(f *wal.FaultFS) { f.FailSyncAt(n) }})
+	}
+
+	policies := []struct {
+		name   string
+		policy wal.CrashPolicy
+	}{
+		{"drop", wal.CrashDrop},
+		{"keep", wal.CrashKeep},
+		{"tear", wal.CrashTear},
+		{"zero", wal.CrashZero},
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			mem, _, acked, e := runFaulty(t, ops, sc.arm)
+			if e != nil {
+				defer e.Close()
+			}
+			for _, p := range policies {
+				img := mem.Crash(p.policy)
+				got, replayed := recoverSig(t, img)
+				k := -1
+				for i, s := range sigs {
+					if s == got {
+						k = i
+						break
+					}
+				}
+				if k < 0 {
+					t.Fatalf("%s/%s: recovered state matches no script prefix (acked %d):\n%s",
+						sc.name, p.name, acked, got)
+				}
+				if k < acked || k > acked+1 {
+					t.Errorf("%s/%s: recovered prefix k=%d outside [acked=%d, acked+1]",
+						sc.name, p.name, k, acked)
+				}
+				if p.policy == wal.CrashDrop && k != acked {
+					t.Errorf("%s/drop: recovered prefix k=%d, want exactly acked=%d "+
+						"(an unacked record survived a full cache drop)", sc.name, k, acked)
+				}
+				if replayed != k {
+					t.Errorf("%s/%s: replayed %d records but state is prefix %d",
+						sc.name, p.name, replayed, k)
+				}
+			}
+		})
+	}
+}

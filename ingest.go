@@ -6,6 +6,7 @@ import (
 	"datalaws/internal/expr"
 	"datalaws/internal/refit"
 	"datalaws/internal/table"
+	"datalaws/internal/wal"
 )
 
 // Ingestion: the live side of capturing the laws of (data) nature. The
@@ -25,23 +26,55 @@ const copyBatchSize = 1024
 // one remain (ingestion is append-only). Appended rows are accounted against
 // captured models' drift state when auto-refit is enabled.
 func (e *Engine) Append(tableName string, rows [][]expr.Value) (int, error) {
-	if pt, ok := e.Catalog.GetPartitioned(tableName); ok {
-		n, err := e.appendPartitioned(pt, rows)
-		if err != nil {
-			return n, fmt.Errorf("datalaws: append to %q: %w", tableName, err)
-		}
-		return n, nil
+	if err := e.checkAppendTarget(tableName); err != nil {
+		return 0, err
 	}
-	t, err := e.Catalog.Lookup(tableName)
-	if err != nil {
-		return 0, fmt.Errorf("datalaws: %w", err)
-	}
-	n, err := t.AppendRows(rows)
-	e.afterAppend(t, rows[:n])
+	n, err := e.appendNamed(tableName, rows)
 	if err != nil {
 		return n, fmt.Errorf("datalaws: append to %q: %w", tableName, err)
 	}
 	return n, nil
+}
+
+// checkAppendTarget verifies the append target exists before a WAL record
+// is written for it, so a bad table name costs neither an fsync nor a junk
+// record that replay must warn about.
+func (e *Engine) checkAppendTarget(name string) error {
+	if _, ok := e.Catalog.GetPartitioned(name); ok {
+		return nil
+	}
+	if _, err := e.Catalog.Lookup(name); err != nil {
+		return fmt.Errorf("datalaws: %w", err)
+	}
+	return nil
+}
+
+// appendNamed is the single funnel under Append, INSERT and CopyFrom: the
+// batch is logged to the WAL (when attached) and acked durable before it is
+// routed to the table. Errors are returned unwrapped for callers to frame.
+func (e *Engine) appendNamed(name string, rows [][]expr.Value) (int, error) {
+	n := 0
+	_, err := e.mutate(&wal.Record{Type: wal.TypeAppend, Table: name, Rows: rows}, func() (*Result, error) {
+		var aerr error
+		n, aerr = e.applyAppend(name, rows)
+		return nil, aerr
+	})
+	return n, err
+}
+
+// applyAppend routes a batch to its (possibly partitioned) table — the
+// in-memory half of an append, shared by the live path and WAL replay.
+func (e *Engine) applyAppend(name string, rows [][]expr.Value) (int, error) {
+	if pt, ok := e.Catalog.GetPartitioned(name); ok {
+		return e.appendPartitioned(pt, rows)
+	}
+	t, err := e.Catalog.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.AppendRows(rows)
+	e.afterAppend(t, rows[:n])
+	return n, err
 }
 
 // appendPartitioned routes a batch across a partitioned table's children,
@@ -74,19 +107,8 @@ func (e *Engine) appendPartitioned(pt *table.PartitionedTable, rows [][]expr.Val
 // source error aborts the copy after flushing the rows already produced.
 // It returns the total number of rows appended.
 func (e *Engine) CopyFrom(tableName string, src func() ([]expr.Value, error)) (int, error) {
-	var appendBatch func(batch [][]expr.Value) (int, error)
-	if pt, ok := e.Catalog.GetPartitioned(tableName); ok {
-		appendBatch = func(batch [][]expr.Value) (int, error) { return e.appendPartitioned(pt, batch) }
-	} else {
-		t, err := e.Catalog.Lookup(tableName)
-		if err != nil {
-			return 0, fmt.Errorf("datalaws: %w", err)
-		}
-		appendBatch = func(batch [][]expr.Value) (int, error) {
-			n, err := t.AppendRows(batch)
-			e.afterAppend(t, batch[:n])
-			return n, err
-		}
+	if err := e.checkAppendTarget(tableName); err != nil {
+		return 0, err
 	}
 	total := 0
 	batch := make([][]expr.Value, 0, copyBatchSize)
@@ -94,7 +116,9 @@ func (e *Engine) CopyFrom(tableName string, src func() ([]expr.Value, error)) (i
 		if len(batch) == 0 {
 			return nil
 		}
-		n, err := appendBatch(batch)
+		// Each flushed batch is one WAL record and one commit group slot:
+		// a crash can lose at most the unflushed tail of the copy.
+		n, err := e.appendNamed(tableName, batch)
 		total += n
 		batch = batch[:0]
 		if err != nil {
@@ -157,6 +181,19 @@ func (e *Engine) EnableAutoRefit(opts refit.Options) *refit.Refitter {
 	return r
 }
 
+// DisableAutoRefit stops the background maintenance loop without touching
+// the write-ahead log; a durable engine keeps accepting mutations. A no-op
+// when auto-refit is not running.
+func (e *Engine) DisableAutoRefit() {
+	e.refitMu.Lock()
+	r := e.refitter
+	e.refitter = nil
+	e.refitMu.Unlock()
+	if r != nil {
+		r.Close()
+	}
+}
+
 // AutoRefit returns the running background refitter, or nil when auto-refit
 // is disabled.
 func (e *Engine) AutoRefit() *refit.Refitter {
@@ -165,16 +202,19 @@ func (e *Engine) AutoRefit() *refit.Refitter {
 	return e.refitter
 }
 
-// Close stops background maintenance work. The engine remains usable for
-// queries and ingestion afterwards; only auto-refit is disabled. It is safe
-// to call Close multiple times.
+// Close stops background maintenance work and, when a WAL is attached,
+// flushes and fsyncs every queued commit group before returning, so no
+// acked mutation can be lost after Close. The engine remains usable for
+// queries afterwards; on a durable engine further mutations fail with
+// wal.ErrClosed rather than silently degrading to unlogged writes. Close is
+// idempotent: repeated calls return the first call's result.
 func (e *Engine) Close() error {
-	e.refitMu.Lock()
-	r := e.refitter
-	e.refitter = nil
-	e.refitMu.Unlock()
-	if r != nil {
-		r.Close()
+	e.DisableAutoRefit()
+	e.walMu.RLock()
+	l := e.walLog
+	e.walMu.RUnlock()
+	if l != nil {
+		return l.Close()
 	}
 	return nil
 }

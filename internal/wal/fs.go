@@ -1,0 +1,116 @@
+// Package wal implements an append-only, checksummed, segmented write-ahead
+// log with group commit. The engine logs every mutation (appends and logical
+// DDL) before applying it in memory; recovery replays the log on top of the
+// last checkpoint snapshot, truncating at the first torn or corrupt record.
+//
+// Durability is the contract: Append returns only after the record — and
+// every record batched into the same commit group — has been written and
+// fsynced, so concurrent writers share one fsync per group instead of paying
+// one each. The filesystem is abstracted behind FS so tests can inject
+// faults (failed or short writes, failed fsyncs) and simulate crashes that
+// lose unsynced data.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the log needs. The production implementation
+// is OSFS; MemFS provides an in-memory implementation with crash simulation,
+// and FaultFS wraps any FS with fault injection. All paths are slash-joined
+// by the caller; implementations treat them as opaque keys except for the
+// directory operations.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not full paths) inside dir. A missing
+	// directory reads as empty.
+	ReadDir(dir string) ([]string, error)
+	// OpenAppend opens name for appending, creating it if absent, and
+	// reports its current size.
+	OpenAppend(name string) (File, int64, error)
+	// OpenRead opens name for reading from the start.
+	OpenRead(name string) (io.ReadCloser, error)
+	// Truncate cuts name to size bytes (repairing a torn tail).
+	Truncate(name string, size int64) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs the directory entry metadata for dir, making created
+	// and removed files durable.
+	SyncDir(dir string) error
+}
+
+// File is an append-only writable file handle.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage. Until Sync returns, a
+	// crash may lose or tear anything written since the previous Sync.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS; a missing directory reads as empty.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, int64, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+// OpenRead implements FS.
+func (OSFS) OpenRead(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS. Directory fsync can fail with EINVAL on some
+// filesystems; that is surfaced to the caller, which decides whether it is
+// advisory.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// join builds FS paths; kept here so MemFS and OSFS agree on the separator.
+func join(elem ...string) string { return filepath.Join(elem...) }

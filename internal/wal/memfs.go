@@ -1,0 +1,390 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models the durability semantics of a real
+// filesystem: data written but not fsynced lives in a volatile page cache,
+// and a file created but whose directory was never fsynced has a volatile
+// directory entry. Crash materializes the on-disk image a kernel crash
+// would leave behind, under a configurable policy for the volatile parts —
+// the substrate of the fault-injection harness.
+//
+// MemFS is safe for concurrent use. Paths are cleaned; no current-directory
+// semantics.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	synced []byte   // durable image (covered by the last Sync)
+	chunks [][]byte // unsynced appended writes, in order
+	// linkDurable marks the directory entry fsynced: a crash never loses
+	// the file itself, only possibly its unsynced tail.
+	linkDurable bool
+}
+
+func (f *memFile) data() []byte {
+	out := append([]byte(nil), f.synced...)
+	for _, c := range f.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{"/": true, ".": true}}
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := path.Clean(dir)
+	for d != "." && d != "/" {
+		m.dirs[d] = true
+		d = path.Dir(d)
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := path.Clean(dir)
+	var names []string
+	for p := range m.files {
+		if path.Dir(p) == d {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := path.Clean(name)
+	f, ok := m.files[p]
+	if !ok {
+		f = &memFile{}
+		m.files[p] = f
+	}
+	size := int64(len(f.synced))
+	for _, c := range f.chunks {
+		size += int64(len(c))
+	}
+	return &memHandle{fs: m, f: f}, size, nil
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errors.New("memfs: write on closed file")
+	}
+	h.f.chunks = append(h.f.chunks, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errors.New("memfs: sync on closed file")
+	}
+	h.f.synced = h.f.data()
+	h.f.chunks = nil
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// OpenRead implements FS.
+func (m *MemFS) OpenRead(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: no such file", name)
+	}
+	return io.NopCloser(bytes.NewReader(f.data())), nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	data := f.data()
+	if int64(len(data)) < size {
+		return fmt.Errorf("memfs: truncate %s beyond end", name)
+	}
+	f.synced = data[:size]
+	f.chunks = nil
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := path.Clean(name)
+	if _, ok := m.files[p]; !ok {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	delete(m.files, p)
+	return nil
+}
+
+// SyncDir implements FS: directory entries of files directly inside dir
+// become durable.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := path.Clean(dir)
+	for p, f := range m.files {
+		if path.Dir(p) == d {
+			f.linkDurable = true
+		}
+	}
+	return nil
+}
+
+// CrashPolicy selects what a simulated crash does with volatile state —
+// bytes written but not fsynced, and directory entries not fsynced.
+type CrashPolicy uint8
+
+// Crash policies.
+const (
+	// CrashDrop loses every unsynced byte and every un-fsynced directory
+	// entry: the most conservative surviving image.
+	CrashDrop CrashPolicy = iota
+	// CrashKeep keeps everything written (the kernel flushed the cache just
+	// in time). Recovery must then see logged-but-unacked records.
+	CrashKeep
+	// CrashTear keeps unsynced writes except the final one, which survives
+	// only partially — a torn tail record.
+	CrashTear
+	// CrashZero persists unsynced writes except one in the middle, whose
+	// bytes read back as zeros — modeling reordered writeback where a later
+	// page hit disk while an earlier one did not. Replay must stop at the
+	// hole, not resurrect the intact bytes beyond it.
+	CrashZero
+)
+
+// Crash materializes the post-crash filesystem image under the given
+// policy. The receiver is untouched (it can keep running or crash again
+// differently); the returned FS is fully synced.
+func (m *MemFS) Crash(policy CrashPolicy) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	for p, f := range m.files {
+		if !f.linkDurable && policy == CrashDrop {
+			continue
+		}
+		img := append([]byte(nil), f.synced...)
+		switch policy {
+		case CrashDrop:
+			// synced image only
+		case CrashKeep:
+			for _, c := range f.chunks {
+				img = append(img, c...)
+			}
+		case CrashTear:
+			for i, c := range f.chunks {
+				if i == len(f.chunks)-1 {
+					img = append(img, c[:len(c)/2]...)
+				} else {
+					img = append(img, c...)
+				}
+			}
+		case CrashZero:
+			hole := len(f.chunks) / 2
+			for i, c := range f.chunks {
+				if i == hole && len(f.chunks) > 1 {
+					img = append(img, make([]byte, len(c))...)
+				} else {
+					img = append(img, c...)
+				}
+			}
+		}
+		out.files[p] = &memFile{synced: img, linkDurable: true}
+	}
+	return out
+}
+
+// UnsyncedBytes reports the total volatile bytes across files — zero means
+// a crash under any policy preserves everything acked.
+func (m *MemFS) UnsyncedBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, f := range m.files {
+		for _, c := range f.chunks {
+			n += len(c)
+		}
+	}
+	return n
+}
+
+// --- fault injection ---
+
+// ErrInjected is the error returned by operations a FaultFS was told to
+// fail.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS, counting writes and fsyncs, and failing from a
+// configured operation onward — once a disk starts failing it stays failed.
+// A short write writes a prefix of the data before reporting the error,
+// modeling a torn physical write.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	writes int
+	syncs  int
+	// FailWriteAt / FailSyncAt fail the Nth (1-based) write / sync and all
+	// later ones; 0 disables. ShortWrite makes the failing write land half
+	// its bytes first.
+	failWriteAt int
+	failSyncAt  int
+	shortWrite  bool
+}
+
+// NewFaultFS wraps inner with fault injection disabled.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailWriteAt arms the injector to fail the nth (1-based) write and every
+// write after it; short also lands half the failing write's bytes.
+func (f *FaultFS) FailWriteAt(n int, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAt = n
+	f.shortWrite = short
+}
+
+// FailSyncAt arms the injector to fail the nth (1-based) fsync (file or
+// directory) and every one after it.
+func (f *FaultFS) FailSyncAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+}
+
+// Ops reports how many writes and syncs the log has issued — the space of
+// injection points a differential harness must cover.
+func (f *FaultFS) Ops() (writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+// noteWrite registers a write attempt; it reports whether to fail it and
+// how many of the n bytes to land first.
+func (f *FaultFS) noteWrite(n int) (fail bool, land int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.failWriteAt > 0 && f.writes >= f.failWriteAt {
+		if f.shortWrite && f.writes == f.failWriteAt {
+			return true, n / 2
+		}
+		return true, 0
+	}
+	return false, 0
+}
+
+func (f *FaultFS) noteSync() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	return f.failSyncAt > 0 && f.syncs >= f.failSyncAt
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string) (File, int64, error) {
+	h, size, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &faultHandle{fs: f, inner: h}, size, nil
+}
+
+// OpenRead implements FS.
+func (f *FaultFS) OpenRead(name string) (io.ReadCloser, error) { return f.inner.OpenRead(name) }
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// SyncDir implements FS; counts as a sync for injection purposes.
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.noteSync() {
+		return fmt.Errorf("%w: syncdir %s", ErrInjected, dir)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	if fail, land := h.fs.noteWrite(len(p)); fail {
+		if land > 0 {
+			h.inner.Write(p[:land])
+		}
+		return 0, fmt.Errorf("%w: write", ErrInjected)
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	if h.fs.noteSync() {
+		return fmt.Errorf("%w: fsync", ErrInjected)
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error { return h.inner.Close() }

@@ -2,13 +2,55 @@ package datalaws
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"datalaws/internal/table"
 )
+
+// ErrObstructed reports that committing a snapshot failed because something
+// occupies a path the commit needs — a stray file where the snapshot
+// directory must land, or a directory squatting on the CURRENT pointer. The
+// previous snapshot is untouched and still loadable.
+var ErrObstructed = errors.New("datalaws: snapshot commit obstructed")
+
+// On-disk layout. A save directory holds immutable snapshot directories
+// (snap-NNNNNNNN) plus a CURRENT pointer file naming the live one; LoadDir
+// follows CURRENT. Committing a snapshot is two atomic renames: the staged
+// directory into place, then a staged pointer file over CURRENT. A crash
+// between them leaves CURRENT on the previous snapshot — there is no window
+// where a reader can observe a half-written mix of old and new files, which
+// matters once WAL replay starts from a segment recorded inside the
+// snapshot. Directories without CURRENT load through the legacy flat layout.
+const (
+	currentFile = "CURRENT"
+	snapPrefix  = "snap-"
+)
+
+func snapDirName(id int) string { return fmt.Sprintf("%s%08d", snapPrefix, id) }
+
+func parseSnapName(name string) (int, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || len(name) != len(snapPrefix)+8 {
+		return 0, false
+	}
+	var id int
+	if _, err := fmt.Sscanf(name[len(snapPrefix):], "%08d", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// checkpointMeta is checkpoint.json inside a snapshot: the first WAL segment
+// whose records are NOT contained in the snapshot, i.e. where replay starts.
+type checkpointMeta struct {
+	FormatVersion   int `json:"format_version"`
+	WALStartSegment int `json:"wal_start_segment"`
+}
 
 // partitionsManifest is the on-disk record of partitioned-table structure
 // (partitions.json): partition children persist as ordinary .dltab files
@@ -32,24 +74,42 @@ type partitionRange struct {
 }
 
 // SaveDir persists the engine to a directory: every table as a binary
-// column file (<name>.dltab, inheriting the lightweight column encodings)
-// and the captured model catalog as models.json with formulas in source
-// form. The directory is created if needed.
+// column file (<name>.dltab, inheriting the lightweight column encodings),
+// the partition manifest, and the captured model catalog as models.json
+// with formulas in source form. The directory is created if needed.
 //
-// The save is crash-safe: everything is written into a temporary staging
-// directory first, fsynced, and only then renamed over the previous files
-// one by one (partitions.json after the tables it describes, models.json
-// last, so models never refer to tables that were not yet swapped in). A
-// crash or error mid-save leaves the previous good state untouched; at
-// worst some tables are new while partitions.json/models.json are still
-// old, which LoadDir tolerates (models are revalidated against formulas on
-// load, and staleness tracking re-anchors on first use). Stale .dltab files
-// from tables that no longer exist are not deleted.
+// The save is crash-safe and atomic: everything is written into a staging
+// directory, fsynced, renamed in one step to the next snap-NNNNNNNN
+// directory, and published by swapping the CURRENT pointer file via a
+// staged rename. A crash or error at any point leaves CURRENT on the
+// previous snapshot, so a reload never observes a mix of old and new files.
+// Obsolete snapshots are pruned after the pointer swap.
+//
+// When a WAL is attached and dir is the engine's durable directory, SaveDir
+// is a checkpoint: the log rotates to a fresh segment first, the snapshot
+// records that segment in checkpoint.json, and once the snapshot is live
+// the pre-checkpoint segments are reclaimed. Recovery = snapshot + replay
+// of segments from checkpoint.json onward.
 //
 // Partitioned tables persist as their children's .dltab files (named
 // "<table>#<partition>.dltab") plus an entry in the partitions.json
 // manifest; LoadDir reassembles them.
 func (e *Engine) SaveDir(dir string) error {
+	// Mutations hold walMu shared across their log-then-apply window; taking
+	// it exclusively quiesces them, so the snapshot and the WAL rotation in
+	// checkpointBegin observe the same state.
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	return e.saveSnapshot(dir)
+}
+
+// saveSnapshot is SaveDir's body; walStartSeg < 0 means no checkpoint
+// metadata is recorded.
+func (e *Engine) saveSnapshot(dir string) error {
+	walStartSeg, reclaim, err := e.checkpointBegin(dir)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -59,7 +119,6 @@ func (e *Engine) SaveDir(dir string) error {
 	}
 	defer os.RemoveAll(stage)
 
-	var files []string // staged file names, models.json last
 	for _, name := range e.Catalog.Names() {
 		t, ok := e.Catalog.Get(name)
 		if !ok {
@@ -71,29 +130,137 @@ func (e *Engine) SaveDir(dir string) error {
 		}); err != nil {
 			return fmt.Errorf("datalaws: saving table %q: %w", name, err)
 		}
-		files = append(files, fn)
 	}
 	if err := writeFileSynced(filepath.Join(stage, "partitions.json"), func(f *os.File) error {
 		return writePartitionsManifest(e.Catalog, f)
 	}); err != nil {
 		return fmt.Errorf("datalaws: saving partition manifest: %w", err)
 	}
-	files = append(files, "partitions.json")
 	if err := writeFileSynced(filepath.Join(stage, "models.json"), func(f *os.File) error {
 		return e.Models.Save(f)
 	}); err != nil {
 		return fmt.Errorf("datalaws: saving models: %w", err)
 	}
-	files = append(files, "models.json")
-
-	// Commit: atomically rename each staged file over its final name, then
-	// fsync the directory so the renames are durable.
-	for _, fn := range files {
-		if err := os.Rename(filepath.Join(stage, fn), filepath.Join(dir, fn)); err != nil {
-			return fmt.Errorf("datalaws: committing %s: %w", fn, err)
+	if walStartSeg >= 0 {
+		if err := writeFileSynced(filepath.Join(stage, "checkpoint.json"), func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(checkpointMeta{FormatVersion: 1, WALStartSegment: walStartSeg})
+		}); err != nil {
+			return fmt.Errorf("datalaws: saving checkpoint metadata: %w", err)
 		}
 	}
-	return syncDir(dir)
+	if err := syncDir(stage); err != nil {
+		return err
+	}
+
+	// Commit leg 1: the staged directory becomes the next immutable snapshot
+	// in a single rename.
+	id, err := nextSnapID(dir)
+	if err != nil {
+		return err
+	}
+	snap := filepath.Join(dir, snapDirName(id))
+	if err := os.Rename(stage, snap); err != nil {
+		return fmt.Errorf("%w: renaming staged snapshot to %s: %v", ErrObstructed, snapDirName(id), err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+
+	// Commit leg 2: publish it by swapping the CURRENT pointer, itself via a
+	// staged rename so the pointer is never half-written.
+	if err := setCurrent(dir, snapDirName(id)); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+
+	// The snapshot is live: pre-checkpoint WAL segments and older snapshots
+	// are dead weight now. Both prunes are best-effort.
+	if reclaim != nil {
+		reclaim()
+	}
+	pruneSnapshots(dir, snapDirName(id))
+	return nil
+}
+
+// nextSnapID picks the successor of the highest existing snapshot
+// directory. Non-directory entries with snapshot names do not advance the
+// counter: a stray file squatting on the next name obstructs the commit
+// (surfaced as ErrObstructed) rather than being silently skipped.
+func nextSnapID(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		if id, ok := parseSnapName(ent.Name()); ok && id >= next {
+			next = id + 1
+		}
+	}
+	return next, nil
+}
+
+// setCurrent atomically repoints CURRENT at snap via a staged rename.
+func setCurrent(dir, snap string) error {
+	tmp := filepath.Join(dir, currentFile+".tmp")
+	if err := writeFileSynced(tmp, func(f *os.File) error {
+		_, err := f.WriteString(snap + "\n")
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: publishing %s pointer: %v", ErrObstructed, currentFile, err)
+	}
+	return nil
+}
+
+// readCurrent resolves the live snapshot directory, or ok=false if the
+// directory uses the legacy flat layout (no CURRENT file).
+func readCurrent(dir string) (string, bool, error) {
+	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if os.IsNotExist(err) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	name := strings.TrimSpace(string(b))
+	if _, ok := parseSnapName(name); !ok {
+		return "", false, fmt.Errorf("datalaws: %s names %q, not a snapshot directory", currentFile, name)
+	}
+	snap := filepath.Join(dir, name)
+	if st, err := os.Stat(snap); err != nil || !st.IsDir() {
+		return "", false, fmt.Errorf("datalaws: %s points at missing snapshot %s", currentFile, name)
+	}
+	return snap, true, nil
+}
+
+// pruneSnapshots removes snapshot directories other than keep, plus any
+// abandoned staging directories. Best-effort: a failure here never fails the
+// save, the stale entries are just garbage a later save retries.
+func pruneSnapshots(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || ent.Name() == keep {
+			continue
+		}
+		_, isSnap := parseSnapName(ent.Name())
+		if isSnap || strings.HasPrefix(ent.Name(), ".dlsave-") {
+			os.RemoveAll(filepath.Join(dir, ent.Name()))
+		}
+	}
 }
 
 // writeFileSynced creates path, runs write against it, and fsyncs before
@@ -114,15 +281,21 @@ func writeFileSynced(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
+// syncDir fsyncs a directory so preceding renames and creates in it are
+// durable. Some filesystems reject directory fsync with EINVAL, which is
+// harmlessly advisory — but any other error is a real durability problem in
+// the commit path and is logged rather than swallowed. It is still not
+// fatal: the renames themselves are atomic, so the worst case is the commit
+// reverting wholesale on a crash, never a torn state.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	// Directory fsync is advisory on some filesystems (it can fail with
-	// EINVAL); the renames above are already atomic, so best-effort is right.
-	_ = d.Sync()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		log.Printf("datalaws: fsync dir %s: %v (commit is atomic but may not be durable)", dir, err)
+	}
 	return nil
 }
 
@@ -150,7 +323,9 @@ func writePartitionsManifest(cat *table.Catalog, f *os.File) error {
 }
 
 // LoadDir restores an engine persisted with SaveDir into this engine.
-// Loaded names must not collide with existing tables or models.
+// Loaded names must not collide with existing tables or models. It follows
+// the CURRENT pointer to the live snapshot; directories written by older
+// versions (flat .dltab files, no CURRENT) load directly.
 //
 // The load is staged: every table file is read and decoded, the partition
 // manifest resolved against the decoded tables, and the model catalog
@@ -159,6 +334,19 @@ func writePartitionsManifest(cat *table.Catalog, f *os.File) error {
 // collision — leaves the engine exactly as it was; a partial catalog is
 // never observable.
 func (e *Engine) LoadDir(dir string) error {
+	snap, ok, err := readCurrent(dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		snap = dir
+	}
+	return e.loadFlat(snap)
+}
+
+// loadFlat loads one directory of .dltab files + partitions.json +
+// models.json — a resolved snapshot directory, or a legacy flat save.
+func (e *Engine) loadFlat(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -229,6 +417,31 @@ func (e *Engine) LoadDir(dir string) error {
 		}
 	}
 	return nil
+}
+
+// readCheckpointSeg reads the WAL start segment recorded in the live
+// snapshot's checkpoint.json; ok=false if the directory has no snapshot or
+// the snapshot predates the WAL.
+func readCheckpointSeg(dir string) (int, bool, error) {
+	snap, ok, err := readCurrent(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	b, err := os.ReadFile(filepath.Join(snap, "checkpoint.json"))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return 0, false, fmt.Errorf("datalaws: parsing checkpoint.json: %w", err)
+	}
+	return meta.WALStartSegment, true, nil
 }
 
 // stagePartitioned reads partitions.json (if present) and reassembles

@@ -2,6 +2,7 @@ package datalaws
 
 import (
 	"context"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -93,10 +94,9 @@ func mustChild(t *testing.T, e *Engine, tbl, part string) *table.Table {
 	return child
 }
 
-// TestPartitionedSaveCrashSafe: a save that dies mid-commit (obstructed
-// rename of one partition child) leaves the previous on-disk state loadable
-// and consistent — the staged files never replace good ones partially in a
-// way that breaks the load.
+// TestPartitionedSaveCrashSafe: a save that dies at commit (the snapshot
+// rename is obstructed) leaves the previous on-disk state loadable and
+// consistent — the new snapshot never partially replaces the published one.
 func TestPartitionedSaveCrashSafe(t *testing.T) {
 	dir := t.TempDir()
 	e1 := partedEngine(t, 4, 0.01, 12)
@@ -104,40 +104,54 @@ func TestPartitionedSaveCrashSafe(t *testing.T) {
 	if err := e1.SaveDir(dir); err != nil {
 		t.Fatal(err)
 	}
+	orig, _ := e1.Catalog.GetPartitioned("m")
+	savedRows := orig.NumRows()
 
-	// Grow the table, then obstruct one partition child's target so the
-	// commit fails partway through the renames.
+	// Grow the table, then obstruct the next snapshot name so the commit
+	// rename fails before anything publishes.
 	if _, err := e1.Exec(`INSERT INTO m VALUES (150, 1.0, 2.0)`); err != nil {
 		t.Fatal(err)
 	}
-	obstruction := filepath.Join(dir, "m#p3.dltab")
-	if err := os.Remove(obstruction); err != nil {
-		t.Fatal(err)
+	obstructNextSnap(t, dir)
+	err := e1.SaveDir(dir)
+	if err == nil {
+		t.Fatal("save over an obstructed snapshot name should fail")
 	}
-	if err := os.Mkdir(obstruction, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := e1.SaveDir(dir); err == nil {
-		t.Fatal("save over an obstructed partition child should fail")
-	}
-	if err := os.RemoveAll(obstruction); err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrObstructed) {
+		t.Fatalf("err = %v, want ErrObstructed", err)
 	}
 
-	// partitions.json and models.json were not replaced (they rename after
-	// the failing child), so whatever tables did swap in still load into a
-	// consistent engine... except p3's table file is now missing entirely —
-	// the load must reject the directory atomically rather than resurrect a
-	// 3-legged partitioned table.
+	// The previously published snapshot still loads whole: all four
+	// partition children, the family, and the pre-growth row count.
 	e2 := NewEngine()
-	err := e2.LoadDir(dir)
-	if err == nil {
+	if err := e2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := e2.Catalog.GetPartitioned("m")
+	if !ok {
+		t.Fatal("partitioned table lost after failed save")
+	}
+	if pt.NumRows() != savedRows {
+		t.Fatalf("rows = %d, want pre-growth %d", pt.NumRows(), savedRows)
+	}
+	if fam := e2.Models.Family("law"); len(fam) != 4 {
+		t.Fatalf("family = %d members after failed save", len(fam))
+	}
+
+	// Separately: a snapshot missing one partition child (manifest and data
+	// out of step) must be rejected atomically, not resurrected as a
+	// 3-legged partitioned table.
+	if err := os.Remove(filepath.Join(currentSnapDir(t, dir), "m#p3.dltab")); err != nil {
+		t.Fatal(err)
+	}
+	e3 := NewEngine()
+	if err := e3.LoadDir(dir); err == nil {
 		t.Fatal("load with a missing partition child should fail")
 	}
-	if len(e2.Catalog.Names()) != 0 || len(e2.Catalog.PartitionedNames()) != 0 {
-		t.Fatalf("failed load left tables behind: %v %v", e2.Catalog.Names(), e2.Catalog.PartitionedNames())
+	if len(e3.Catalog.Names()) != 0 || len(e3.Catalog.PartitionedNames()) != 0 {
+		t.Fatalf("failed load left tables behind: %v %v", e3.Catalog.Names(), e3.Catalog.PartitionedNames())
 	}
-	if len(e2.Models.List()) != 0 {
+	if len(e3.Models.List()) != 0 {
 		t.Fatalf("failed load left models behind")
 	}
 }

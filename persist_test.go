@@ -1,6 +1,7 @@
 package datalaws
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -70,9 +71,35 @@ func TestSaveDirNoStagingLeftovers(t *testing.T) {
 	}
 }
 
+// currentSnapDir resolves the live snapshot directory a save published —
+// where tests plant corruption that LoadDir must detect.
+func currentSnapDir(t *testing.T, dir string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, strings.TrimSpace(string(b)))
+}
+
+// obstructNextSnap plants a regular file where the next snapshot directory
+// must land, so the commit rename fails.
+func obstructNextSnap(t *testing.T, dir string) string {
+	t.Helper()
+	id, err := nextSnapID(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, snapDirName(id))
+	if err := os.WriteFile(p, []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // TestSaveDirCrashSafe is the satellite bugfix: a failing save must leave
-// the previous good state loadable, because the write happens in a staging
-// directory and only publishes via rename.
+// the previous good state loadable, because the snapshot publishes through
+// a single directory rename plus a CURRENT pointer swap.
 func TestSaveDirCrashSafe(t *testing.T) {
 	dir := t.TempDir()
 	e1, _ := loadLOFAR(t, 5, 20)
@@ -83,23 +110,23 @@ func TestSaveDirCrashSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A second engine tries to save a table whose target name is obstructed
-	// by a directory: the rename must fail, and nothing already on disk may
-	// be harmed.
+	// A second engine saves while the next snapshot name is obstructed by a
+	// stray file: the commit rename must fail with ErrObstructed, and the
+	// published snapshot may not be harmed.
 	e2 := NewEngine()
 	e2.MustExec("CREATE TABLE blocked (a BIGINT)")
 	e2.MustExec("INSERT INTO blocked VALUES (1)")
-	if err := os.Mkdir(filepath.Join(dir, "blocked.dltab"), 0o755); err != nil {
-		t.Fatal(err)
+	obst := obstructNextSnap(t, dir)
+	err := e2.SaveDir(dir)
+	if err == nil {
+		t.Fatal("save over an obstructed snapshot name should fail")
 	}
-	if err := e2.SaveDir(dir); err == nil {
-		t.Fatal("save over an obstructed name should fail")
-	}
-	if err := os.Remove(filepath.Join(dir, "blocked.dltab")); err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrObstructed) {
+		t.Fatalf("err = %v, want ErrObstructed", err)
 	}
 
-	// The previous good state survives the failed save intact.
+	// The previous good state survives the failed save intact — even with
+	// the obstruction still in place.
 	e3 := NewEngine()
 	if err := e3.LoadDir(dir); err != nil {
 		t.Fatal(err)
@@ -118,6 +145,21 @@ func TestSaveDirCrashSafe(t *testing.T) {
 	if _, ok := e3.Catalog.Get("blocked"); ok {
 		t.Fatal("failed save published its table")
 	}
+
+	// Clearing the obstruction lets the save through.
+	if err := os.Remove(obst); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	e4 := NewEngine()
+	if err := e4.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e4.Catalog.Get("blocked"); !ok {
+		t.Fatal("retried save not published")
+	}
 }
 
 // TestLoadDirAtomicOnCorruptModels is the satellite bugfix: an error
@@ -128,7 +170,7 @@ func TestLoadDirAtomicOnCorruptModels(t *testing.T) {
 	if err := e1.SaveDir(dir); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "models.json"), []byte("{corrupt"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(currentSnapDir(t, dir), "models.json"), []byte("{corrupt"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	e2 := NewEngine()
@@ -153,7 +195,7 @@ func TestLoadDirAtomicOnCorruptTable(t *testing.T) {
 	}
 	// "zzz" sorts after "measurements", so a naive incremental load would
 	// have committed the good table before hitting the corrupt one.
-	if err := os.WriteFile(filepath.Join(dir, "zzz.dltab"), []byte("not a table"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(currentSnapDir(t, dir), "zzz.dltab"), []byte("not a table"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	e2 := NewEngine()

@@ -34,6 +34,12 @@ fi
 if [ "$pattern" = "partition" ]; then
   pattern='PartitionPruning'
 fi
+# Shorthand for write-ahead-log group commit: append throughput across
+# 1/4/16 concurrent committers, with a real fsync per group vs a no-op one
+# (the spread between the two is what group commit amortizes).
+if [ "$pattern" = "wal" ]; then
+  pattern='GroupCommit'
+fi
 outdir="bench-results"
 mkdir -p "$outdir"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"

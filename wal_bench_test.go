@@ -1,0 +1,78 @@
+package datalaws
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/wal"
+)
+
+// BenchmarkGroupCommit measures write-ahead-log append throughput as the
+// number of concurrent committers grows, against a real filesystem (every
+// commit group pays an fsync) and against the in-memory FS (fsync is a
+// memcpy): the spread between the two is the cost group commit exists to
+// amortize, and the records-per-fsync metric shows how well it does —
+// with one caller every record buys its own fsync, with 16 a single fsync
+// covers most of a group.
+func BenchmarkGroupCommit(b *testing.B) {
+	rec := &wal.Record{
+		Type:  wal.TypeAppend,
+		Table: "t",
+		Rows: [][]expr.Value{
+			{expr.Int(1), expr.Float(1.5), expr.Float(3.2)},
+			{expr.Int(2), expr.Float(2.5), expr.Float(5.9)},
+		},
+	}
+	for _, mode := range []struct {
+		name string
+		open func(b *testing.B) *wal.Log
+	}{
+		{"fsync=real", func(b *testing.B) *wal.Log {
+			l, err := wal.Open(b.TempDir(), 0, wal.Config{}, func(*wal.Record) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			return l
+		}},
+		{"fsync=noop", func(b *testing.B) *wal.Log {
+			l, err := wal.Open("benchwal", 0, wal.Config{FS: wal.NewMemFS()}, func(*wal.Record) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			return l
+		}},
+	} {
+		for _, callers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/callers=%d", mode.name, callers), func(b *testing.B) {
+				l := mode.open(b)
+				defer l.Close()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < callers; c++ {
+					n := b.N / callers
+					if c < b.N%callers {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if err := l.Append(rec); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				st := l.Stats()
+				if st.Syncs > 0 {
+					b.ReportMetric(float64(st.Records)/float64(st.Syncs), "records/fsync")
+				}
+			})
+		}
+	}
+}
