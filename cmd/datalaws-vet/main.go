@@ -1,0 +1,117 @@
+// Command datalaws-vet runs the project's invariant analyzers — walgate,
+// snapshotread, ctxloop, ioerrsink (see internal/analysis) — over Go
+// packages. It speaks both of go vet's dialects:
+//
+//	datalaws-vet [-tags taglist] ./...          # standalone, loads packages itself
+//	go vet -vettool=$(pwd)/bin/datalaws-vet ./... # driven by the go command
+//
+// Exit status: 0 clean, 1 internal error, 2 diagnostics reported.
+// scripts/vet.sh wraps the full local sweep (plain and faultinject trees)
+// and matches what CI runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datalaws/internal/analysis"
+	"datalaws/internal/analysis/passes/ctxloop"
+	"datalaws/internal/analysis/passes/ioerrsink"
+	"datalaws/internal/analysis/passes/snapshotread"
+	"datalaws/internal/analysis/passes/walgate"
+)
+
+// suite is every analyzer the binary runs; order only affects -list output.
+var suite = []*analysis.Analyzer{
+	walgate.Analyzer,
+	snapshotread.Analyzer,
+	ctxloop.Analyzer,
+	ioerrsink.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("datalaws-vet", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print supported flags as JSON and exit (go vet protocol)")
+	tagsFlag := fs.String("tags", "", "comma-separated build tags (standalone mode)")
+	listFlag := fs.Bool("list", false, "list analyzers and their invariants, then exit")
+	jsonIgnored := fs.Bool("json", false, "accepted for go vet compatibility (output stays textual)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: datalaws-vet [-tags taglist] packages...\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=/path/to/datalaws-vet packages...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 1
+	}
+	_ = jsonIgnored
+
+	if *versionFlag != "" {
+		if err := analysis.PrintVersion(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "datalaws-vet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *flagsFlag {
+		if err := analysis.PrintFlags(os.Stdout, fs); err != nil {
+			return 1
+		}
+		return 0
+	}
+	if *listFlag {
+		for _, a := range suite {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		return 1
+	}
+
+	// go vet unit mode: a single *.cfg argument per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		findings, err := analysis.RunUnit(args[0], suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datalaws-vet: %v\n", err)
+			return 1
+		}
+		return report(findings)
+	}
+
+	// Standalone mode: load the module's packages ourselves.
+	var tags []string
+	if *tagsFlag != "" {
+		tags = strings.Split(*tagsFlag, ",")
+	}
+	pkgs, err := analysis.LoadPackages(".", tags, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datalaws-vet: %v\n", err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datalaws-vet: %v\n", err)
+		return 1
+	}
+	return report(findings)
+}
+
+func report(findings []analysis.Finding) int {
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -485,7 +485,11 @@ func (e *Engine) execExplain(s *sql.ExplainStmt) (*Result, error) {
 	return &Result{Info: "exact plan\n" + exec.PlanString(op)}, nil
 }
 
-// RegisterTable adds an externally built table to the catalog.
+// RegisterTable adds an externally built table to the catalog. It is the
+// documented pre-WAL escape hatch (see wal_engine.go): tables registered this
+// way are not replayable from the log and callers own their persistence.
+//
+//lint:ignore walgate RegisterTable predates AttachWAL by contract; registration is deliberately unlogged
 func (e *Engine) RegisterTable(t *table.Table) error { return e.Catalog.Add(t) }
 
 // execOptions bundles the engine's exact-pipeline execution knobs.

@@ -46,14 +46,11 @@ func main() {
 	exact := eng.MustExec("SELECT avg(revenue) FROM sales WHERE day >= 365").Rows[0][0].F
 	approx := eng.MustExec("APPROX SELECT avg(revenue) FROM sales WHERE day >= 365").Rows[0][0].F
 
-	rev, err := tb.FloatColumn("revenue")
+	_, _, salesCols, err := tb.ModelView("", []string{"revenue", "day"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	days, err := tb.FloatColumn("day")
-	if err != nil {
-		log.Fatal(err)
-	}
+	rev, days := salesCols[0], salesCols[1]
 	m, _ := eng.Models.Get("growth")
 	buckets := m.ParamSizeBytes() / 24 // equal storage budget
 	h, err := histsyn.BuildEquiWidth(days, buckets)

@@ -66,7 +66,7 @@ func (e *Engine) appendNamed(name string, rows [][]expr.Value) (int, error) {
 // in-memory half of an append, shared by the live path and WAL replay.
 func (e *Engine) applyAppend(name string, rows [][]expr.Value) (int, error) {
 	if pt, ok := e.Catalog.GetPartitioned(name); ok {
-		return e.appendPartitioned(pt, rows)
+		return e.applyAppendPartitioned(pt, rows)
 	}
 	t, err := e.Catalog.Lookup(name)
 	if err != nil {
@@ -77,11 +77,11 @@ func (e *Engine) applyAppend(name string, rows [][]expr.Value) (int, error) {
 	return n, err
 }
 
-// appendPartitioned routes a batch across a partitioned table's children,
+// applyAppendPartitioned routes a batch across a partitioned table's children,
 // one child-lock acquisition per touched partition, feeding each partition's
 // slice of the batch through drift detection — per-partition models
 // accumulate evidence only for rows that landed in their regime.
-func (e *Engine) appendPartitioned(pt *table.PartitionedTable, rows [][]expr.Value) (int, error) {
+func (e *Engine) applyAppendPartitioned(pt *table.PartitionedTable, rows [][]expr.Value) (int, error) {
 	batches, err := pt.RouteRows(rows)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// applyOn parses src, fabricates one walgate diagnostic per line containing
+// the marker "DIAG", and runs ApplyIgnores over the result.
+func applyOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	tf := fset.File(f.Pos())
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "DIAG") {
+			diags = append(diags, Diagnostic{Pos: tf.LineStart(i + 1), Category: "walgate", Message: "seeded"})
+		}
+	}
+	return ApplyIgnores(fset, []*ast.File{f}, diags)
+}
+
+func categories(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Category)
+	}
+	return out
+}
+
+func TestIgnoreSuppressesLineBelow(t *testing.T) {
+	got := applyOn(t, `package p
+
+func f() {
+	//lint:ignore walgate the call is intentionally unlogged
+	_ = 1 // DIAG
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no surviving diagnostics, got %v", categories(got))
+	}
+}
+
+func TestIgnoreRequiresMatchingCategory(t *testing.T) {
+	got := applyOn(t, `package p
+
+func f() {
+	//lint:ignore ctxloop reason that names a different analyzer
+	_ = 1 // DIAG
+}
+`)
+	// The walgate diagnostic survives, and the ctxloop directive is stale.
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics (survivor + stale directive), got %v", categories(got))
+	}
+	if got[0].Category != "walgate" || got[1].Category != "lint-directive" {
+		t.Fatalf("unexpected categories %v", categories(got))
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	got := applyOn(t, `package p
+
+func f() {
+	//lint:ignore walgate
+	_ = 1 // DIAG
+}
+`)
+	// A reason-less directive suppresses nothing and is itself reported.
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics (survivor + malformed directive), got %v", categories(got))
+	}
+	foundMalformed := false
+	for _, d := range got {
+		if d.Category == "lint-directive" && strings.Contains(d.Message, "missing its reason") {
+			foundMalformed = true
+		}
+	}
+	if !foundMalformed {
+		t.Fatalf("malformed directive not reported: %v", got)
+	}
+}
+
+func TestStaleDirectiveReported(t *testing.T) {
+	got := applyOn(t, `package p
+
+func f() {
+	//lint:ignore walgate nothing on the next line actually triggers
+	_ = 1
+}
+`)
+	if len(got) != 1 || got[0].Category != "lint-directive" ||
+		!strings.Contains(got[0].Message, "suppresses nothing") {
+		t.Fatalf("stale directive not reported: %v", got)
+	}
+}
+
+func TestMultiAnalyzerDirective(t *testing.T) {
+	got := applyOn(t, `package p
+
+func f() {
+	//lint:ignore snapshotread,walgate one directive can name several analyzers
+	_ = 1 // DIAG
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no surviving diagnostics, got %v", categories(got))
+	}
+}

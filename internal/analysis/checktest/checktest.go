@@ -1,0 +1,192 @@
+// Package checktest runs an analyzer over a testdata source tree and
+// compares its diagnostics against inline `// want "regex"` annotations —
+// the analysistest contract, implemented on the stdlib so fixtures typecheck
+// fully offline.
+//
+// Fixtures live under <testdata>/src/<import/path>/. Imports resolve
+// recursively inside the same tree, so a fixture that needs a stdlib or
+// engine package imports a stub with the same import path (e.g.
+// testdata/src/os, testdata/src/datalaws): analyzers match packages by path,
+// so stubs exercise exactly the same code paths as the real dependencies
+// without requiring export data.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"datalaws/internal/analysis"
+)
+
+// Run analyzes the fixture package at <testdata>/src/<pkgPath> and reports
+// any mismatch between produced diagnostics and `// want` annotations as
+// test failures. Build-tagged fixture files are selected by tags.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string, tags ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := &srcImporter{
+		fset:   fset,
+		srcDir: filepath.Join(testdata, "src"),
+		tags:   tags,
+		pkgs:   map[string]*typedPkg{},
+	}
+	tp, err := im.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture package %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     tp.files,
+		Pkg:       tp.pkg,
+		TypesInfo: tp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	diags = analysis.ApplyIgnores(fset, tp.files, diags)
+
+	wants := collectWants(t, fset, tp.files)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if !claimWant(wants, p.Filename, p.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", p, d.Message, d.Category)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: no diagnostic matched `want %q`", w.file, w.line, w.rx.String())
+		}
+	}
+}
+
+// want is one expectation parsed from a `// want "rx"` comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	claimed bool
+}
+
+// wantRe captures each quoted or backquoted pattern after the want marker.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses every `// want` annotation; the expectation anchors to
+// the comment's own line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || i < 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, lit := range wantRe.FindAllString(text[i+len("want "):], -1) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", p, lit, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", p, pat, err)
+					}
+					wants = append(wants, &want{file: p.Filename, line: p.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant consumes the first unclaimed expectation on the diagnostic's
+// line whose pattern matches the message.
+func claimWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// typedPkg is one typechecked fixture package.
+type typedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// srcImporter typechecks fixture packages from source, resolving every
+// import inside the same testdata/src tree.
+type srcImporter struct {
+	fset    *token.FileSet
+	srcDir  string
+	tags    []string
+	pkgs    map[string]*typedPkg
+	loading []string // active load stack, for cycle reporting
+}
+
+// Import implements types.Importer for the typechecker's recursive loads.
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	tp, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return tp.pkg, nil
+}
+
+func (im *srcImporter) load(path string) (*typedPkg, error) {
+	if tp, ok := im.pkgs[path]; ok {
+		return tp, nil
+	}
+	for _, active := range im.loading {
+		if active == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	im.loading = append(im.loading, path)
+	defer func() { im.loading = im.loading[:len(im.loading)-1] }()
+
+	ctxt := build.Default
+	ctxt.BuildTags = im.tags
+	ctxt.CgoEnabled = false
+	dir := filepath.Join(im.srcDir, filepath.FromSlash(path))
+	bp, err := ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
+	}
+	tp := &typedPkg{pkg: pkg, files: files, info: info}
+	im.pkgs[path] = tp
+	return tp, nil
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The standalone loader: `go list -export -json -deps` enumerates the
+// module's packages plus every dependency's compiled export data, and each
+// module package is parsed from source and typechecked against that export
+// data — the same inputs `go vet` hands a vettool, without needing go vet to
+// drive. Works fully offline (the module has no external dependencies; the
+// toolchain builds stdlib export data into the local build cache on demand).
+
+// LoadedPackage is one typechecked module package ready for analysis.
+type LoadedPackage struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	Incomplete bool
+}
+
+// LoadPackages lists patterns (honoring build tags) and typechecks every
+// package belonging to the current module.
+func LoadPackages(dir string, tags []string, patterns ...string) ([]*LoadedPackage, error) {
+	args := []string{"list", "-e", "-export", "-json", "-deps"}
+	if len(tags) > 0 {
+		args = append(args, "-tags", strings.Join(tags, ","))
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var targets []*listedPkg
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.Standard && (p.ImportPath == modPath || strings.HasPrefix(p.ImportPath, modPath+"/")) {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, importMap, exports)
+	var pkgs []*LoadedPackage
+	for _, t := range targets {
+		lp, err := typecheckFiles(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports through compiled export data, exactly as
+// the compiler would: source import path → ImportMap → export file.
+func exportImporter(fset *token.FileSet, importMap, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if to, ok := importMap[path]; ok {
+			path = to
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typecheckFiles parses and typechecks one package from source against
+// export-data imports.
+func typecheckFiles(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", pkgPath, err)
+	}
+	return &LoadedPackage{PkgPath: pkgPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func modulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Finding is one positioned diagnostic from a run over loaded packages.
+type Finding struct {
+	Position token.Position
+	Category string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Category)
+}
+
+// RunAnalyzers applies every analyzer to every package, filters test-file
+// diagnostics and //lint:ignore suppressions, and returns position-sorted
+// findings.
+func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, p := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, p.PkgPath, err)
+			}
+		}
+		for _, d := range ApplyIgnores(p.Fset, p.Files, diags) {
+			if IsTestFile(p.Fset, d.Pos) {
+				continue
+			}
+			findings = append(findings, Finding{Position: p.Fset.Position(d.Pos), Category: d.Category, Message: d.Message})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

@@ -1,0 +1,215 @@
+// Package ctxloop enforces cancellation in the executor's pull loops: a
+// loop in internal/exec or internal/aqp that pulls rows/batches or claims
+// morsels must either observe cancellation directly (Interruptible check,
+// ctx.Err, ctx.Done) or propagate it by checking the error every pull
+// returns.
+//
+// The invariant comes from the session PR's cancellation design: leaf
+// operators (scans, model scans, morsel claimers) embed exec.Interruptible
+// and check the statement context; interior operators inherit cancellation
+// because a canceled leaf surfaces an error that each drain loop must
+// propagate. A pull loop that neither checks the context nor looks at the
+// pulled error is a pipeline that outlives its canceled statement — the
+// exact bug class Ctrl-C in the REPL and Rows.Close exist to prevent.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"datalaws/internal/analysis"
+)
+
+// Analyzer flags executor loops that pull data without observing
+// cancellation.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: `executor pull loops must observe cancellation
+
+Applies to datalaws/internal/exec and datalaws/internal/aqp. A for/range
+loop whose body pulls data — calls a 2-result (value, error) method named
+Next/NextBatch, or claims work via NextMorsel — must contain either a
+cancellation check (CheckInterrupt/CheckInterruptNow, ctx.Err(), ctx.Done())
+or bind and thereby propagate every pull's error result (non-blank). Morsel
+claims return no error, so claim loops always need the explicit check.`,
+	Run: run,
+}
+
+// scoped packages: the execution engine layers whose loops drive query
+// pipelines.
+var scoped = map[string]bool{
+	"datalaws/internal/exec": true,
+	"datalaws/internal/aqp":  true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scoped[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var cond ast.Node
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body, cond = l.Body, l.Cond
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			checkLoop(pass, n, cond, body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkLoop(pass *analysis.Pass, loop ast.Node, cond ast.Node, body *ast.BlockStmt) {
+	var pulls []*ast.CallExpr // Next/NextBatch calls, error-propagating
+	var claims []*ast.CallExpr
+	checked := false
+
+	inspect := func(n ast.Node) bool {
+		// Nested loops run their own checkLoop; their bodies still count
+		// toward this loop's pulls and checks (a check anywhere under the
+		// outer body bounds the outer iteration too, conservatively).
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCancellationCheck(pass.TypesInfo, call) {
+			checked = true
+			return true
+		}
+		switch kind := pullKind(pass.TypesInfo, call); kind {
+		case pullErr:
+			pulls = append(pulls, call)
+		case pullClaim:
+			claims = append(claims, call)
+		}
+		return true
+	}
+	if cond != nil {
+		ast.Inspect(cond, inspect)
+	}
+	ast.Inspect(body, inspect)
+
+	if checked || (len(pulls) == 0 && len(claims) == 0) {
+		return
+	}
+	if len(claims) > 0 {
+		pass.Reportf(loop.Pos(),
+			"loop claims morsels via %s without a cancellation check; NextMorsel returns no error, so add a CheckInterrupt/ctx.Err check in the loop body",
+			callName(claims[0]))
+		return
+	}
+	// Error-returning pulls propagate a canceled leaf's error — but only if
+	// the loop actually binds the error.
+	for _, p := range pulls {
+		if !errBound(pass.TypesInfo, body, cond, p) {
+			pass.Reportf(loop.Pos(),
+				"loop pulls via %s without observing cancellation: no CheckInterrupt/ctx.Err check and the pull's error result is not bound, so a canceled statement cannot stop this loop",
+				callName(p))
+			return
+		}
+	}
+}
+
+type pullClass int
+
+const (
+	pullNone  pullClass = iota
+	pullErr             // (value, error) pull: Next/NextBatch
+	pullClaim           // NextMorsel: no error result
+)
+
+// pullKind classifies a call as a data pull. Matching is by method name and
+// result shape rather than a closed interface list: any operator-shaped
+// Next/NextBatch in the executor packages is a pull, including ones added
+// after this analyzer.
+func pullKind(info *types.Info, call *ast.CallExpr) pullClass {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return pullNone
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return pullNone
+	}
+	sig, ok := s.Obj().Type().(*types.Signature)
+	if !ok {
+		return pullNone
+	}
+	switch sel.Sel.Name {
+	case "Next", "NextBatch":
+		res := sig.Results()
+		if res.Len() == 2 && isErrorType(res.At(1).Type()) {
+			return pullErr
+		}
+	case "NextMorsel":
+		return pullClaim
+	}
+	return pullNone
+}
+
+// isCancellationCheck matches the accepted ways a loop observes its
+// context: the Interruptible hooks, ctx.Err(), and ctx.Done().
+func isCancellationCheck(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "CheckInterrupt", "CheckInterruptNow":
+		if pkg, _, _, ok := analysis.NamedReceiver(info, call); ok {
+			return pkg == "datalaws/internal/exec" || pkg == "datalaws/internal/aqp"
+		}
+		return false
+	case "Err", "Done":
+		if s, ok := info.Selections[sel]; ok {
+			return analysis.IsNamedType(s.Recv(), "context", "Context")
+		}
+		if tv, ok := info.Types[sel.X]; ok {
+			return analysis.IsNamedType(tv.Type, "context", "Context")
+		}
+	}
+	return false
+}
+
+// errBound reports whether the pull call's error result is bound to a
+// non-blank variable, i.e. the loop can see a canceled leaf's error. The
+// call must be the sole RHS of a 2-value assignment (including the init of
+// an if/for statement); any other use discards the error.
+func errBound(info *types.Info, body *ast.BlockStmt, cond ast.Node, pull *ast.CallExpr) bool {
+	bound := false
+	check := func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(asg.Rhs) != 1 || asg.Rhs[0] != pull || len(asg.Lhs) != 2 {
+			return true
+		}
+		if id, ok := asg.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			bound = true
+		}
+		return true
+	}
+	ast.Inspect(body, check)
+	if cond != nil {
+		ast.Inspect(cond, check)
+	}
+	return bound
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error"
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,18 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"datalaws/internal/analysis/checktest"
+	"datalaws/internal/analysis/passes/ctxloop"
+)
+
+func TestExecLoops(t *testing.T) {
+	checktest.Run(t, "testdata", ctxloop.Analyzer, "datalaws/internal/exec")
+}
+
+// TestOutOfScope proves the analyzer only fires inside the executor
+// packages.
+func TestOutOfScope(t *testing.T) {
+	checktest.Run(t, "testdata", ctxloop.Analyzer, "plain")
+}

@@ -1,0 +1,10 @@
+// Stub of the stdlib context package: ctxloop recognizes ctx.Err()/ctx.Done()
+// by the named type context.Context, which this stub provides without
+// needing stdlib export data.
+package context
+
+// Context is the cancellation carrier stub.
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}

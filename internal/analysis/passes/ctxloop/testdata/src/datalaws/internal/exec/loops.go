@@ -1,0 +1,114 @@
+// Fixture for ctxloop: pull loops in the executor must observe cancellation
+// either directly (CheckInterrupt, ctx.Err, ctx.Done) or by binding every
+// pull's error result.
+package exec
+
+import "context"
+
+type batch struct{}
+
+type operator struct{}
+
+func (o *operator) NextBatch() (*batch, error) { return nil, nil }
+
+type rowSource struct{}
+
+func (r *rowSource) Next() ([]interface{}, error) { return nil, nil }
+
+type morselSource struct{}
+
+func (m *morselSource) NextMorsel() (int, bool) { return 0, false }
+
+// Interruptible mirrors the real cancellation hook.
+type Interruptible struct{}
+
+// CheckInterrupt mirrors the real hook's shape.
+func (i *Interruptible) CheckInterrupt() error { return nil }
+
+// Morsel claims return no error, so a bare claim loop cannot stop.
+func claimUnchecked(s *morselSource) {
+	for { // want `loop claims morsels via NextMorsel without a cancellation check`
+		_, ok := s.NextMorsel()
+		if !ok {
+			return
+		}
+	}
+}
+
+// ctx.Err in the body bounds the loop.
+func claimCtx(ctx context.Context, s *morselSource) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		_, ok := s.NextMorsel()
+		if !ok {
+			return
+		}
+	}
+}
+
+// The Interruptible hook bounds the loop too.
+func claimInterruptible(in *Interruptible, s *morselSource) {
+	for {
+		if err := in.CheckInterrupt(); err != nil {
+			return
+		}
+		_, ok := s.NextMorsel()
+		if !ok {
+			return
+		}
+	}
+}
+
+// Binding the pull's error propagates a canceled leaf.
+func drainBound(o *operator) error {
+	for {
+		b, err := o.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+	}
+}
+
+// Discarding the error severs the only cancellation path.
+func drainDiscarded(o *operator) {
+	for { // want `loop pulls via NextBatch without observing cancellation`
+		b, _ := o.NextBatch()
+		if b == nil {
+			return
+		}
+	}
+}
+
+// Row pulls follow the same rule.
+func drainRowsDiscarded(r *rowSource) {
+	for { // want `loop pulls via Next without observing cancellation`
+		row, _ := r.Next()
+		if row == nil {
+			return
+		}
+	}
+}
+
+// A range loop that pulls inside its body is still a pull loop.
+func drainRange(os []*operator) {
+	for range os { // want `loop pulls via NextBatch without observing cancellation`
+		b, _ := os[0].NextBatch()
+		_ = b
+	}
+}
+
+// A documented suppression is honored.
+func claimSuppressed(s *morselSource) {
+	//lint:ignore ctxloop fixture source is bounded and local; loop terminates without cancellation
+	for {
+		_, ok := s.NextMorsel()
+		if !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Fixture proving ctxloop is scoped to the executor packages: identical
+// loop shapes elsewhere are not flagged.
+package plain
+
+type source struct{}
+
+func (s *source) NextMorsel() (int, bool) { return 0, false }
+
+func drain(s *source) {
+	for {
+		_, ok := s.NextMorsel()
+		if !ok {
+			return
+		}
+	}
+}

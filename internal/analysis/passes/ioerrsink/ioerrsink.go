@@ -1,0 +1,226 @@
+// Package ioerrsink enforces the WAL's error-poisoning contract at its
+// edges: I/O errors from the log's filesystem surface and the snapshot
+// commit path must never be silently dropped or overwritten before they are
+// observed.
+//
+// The durability PR made the log poison itself after any write or fsync
+// error — later mutations fail loudly with the original error instead of
+// silently going unlogged. That guarantee only holds if every error those
+// I/O calls return actually reaches the poisoning logic: one bare
+// `f.Sync()` statement reintroduces the silent-loss bug class the WAL
+// exists to kill.
+package ioerrsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"datalaws/internal/analysis"
+)
+
+// Analyzer flags dropped and shadowed I/O errors in the WAL and snapshot
+// persistence paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "ioerrsink",
+	Doc: `WAL and snapshot I/O errors must not be dropped or shadowed
+
+Applies to datalaws/internal/wal and the engine's persist.go/wal_engine.go.
+Flagged calls: methods of the wal filesystem surface (Sync, Close, Write,
+SyncDir, Truncate, Remove, MkdirAll, Rotate, ReclaimBelow) on wal-declared
+types and *os.File, plus os.Rename/os.Remove/os.Truncate. A diagnostic is
+raised when such a call's error is silently discarded — used as a bare
+statement, or assigned to an error variable that is overwritten before it
+is read. An explicit "_ = f.Close()" is an audited drop and is allowed (it
+is greppable and visibly deliberate); "defer f.Close()" on read-side
+handles is conventional and exempt, but deferring Sync-class calls is not.`,
+	Run: run,
+}
+
+// flaggedMethods on wal types and *os.File.
+var flaggedMethods = map[string]bool{
+	"Sync": true, "Close": true, "Write": true, "SyncDir": true,
+	"Truncate": true, "Remove": true, "MkdirAll": true,
+	"Rotate": true, "ReclaimBelow": true,
+}
+
+// flaggedOsFuncs are package-level os functions in the commit path.
+var flaggedOsFuncs = map[string]bool{
+	"Rename": true, "Remove": true, "Truncate": true,
+}
+
+// scopedFile reports whether diagnostics apply to this package/file. The
+// wal package is fully in scope; in the engine package only the snapshot
+// and WAL wiring files are (the invariant is about the durability path, not
+// every Close in the codebase).
+func scopedFile(pkgPath, filename string) bool {
+	if pkgPath == "datalaws/internal/wal" {
+		return true
+	}
+	if pkgPath != "datalaws" {
+		return false
+	}
+	base := filename
+	for i := len(filename) - 1; i >= 0; i-- {
+		if filename[i] == '/' {
+			base = filename[i+1:]
+			break
+		}
+	}
+	return base == "persist.go" || base == "wal_engine.go"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pkgPath := pass.Pkg.Path()
+	if pkgPath != "datalaws/internal/wal" && pkgPath != "datalaws" {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if !scopedFile(pkgPath, pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, hit := flaggedCall(pass.TypesInfo, call); hit {
+						pass.Reportf(call.Pos(),
+							"%s returns an I/O error that is silently dropped; check it (or make the drop explicit and audited with `_ = %s`)",
+							name, name)
+					}
+				}
+			case *ast.DeferStmt:
+				name, hit := flaggedCall(pass.TypesInfo, st.Call)
+				if hit && !isDeferredClose(st.Call) {
+					pass.Reportf(st.Call.Pos(),
+						"deferred %s drops its I/O error; sync-class failures must reach the poisoning/commit logic — call it inline and check the error", name)
+				}
+			case *ast.BlockStmt:
+				checkShadowing(pass, st)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// flaggedCall reports whether call is in the flagged I/O set and returns a
+// printable name for it.
+func flaggedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if pkg, typ, method, ok := analysis.NamedReceiver(info, call); ok {
+		if !flaggedMethods[method] {
+			return "", false
+		}
+		if pkg == "datalaws/internal/wal" || (pkg == "os" && typ == "File") {
+			return typ + "." + method, true
+		}
+		return "", false
+	}
+	if pkg, name, ok := analysis.PkgFunc(info, call); ok && pkg == "os" && flaggedOsFuncs[name] {
+		return "os." + name, true
+	}
+	return "", false
+}
+
+// isDeferredClose matches the conventional `defer f.Close()` shape, which
+// is exempt: write-path handles in this codebase close inline before their
+// contents are published (the writeFileSynced pattern), so surviving defers
+// are read-side cleanup whose Close error carries no durability meaning.
+func isDeferredClose(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Close"
+}
+
+// checkShadowing flags block-local error shadowing: an error variable
+// assigned from a flagged call and then overwritten before any read. The
+// scan is linear within one block — exactly the copy-paste shape
+// (`err = a.Sync(); err = b.Close()`) that loses the first failure.
+func checkShadowing(pass *analysis.Pass, block *ast.BlockStmt) {
+	type pendingWrite struct {
+		obj  types.Object
+		call *ast.CallExpr
+		name string
+	}
+	var pending []pendingWrite
+	for _, stmt := range block.List {
+		asg, isAsg := stmt.(*ast.AssignStmt)
+
+		// Any use of a pending error variable in this statement clears it —
+		// except its own plain reassignment target position.
+		used := map[types.Object]bool{}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if isAsg && asg.Tok.String() == "=" {
+				for _, lhs := range asg.Lhs {
+					if lhs == n {
+						return true
+					}
+				}
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				used[obj] = true
+			}
+			return true
+		})
+		var kept []pendingWrite
+		for _, p := range pending {
+			if used[p.obj] {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pending = kept
+
+		if !isAsg {
+			continue
+		}
+		// An overwrite of a still-pending error variable is the shadow.
+		if asg.Tok.String() == "=" {
+			for _, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					continue
+				}
+				var kept2 []pendingWrite
+				for _, p := range pending {
+					if p.obj == obj {
+						pass.Reportf(p.call.Pos(),
+							"error from %s is overwritten before it is read; the first failure is lost to the poisoning/commit logic", p.name)
+						continue
+					}
+					kept2 = append(kept2, p)
+				}
+				pending = kept2
+			}
+		}
+		// A flagged call assigned into a plain error variable becomes
+		// pending until read.
+		if len(asg.Rhs) == 1 {
+			if call, ok := asg.Rhs[0].(*ast.CallExpr); ok {
+				if name, hit := flaggedCall(pass.TypesInfo, call); hit {
+					if id, ok := asg.Lhs[len(asg.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+						var obj types.Object
+						if asg.Tok.String() == "=" {
+							obj = pass.TypesInfo.Uses[id]
+						} else {
+							obj = pass.TypesInfo.Defs[id]
+						}
+						if obj != nil && isErrorVar(obj) {
+							pending = append(pending, pendingWrite{obj: obj, call: call, name: name})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func isErrorVar(obj types.Object) bool {
+	return obj.Type() != nil && obj.Type().String() == "error"
+}

@@ -1,0 +1,25 @@
+package ioerrsink_test
+
+import (
+	"testing"
+
+	"datalaws/internal/analysis/checktest"
+	"datalaws/internal/analysis/passes/ioerrsink"
+)
+
+func TestWal(t *testing.T) {
+	checktest.Run(t, "testdata", ioerrsink.Analyzer, "datalaws/internal/wal")
+}
+
+// TestWalFaultinject proves the analyzer covers the build-tagged
+// fault-injection tree: fault.go only exists under -tags faultinject, and
+// its seeded drop must be found there (TestWal above proves the plain tree
+// excludes it).
+func TestWalFaultinject(t *testing.T) {
+	checktest.Run(t, "testdata", ioerrsink.Analyzer, "datalaws/internal/wal", "faultinject")
+}
+
+// TestEngine covers the persist.go-only scoping inside the engine package.
+func TestEngine(t *testing.T) {
+	checktest.Run(t, "testdata", ioerrsink.Analyzer, "datalaws")
+}

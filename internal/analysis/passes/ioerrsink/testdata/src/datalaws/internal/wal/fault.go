@@ -1,0 +1,9 @@
+//go:build faultinject
+
+// Build-tagged fixture: the fault-injection tree is part of the durability
+// path too, and the analyzer must see it when run with -tags faultinject.
+package wal
+
+func faultPartialWrite(f *File, p []byte) {
+	f.Write(p) // want `File\.Write returns an I/O error that is silently dropped`
+}

@@ -1,0 +1,67 @@
+// Fixture for ioerrsink inside the wal package: every file here is in the
+// durability path, and wal-declared types carry the flagged method set.
+package wal
+
+// File is the log file surface stub.
+type File struct{}
+
+// Close returns an I/O error.
+func (f *File) Close() error { return nil }
+
+// Sync returns an I/O error.
+func (f *File) Sync() error { return nil }
+
+// Write returns an I/O error.
+func (f *File) Write(p []byte) (int, error) { return 0, nil }
+
+// FS is the filesystem surface stub.
+type FS struct{}
+
+// SyncDir returns an I/O error.
+func (fs *FS) SyncDir(dir string) error { return nil }
+
+func bareDrop(f *File) {
+	f.Sync() // want `File\.Sync returns an I/O error that is silently dropped`
+}
+
+func bareDropFS(fs *FS) {
+	fs.SyncDir("d") // want `FS\.SyncDir returns an I/O error that is silently dropped`
+}
+
+// An explicit blank assignment is an audited, greppable drop.
+func auditedDrop(f *File) {
+	_ = f.Close()
+}
+
+// defer f.Close() is the read-side convention and exempt.
+func deferredClose(f *File) error {
+	defer f.Close()
+	return nil
+}
+
+// Deferring a sync-class call loses the error that poisons the log.
+func deferredSync(f *File) {
+	defer f.Sync() // want `deferred File\.Sync drops its I/O error`
+}
+
+// Overwriting a pending error loses the first failure.
+func shadowed(a, b *File) error {
+	var err error
+	err = a.Sync() // want `error from File\.Sync is overwritten before it is read`
+	err = b.Close()
+	return err
+}
+
+// Checking each error before the next assignment is the correct shape.
+func sequential(a, b *File) error {
+	if err := a.Sync(); err != nil {
+		return err
+	}
+	return b.Close()
+}
+
+// A documented suppression is honored.
+func suppressedDrop(f *File) {
+	//lint:ignore ioerrsink fixture handle is memory-backed; its Sync cannot fail
+	f.Sync()
+}

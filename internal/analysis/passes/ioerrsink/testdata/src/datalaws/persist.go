@@ -1,0 +1,25 @@
+// Fixture for ioerrsink in the engine package: only persist.go and
+// wal_engine.go are in the durability path.
+package datalaws
+
+import "os"
+
+func publish(tmp, dst string) error {
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp) // want `os\.Remove returns an I/O error that is silently dropped`
+		return err
+	}
+	return nil
+}
+
+func publishAudited(tmp, dst string) error {
+	if err := os.Rename(tmp, dst); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func syncDropped(f *os.File) {
+	f.Sync() // want `File\.Sync returns an I/O error that is silently dropped`
+}

@@ -1,0 +1,22 @@
+// Stub of the stdlib os package: ioerrsink flags *os.File methods and the
+// rename/remove/truncate commit-path functions by import path, which this
+// stub provides without stdlib export data.
+package os
+
+// File is the os file handle stub.
+type File struct{}
+
+// Close returns an I/O error.
+func (f *File) Close() error { return nil }
+
+// Sync returns an I/O error.
+func (f *File) Sync() error { return nil }
+
+// Rename is part of the atomic-publish commit path.
+func Rename(oldpath, newpath string) error { return nil }
+
+// Remove is part of the commit path's cleanup.
+func Remove(name string) error { return nil }
+
+// Truncate is part of the commit path.
+func Truncate(name string, size int64) error { return nil }

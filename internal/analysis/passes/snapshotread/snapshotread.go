@@ -1,0 +1,138 @@
+// Package snapshotread enforces consistent cross-column reads: code that
+// reads more than one piece of a *table.Table's data must do so under a
+// single Snapshot() or View() callback, not through repeated accessor calls.
+//
+// Each accessor (Column, ColumnAt, FloatColumn, IntColumn, Row, NumRows)
+// takes and releases the table's read lock independently, so two calls can
+// observe different append states — the cross-column race the live-capture
+// PR fixed in fitSpec by introducing table.Snapshot: a fit that read column
+// A at version v and column B at version v+1 produced rows that never
+// coexisted. One accessor call is fine; the second one on the same table in
+// the same function is where the torn view becomes possible.
+package snapshotread
+
+import (
+	"go/ast"
+
+	"datalaws/internal/analysis"
+)
+
+// Analyzer flags functions reading multiple columns of one table without an
+// intervening Snapshot/View.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotread",
+	Doc: `cross-column table reads must happen under one Snapshot/View
+
+Within one function, a second data-accessor call (Column/ColumnAt/
+FloatColumn/IntColumn/Row) on the same *table.Table — or a data accessor
+combined with NumRows — is flagged: each call locks independently, so the
+pair can observe different append states. Rewrite the function to take
+table.Snapshot (data + row count + version under one lock) or table.View.
+The table package itself implements the accessors and is exempt.`,
+	Run: run,
+}
+
+// dataAccessors read column data; pairing any two is a potential torn view.
+var dataAccessors = map[string]bool{
+	"Column": true, "ColumnAt": true, "FloatColumn": true,
+	"IntColumn": true, "Row": true,
+}
+
+// metaAccessors read row-count metadata; torn only when combined with a
+// data accessor (e.g. NumRows sized against a column read separately).
+var metaAccessors = map[string]bool{
+	"NumRows": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == "datalaws/internal/table" {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// access is one accessor call on a table-valued receiver expression.
+type access struct {
+	call *ast.CallExpr
+	name string
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Accessor calls grouped by receiver expression spelling. Keying on the
+	// source text of the receiver ("t", "s.Table", "pt.Part(i)") is the
+	// pragmatic identity: two identical spellings in one function denote the
+	// same table in every realistic case, and differing spellings of one
+	// table merely under-approximate.
+	byRecv := map[string][]access{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if !dataAccessors[name] && !metaAccessors[name] {
+			return true
+		}
+		rpkg, rtype, _, ok := analysis.NamedReceiver(pass.TypesInfo, call)
+		if !ok || rpkg != "datalaws/internal/table" || rtype != "Table" {
+			return true
+		}
+		key := exprText(sel.X)
+		byRecv[key] = append(byRecv[key], access{call: call, name: name})
+		return true
+	})
+	for recv, accs := range byRecv {
+		data := 0
+		meta := 0
+		for _, a := range accs {
+			if dataAccessors[a.name] {
+				data++
+			} else {
+				meta++
+			}
+		}
+		if data < 1 || data+meta < 2 {
+			continue
+		}
+		// Report once per table, at the second access: the first lone read
+		// was consistent; the second is where the view can tear.
+		a := accs[1]
+		pass.Reportf(a.call.Pos(),
+			"%s() is the second separately-locked read of table %q in %s (%d data/%d metadata reads); combine them under one %s.Snapshot/View to avoid a torn cross-column view",
+			a.name, recv, fd.Name.Name, data, meta, recv)
+	}
+}
+
+// exprText renders a receiver expression back to source-ish text for keying
+// and messages.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "(…)"
+	case *ast.ParenExpr:
+		return "(" + exprText(x.X) + ")"
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	default:
+		return "table"
+	}
+}

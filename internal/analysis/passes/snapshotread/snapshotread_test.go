@@ -1,0 +1,12 @@
+package snapshotread_test
+
+import (
+	"testing"
+
+	"datalaws/internal/analysis/checktest"
+	"datalaws/internal/analysis/passes/snapshotread"
+)
+
+func TestReads(t *testing.T) {
+	checktest.Run(t, "testdata", snapshotread.Analyzer, "reads")
+}

@@ -1,0 +1,34 @@
+// Stub of the engine's table package: snapshotread matches accessor methods
+// on *table.Table by (import path, type, method).
+package table
+
+// Column is the columnar data interface stub.
+type Column interface{}
+
+// Table is the columnar table stub; every accessor locks independently in
+// the real implementation, which is the race the analyzer guards.
+type Table struct{ Name string }
+
+// NumRows is a metadata accessor.
+func (t *Table) NumRows() int { return 0 }
+
+// Column is a data accessor.
+func (t *Table) Column(name string) Column { return nil }
+
+// ColumnAt is a data accessor.
+func (t *Table) ColumnAt(i int) Column { return nil }
+
+// FloatColumn is a data accessor.
+func (t *Table) FloatColumn(name string) ([]float64, error) { return nil, nil }
+
+// IntColumn is a data accessor.
+func (t *Table) IntColumn(name string) ([]int64, error) { return nil, nil }
+
+// Row is a data accessor.
+func (t *Table) Row(i int) []interface{} { return nil }
+
+// View runs f under one read-lock acquisition.
+func (t *Table) View(f func(cols []Column, rows int) error) error { return nil }
+
+// Snapshot is View extended with the version counter.
+func (t *Table) Snapshot(f func(cols []Column, rows int, version uint64) error) error { return nil }

@@ -1,0 +1,62 @@
+// Fixture for snapshotread: the second separately-locked read of one table
+// in one function is flagged; single reads, Snapshot/View rewrites and
+// distinct tables are not.
+package reads
+
+import "datalaws/internal/table"
+
+// Two data reads of one table tear.
+func torn(t *table.Table) {
+	a, _ := t.FloatColumn("a")
+	b, _ := t.FloatColumn("b") // want `FloatColumn\(\) is the second separately-locked read of table "t" in torn \(2 data/0 metadata reads\)`
+	_, _ = a, b
+}
+
+// A data read sized against a separate NumRows tears too.
+func tornMeta(t *table.Table) {
+	n := t.NumRows()
+	c, _ := t.IntColumn("c") // want `IntColumn\(\) is the second separately-locked read of table "t" in tornMeta \(1 data/1 metadata reads\)`
+	_ = n
+	_ = c
+}
+
+// Row plus Column is a cross-accessor pair.
+func tornMixed(s struct{ Tab *table.Table }) {
+	r := s.Tab.Row(0)
+	col := s.Tab.Column("x") // want `Column\(\) is the second separately-locked read of table "s\.Tab" in tornMixed`
+	_ = r
+	_ = col
+}
+
+// One read is consistent by construction.
+func single(t *table.Table) {
+	_, _ = t.FloatColumn("a")
+}
+
+// Metadata alone cannot tear.
+func metaOnly(t *table.Table) {
+	_ = t.NumRows()
+	_ = t.NumRows()
+}
+
+// The rewrite the analyzer demands: everything under one lock.
+func snapshotted(t *table.Table) {
+	_ = t.Snapshot(func(cols []table.Column, rows int, version uint64) error {
+		return nil
+	})
+}
+
+// Distinct tables never pair.
+func twoTables(a, b *table.Table) {
+	x, _ := a.FloatColumn("x")
+	y, _ := b.FloatColumn("x")
+	_, _ = x, y
+}
+
+// A documented suppression is honored.
+func tornSuppressed(t *table.Table) {
+	a, _ := t.FloatColumn("a")
+	//lint:ignore snapshotread fixture table is private to this goroutine; no concurrent appender exists
+	b, _ := t.FloatColumn("b")
+	_, _ = a, b
+}

@@ -1,0 +1,27 @@
+// Stub of the engine's model store: walgate matches gated methods by
+// (import path, type, method).
+package modelstore
+
+// Spec describes a model capture.
+type Spec struct{ Name string }
+
+// CapturedModel is a fitted model stub.
+type CapturedModel struct{ Version int }
+
+// Store is the captured-model registry stub.
+type Store struct{}
+
+// Capture is gated.
+func (s *Store) Capture(t interface{}, spec Spec) (*CapturedModel, error) { return nil, nil }
+
+// Refit is gated.
+func (s *Store) Refit(name string, t interface{}) (*CapturedModel, error) { return nil, nil }
+
+// RefitCold is gated.
+func (s *Store) RefitCold(name string, t interface{}) (*CapturedModel, error) { return nil, nil }
+
+// Drop is gated.
+func (s *Store) Drop(name string) {}
+
+// Get is not gated: reads carry no durability contract.
+func (s *Store) Get(name string) (*CapturedModel, bool) { return nil, false }

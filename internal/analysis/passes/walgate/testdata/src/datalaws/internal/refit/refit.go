@@ -1,0 +1,17 @@
+// Fixture for walgate's strict mode in internal/refit, which holds
+// engine-owned store references.
+package refit
+
+import "datalaws/internal/modelstore"
+
+// Refitter mirrors the background maintenance loop.
+type Refitter struct{ store *modelstore.Store }
+
+func (r *Refitter) refitBad(name string, t interface{}) {
+	_, _ = r.store.Refit(name, t) // want `Store\.Refit mutates engine state outside the WAL gate`
+}
+
+func (r *Refitter) refitSuppressed(name string, t interface{}) {
+	//lint:ignore walgate fixture mirrors the real refitter: background refits are deliberately unlogged
+	_, _ = r.store.Refit(name, t)
+}

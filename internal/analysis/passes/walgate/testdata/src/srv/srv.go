@@ -1,0 +1,39 @@
+// Fixture for walgate outside the engine: only calls that reach a gated
+// primitive through a live *datalaws.Engine bypass a log; free-standing
+// tables and stores carry no durability contract.
+package srv
+
+import (
+	"datalaws"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/table"
+)
+
+func dropViaEngine(e *datalaws.Engine) {
+	_ = e.Catalog.Drop("t") // want `Catalog\.Drop reached through \*datalaws\.Engine bypasses its WAL gate`
+}
+
+func captureViaEngine(e *datalaws.Engine, t *table.Table) {
+	_, _ = e.Models.Capture(t, modelstore.Spec{}) // want `Store\.Capture reached through \*datalaws\.Engine bypasses its WAL gate`
+}
+
+// The receiver chain is followed through indexing and calls.
+func dropViaSlice(engines []*datalaws.Engine) {
+	_ = engines[0].Catalog.Drop("t") // want `Catalog\.Drop reached through \*datalaws\.Engine bypasses its WAL gate`
+}
+
+// A free-standing table was never attached to an engine: nothing to log.
+func fillDetached(t *table.Table) {
+	_ = t.AppendRow(nil)
+}
+
+// Likewise a free-standing store.
+func captureDetached(s *modelstore.Store, t *table.Table) {
+	_, _ = s.Capture(t, modelstore.Spec{})
+}
+
+// A suppressed engine-rooted call documents why no log applies.
+func dropSuppressed(e *datalaws.Engine) {
+	//lint:ignore walgate fixture engine has no WAL attached; mirrors the repro harnesses
+	_ = e.Catalog.Drop("t")
+}

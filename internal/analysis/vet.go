@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The `go vet -vettool` unit protocol. For every package, the go command
+// invokes the tool with a single argument: the path to a JSON config naming
+// the package's source files and the compiled export data of its imports.
+// The tool analyzes that one package, prints diagnostics to stderr, writes
+// the (empty — this suite exchanges no facts) .vetx output file the go
+// command expects, and exits 2 when it found anything. `go vet` also probes
+// the tool once with -V=full to version its result cache.
+
+// vetConfig mirrors the config JSON written by cmd/go for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// PrintVersion answers `datalaws-vet -V=full`, the go command's cache probe:
+// the output must carry a buildID= token that changes whenever the tool
+// binary does, so vet results are re-derived after the analyzers change. A
+// content hash of the executable is exactly that (the same scheme the
+// x/tools unitchecker uses).
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s version devel datalaws buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+	return nil
+}
+
+// PrintFlags answers `datalaws-vet -flags`: the go command probes the tool
+// for its supported flags as a JSON list before driving it, mirroring the
+// x/tools unitchecker handshake.
+func PrintFlags(w io.Writer, fs *flag.FlagSet) error {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// RunUnit analyzes the single package described by the vet config file and
+// returns its findings. It writes the facts output file as a side effect —
+// without it the go command reports the tool as failed even on a clean
+// package.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if to, ok := cfg.ImportMap[path]; ok {
+			path = to
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	lp, err := typecheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	// Synthesized test-main packages ("pkg.test") hold only generated code.
+	if strings.HasSuffix(cfg.ImportPath, ".test") {
+		return nil, nil
+	}
+	return RunAnalyzers([]*LoadedPackage{lp}, analyzers)
+}

@@ -90,24 +90,15 @@ type PointOutlier struct {
 // PointOutliers returns all rows whose standardized residual magnitude
 // exceeds zThreshold, ordered by |Z| descending.
 func PointOutliers(t *table.Table, m *modelstore.CapturedModel, zThreshold float64) ([]PointOutlier, error) {
-	observed, err := t.FloatColumn(m.Model.Output)
+	groupCol := ""
+	if m.Grouped() {
+		groupCol = m.Spec.GroupBy
+	}
+	_, group, cols, err := t.ModelView(groupCol, append([]string{m.Model.Output}, m.Model.Inputs...))
 	if err != nil {
 		return nil, err
 	}
-	var group []int64
-	if m.Grouped() {
-		group, err = t.IntColumn(m.Spec.GroupBy)
-		if err != nil {
-			return nil, err
-		}
-	}
-	inputs := make([][]float64, len(m.Model.Inputs))
-	for i, c := range m.Model.Inputs {
-		inputs[i], err = t.FloatColumn(c)
-		if err != nil {
-			return nil, err
-		}
-	}
+	observed, inputs := cols[0], cols[1:]
 	var out []PointOutlier
 	in := make([]float64, len(m.Model.Inputs))
 	row := make([]float64, len(m.Model.Params)+len(m.Model.Inputs))

@@ -195,21 +195,9 @@ func (s *BloomLegalSet) FPRate() float64 { return s.f.EstimatedFPRate() }
 // (group, inputs) combination. groupCol may be "" for ungrouped models.
 // With useBloom, a Bloom filter sized for fpRate replaces the exact set.
 func BuildLegalSet(t *table.Table, groupCol string, inputCols []string, useBloom bool, fpRate float64) (LegalSet, error) {
-	n := t.NumRows()
-	var group []int64
-	var err error
-	if groupCol != "" {
-		group, err = t.IntColumn(groupCol)
-		if err != nil {
-			return nil, err
-		}
-	}
-	inputs := make([][]float64, len(inputCols))
-	for i, c := range inputCols {
-		inputs[i], err = t.FloatColumn(c)
-		if err != nil {
-			return nil, err
-		}
+	n, group, inputs, err := t.ModelView(groupCol, inputCols)
+	if err != nil {
+		return nil, err
 	}
 	if useBloom {
 		f := bloom.New(n, fpRate)

@@ -149,21 +149,13 @@ func (c *CompressedColumn) Decompress(t *table.Table, m *modelstore.CapturedMode
 // predictions evaluates the model for every row; ok[i] is false when the
 // row's group has no usable parameters.
 func predictions(t *table.Table, m *modelstore.CapturedModel) ([]float64, []bool, error) {
-	n := t.NumRows()
-	var group []int64
-	var err error
+	groupCol := ""
 	if m.Grouped() {
-		group, err = t.IntColumn(m.Spec.GroupBy)
-		if err != nil {
-			return nil, nil, err
-		}
+		groupCol = m.Spec.GroupBy
 	}
-	inputs := make([][]float64, len(m.Model.Inputs))
-	for i, c := range m.Model.Inputs {
-		inputs[i], err = t.FloatColumn(c)
-		if err != nil {
-			return nil, nil, err
-		}
+	n, group, inputs, err := t.ModelView(groupCol, m.Model.Inputs)
+	if err != nil {
+		return nil, nil, err
 	}
 	preds := make([]float64, n)
 	ok := make([]bool, n)

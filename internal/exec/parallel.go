@@ -432,6 +432,12 @@ func (g *VecGather) worker(p workerPipe) {
 		case <-g.done:
 			return
 		}
+		// A canceled statement stops the worker at its next claim, before
+		// it pays for another morsel's pipeline; the consumer watches the
+		// same context, so exiting without an item cannot strand it.
+		if g.ctx != nil && g.ctx.Err() != nil {
+			return
+		}
 		idx, ok := p.src.NextMorsel()
 		if !ok {
 			return

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,7 +29,12 @@ type VecParallelHashAggregate struct {
 	groups []*aggGroup
 	pos    int
 	failed atomic.Bool // set by the first failing worker; siblings stop claiming
+	ctx    context.Context
 }
+
+// SetContext binds the statement context so workers stop claiming morsels
+// when the statement is canceled; BindContext wires it through the plan.
+func (h *VecParallelHashAggregate) SetContext(ctx context.Context) { h.ctx = ctx }
 
 // Columns implements VectorOperator.
 func (h *VecParallelHashAggregate) Columns() []string {
@@ -110,6 +116,15 @@ func (h *VecParallelHashAggregate) runWorker(p workerPipe) (*partialAgg, partial
 		// claiming instead of draining the rest of the input for nothing.
 		if h.failed.Load() {
 			return pa, partialErr{}
+		}
+		// A canceled statement ends the claim loop before the next morsel's
+		// pipeline runs; the error surfaces through Open like any worker
+		// failure, so siblings stop too.
+		if h.ctx != nil {
+			if err := h.ctx.Err(); err != nil {
+				h.failed.Store(true)
+				return pa, partialErr{err: err}
+			}
 		}
 		idx, ok := p.src.NextMorsel()
 		if !ok {

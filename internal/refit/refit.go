@@ -234,8 +234,10 @@ func (r *Refitter) refitOne(m *modelstore.CapturedModel, t *table.Table, trigger
 	var nm *modelstore.CapturedModel
 	var err error
 	if r.opts.Cold {
+		//lint:ignore walgate background refits are deliberately unlogged; models are derived state rebuilt from replayed data (see wal_engine.go)
 		nm, err = r.store.RefitCold(m.Spec.Name, t)
 	} else {
+		//lint:ignore walgate background refits are deliberately unlogged; models are derived state rebuilt from replayed data (see wal_engine.go)
 		nm, err = r.store.Refit(m.Spec.Name, t)
 	}
 	ev.Took = time.Since(start)

@@ -89,14 +89,11 @@ func S2(sc Scale) (*Report, error) {
 		return nil, err
 	}
 	budget := m.ParamSizeBytes()
-	intensity, err := tb.FloatColumn("intensity")
+	_, _, obs, err := tb.ModelView("", []string{"intensity", "nu"})
 	if err != nil {
 		return nil, err
 	}
-	nus, err := tb.FloatColumn("nu")
-	if err != nil {
-		return nil, err
-	}
+	intensity, nus := obs[0], obs[1]
 
 	band := synth.Bands[0]
 	var exactVals []float64
@@ -160,14 +157,11 @@ func S2(sc Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rev, err := rtb.FloatColumn("revenue")
+	_, _, rcols, err := rtb.ModelView("", []string{"revenue", "day"})
 	if err != nil {
 		return nil, err
 	}
-	days, err := rtb.FloatColumn("day")
-	if err != nil {
-		return nil, err
-	}
+	rev, days := rcols[0], rcols[1]
 	qlo, qhi := float64(sc.RetailDays/4), float64(sc.RetailDays/2)
 	var exactSum float64
 	for i := range rev {

@@ -333,6 +333,7 @@ func T2f(sc Scale) (*Report, error) {
 	}
 	r.addf("stale model no longer selected for approximate answering")
 
+	//lint:ignore walgate repro harness drives an in-memory engine with no WAL attached; model-store calls here are the scenario under test
 	m2, err := e.Models.Refit("spectra", tb)
 	if err != nil {
 		return nil, err
@@ -360,6 +361,7 @@ func T2g(sc Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore walgate repro harness drives an in-memory engine with no WAL attached; model-store calls here are the scenario under test
 	poor, err := e.Models.Capture(tb, modelstore.Spec{
 		Name: "linear_in_nu", Table: "measurements",
 		Formula: "intensity ~ c0 + c1*nu",
@@ -374,6 +376,7 @@ func T2g(sc Scale) (*Report, error) {
 	}
 	// ...and one partial model fitted on a restricted region.
 	w, _ := expr.Parse("nu > 0.13")
+	//lint:ignore walgate repro harness drives an in-memory engine with no WAL attached; model-store calls here are the scenario under test
 	if _, err := e.Models.Capture(tb, modelstore.Spec{
 		Name: "upper_bands", Table: "measurements",
 		Formula: "intensity ~ q * pow(nu, beta)",
@@ -395,7 +398,9 @@ func T2g(sc Scale) (*Report, error) {
 	}
 
 	// Force the partial model and run a query spanning both regions.
+	//lint:ignore walgate repro harness drives an in-memory engine with no WAL attached; model-store calls here are the scenario under test
 	e.Models.Drop("spectra")
+	//lint:ignore walgate repro harness drives an in-memory engine with no WAL attached; model-store calls here are the scenario under test
 	e.Models.Drop("linear_in_nu")
 	opts := aqp.DefaultOptions()
 	opts.Policy.MinMedianR2 = 0.5

@@ -288,6 +288,110 @@ func (t *Table) IntColumn(name string) ([]int64, error) {
 	return out, nil
 }
 
+// ModelView extracts the model-evaluation read set — row count, an optional
+// BIGINT group column, and a list of numeric columns coerced to float64 —
+// under a single read-lock acquisition, so every returned slice describes
+// the same table state even while a writer keeps appending. Separate
+// FloatColumn/IntColumn calls each take their own lock and can observe a
+// torn cross-column view. groupCol may be "" for ungrouped extraction.
+func (t *Table) ModelView(groupCol string, floatCols []string) (rows int, group []int64, floats [][]float64, err error) {
+	floats = make([][]float64, len(floatCols))
+	err = t.Snapshot(func(cols []storage.Column, n int, _ uint64) error {
+		rows = n
+		if groupCol != "" {
+			i := t.schema.Index(groupCol)
+			if i < 0 {
+				return fmt.Errorf("table %s: no column %q", t.Name, groupCol)
+			}
+			c, ok := cols[i].(*storage.Int64Column)
+			if !ok {
+				return fmt.Errorf("table %s: column %q is not BIGINT", t.Name, groupCol)
+			}
+			if anyNullPrefix(c.Nulls, n) {
+				return fmt.Errorf("table %s: column %q contains NULLs", t.Name, groupCol)
+			}
+			group = make([]int64, n)
+			copy(group, c.Vals[:n])
+		}
+		for k, name := range floatCols {
+			i := t.schema.Index(name)
+			if i < 0 {
+				return fmt.Errorf("table %s: no column %q", t.Name, name)
+			}
+			out, err := floatPrefix(t.Name, name, cols[i], n)
+			if err != nil {
+				return err
+			}
+			floats[k] = out
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return rows, group, floats, nil
+}
+
+// Head materializes the first min(n, rows) rows as boxed values and returns
+// them with the total row count, under a single read-lock acquisition —
+// unlike a Row loop bracketed by NumRows calls, the prefix and the count
+// agree even while a writer keeps appending.
+func (t *Table) Head(n int) ([][]expr.Value, int) {
+	var out [][]expr.Value
+	total := 0
+	_ = t.Snapshot(func(cols []storage.Column, rows int, _ uint64) error {
+		total = rows
+		if n > rows {
+			n = rows
+		}
+		out = make([][]expr.Value, n)
+		for r := 0; r < n; r++ {
+			vals := make([]expr.Value, len(cols))
+			for c, col := range cols {
+				vals[c] = col.Value(r)
+			}
+			out[r] = vals
+		}
+		return nil
+	})
+	return out, total
+}
+
+// floatPrefix coerces the first rows entries of a numeric column to
+// float64, mirroring FloatColumn's rules (integers coerce; NULLs and
+// non-numeric columns error). Caller holds the table lock via Snapshot.
+func floatPrefix(tname, cname string, col storage.Column, rows int) ([]float64, error) {
+	switch c := col.(type) {
+	case *storage.Float64Column:
+		if anyNullPrefix(c.Nulls, rows) {
+			return nil, fmt.Errorf("table %s: column %q contains NULLs", tname, cname)
+		}
+		out := make([]float64, rows)
+		copy(out, c.Vals[:rows])
+		return out, nil
+	case *storage.Int64Column:
+		if anyNullPrefix(c.Nulls, rows) {
+			return nil, fmt.Errorf("table %s: column %q contains NULLs", tname, cname)
+		}
+		out := make([]float64, rows)
+		for i, v := range c.Vals[:rows] {
+			out[i] = float64(v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("table %s: column %q is not numeric", tname, cname)
+}
+
+// anyNullPrefix reports whether any of the first rows entries is NULL.
+func anyNullPrefix(b *storage.Bitmap, rows int) bool {
+	for i := 0; i < rows && i < b.Len(); i++ {
+		if b.Get(i) {
+			return true
+		}
+	}
+	return false
+}
+
 // RawSizeBytes estimates the in-memory footprint of the stored data, used
 // for the paper's Table 1 raw-vs-model size comparison.
 func (t *Table) RawSizeBytes() int {

@@ -85,7 +85,7 @@ func (OSFS) OpenAppend(name string) (File, int64, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // error path: the Stat failure is what the caller needs
 		return nil, 0, err
 	}
 	return f, st.Size(), nil

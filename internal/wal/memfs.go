@@ -373,7 +373,7 @@ type faultHandle struct {
 func (h *faultHandle) Write(p []byte) (int, error) {
 	if fail, land := h.fs.noteWrite(len(p)); fail {
 		if land > 0 {
-			h.inner.Write(p[:land])
+			_, _ = h.inner.Write(p[:land]) // MemFS writes cannot fail; the injected error below wins
 		}
 		return 0, fmt.Errorf("%w: write", ErrInjected)
 	}

@@ -208,7 +208,7 @@ func Open(dir string, startSeg int, cfg Config, apply func(*Record) error) (*Log
 		// First open of this segment: make its directory entry durable
 		// before acking anything written into it.
 		if err := fs.SyncDir(dir); err != nil {
-			f.Close()
+			_ = f.Close() // error path: the SyncDir failure poisons the open
 			return nil, err
 		}
 	}
@@ -565,7 +565,7 @@ func (l *Log) rotate() error {
 		return err
 	}
 	if err := l.fs.SyncDir(l.dir); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the SyncDir failure poisons the rotation
 		return err
 	}
 	l.f = f

@@ -217,7 +217,7 @@ func setCurrent(dir, snap string) error {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup of the orphaned temp file
 		return fmt.Errorf("%w: publishing %s pointer: %v", ErrObstructed, currentFile, err)
 	}
 	return nil
@@ -271,11 +271,11 @@ func writeFileSynced(path string, write func(*os.File) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the write failure aborts the publish
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the fsync failure aborts the publish
 		return err
 	}
 	return f.Close()
@@ -363,7 +363,7 @@ func (e *Engine) loadFlat(dir string) error {
 			return err
 		}
 		t, err := table.ReadBinary(f)
-		f.Close()
+		_ = f.Close() // read-side handle; decode errors are what matter here
 		if err != nil {
 			return fmt.Errorf("datalaws: loading %s: %w", ent.Name(), err)
 		}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Prove the invariant suite still has teeth: temporarily re-introduce two
+# known past bug classes — a mutation bypassing the WAL gate and a dropped
+# WAL fsync error — and assert datalaws-vet rejects the tree, naming the
+# right analyzers. CI runs this after the clean sweep, so a weakened or
+# accidentally disabled analyzer fails the build instead of rotting quietly.
+#
+# Usage: scripts/vet-canary.sh   (expects bin/datalaws-vet to exist;
+#                                 scripts/vet.sh builds it)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WALGATE_CANARY=canary_walgate_check.go
+IOERRSINK_CANARY=internal/wal/canary_ioerrsink_check.go
+cleanup() { rm -f "$WALGATE_CANARY" "$IOERRSINK_CANARY"; }
+trap cleanup EXIT
+
+cat > "$WALGATE_CANARY" <<'EOF'
+package datalaws
+
+// canaryDropUnlogged re-introduces the pre-WAL bug class: a catalog
+// mutation that recovery can never replay. scripts/vet-canary.sh asserts
+// the walgate analyzer rejects it.
+func (e *Engine) canaryDropUnlogged(name string) bool {
+	return e.Catalog.Drop(name)
+}
+EOF
+
+cat > "$IOERRSINK_CANARY" <<'EOF'
+package wal
+
+// canarySyncDropped re-introduces the silent-loss bug class the WAL's
+// sticky poisoning exists to kill: an fsync whose error nobody sees.
+// scripts/vet-canary.sh asserts the ioerrsink analyzer rejects it.
+func canarySyncDropped(f File) {
+	f.Sync()
+}
+EOF
+
+out=$(./bin/datalaws-vet ./... 2>&1) && {
+  echo "FAIL: datalaws-vet accepted re-introduced known bugs"
+  exit 1
+}
+echo "$out"
+for analyzer in walgate ioerrsink; do
+  if ! grep -q "\[$analyzer\]" <<<"$out"; then
+    echo "FAIL: $analyzer did not flag its canary"
+    exit 1
+  fi
+done
+echo "canary check passed: re-introduced bugs are caught"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Build datalaws-vet and run the full static-analysis sweep exactly as CI's
+# static-analysis job does: the invariant suite over the plain and
+# faultinject build trees (standalone and as a go vet tool), then the
+# pinned third-party checkers when they are installed.
+#
+# Usage: scripts/vet.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/datalaws-vet ./cmd/datalaws-vet
+
+echo "== datalaws-vet ./... (standalone)"
+./bin/datalaws-vet ./...
+echo "== datalaws-vet -tags faultinject ./..."
+./bin/datalaws-vet -tags faultinject ./...
+echo "== go vet -vettool=bin/datalaws-vet ./..."
+go vet -vettool="$PWD/bin/datalaws-vet" ./...
+echo "== go vet ./... (stock analyzers)"
+go vet ./...
+
+# Third-party checkers are best-effort locally: CI pins and installs them;
+# offline development boxes may not have them.
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  staticcheck -checks "inherit,-ST1000" ./...
+else
+  echo "== staticcheck not installed; skipping (CI runs it)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./...
+else
+  echo "== govulncheck not installed; skipping (CI runs it)"
+fi
+
+echo "static analysis clean"
