@@ -24,18 +24,25 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `cross-column table reads must happen under one Snapshot/View
 
 Within one function, a second data-accessor call (Column/ColumnAt/
-FloatColumn/IntColumn/Row) on the same *table.Table — or a data accessor
-combined with NumRows — is flagged: each call locks independently, so the
-pair can observe different append states. Rewrite the function to take
-table.Snapshot (data + row count + version under one lock) or table.View.
+FloatColumn/IntColumn/Row/Chunks) on the same *table.Table — or a data
+accessor combined with NumRows — is flagged: each call locks
+independently, so the pair can observe different append states. Rewrite
+the function to take table.Snapshot (data + row count + version under one
+lock), table.View, or a single table.Chunks capture read through the
+returned ChunkView. Decoding a sealed chunk through Chunk.Columns() is
+also flagged outside the table package: it bypasses the shared decode
+cache (and its memory budget); go through ChunkView.Columns instead.
 The table package itself implements the accessors and is exempt.`,
 	Run: run,
 }
 
 // dataAccessors read column data; pairing any two is a potential torn view.
+// Chunks belongs here even though each call is internally consistent: two
+// captures — or a capture next to a direct accessor — can still straddle an
+// append, which is exactly the torn pair the single-capture rewrite avoids.
 var dataAccessors = map[string]bool{
 	"Column": true, "ColumnAt": true, "FloatColumn": true,
-	"IntColumn": true, "Row": true,
+	"IntColumn": true, "Row": true, "Chunks": true,
 }
 
 // metaAccessors read row-count metadata; torn only when combined with a
@@ -83,11 +90,23 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		name := sel.Sel.Name
-		if !dataAccessors[name] && !metaAccessors[name] {
+		if !dataAccessors[name] && !metaAccessors[name] && name != "Columns" {
 			return true
 		}
 		rpkg, rtype, _, ok := analysis.NamedReceiver(pass.TypesInfo, call)
-		if !ok || rpkg != "datalaws/internal/table" || rtype != "Table" {
+		if !ok || rpkg != "datalaws/internal/table" {
+			return true
+		}
+		// Chunk.Columns decodes the sealed frames directly, skipping the
+		// shared cache and its byte budget: every call re-pays the decode and
+		// the result is unaccounted memory. Always wrong outside the table
+		// package, regardless of pairing.
+		if rtype == "Chunk" && name == "Columns" {
+			pass.Reportf(call.Pos(),
+				"Columns() on *table.Chunk decodes outside the shared chunk cache; read through a ChunkView (table.Chunks) so decodes are cached and budgeted")
+			return true
+		}
+		if rtype != "Table" {
 			return true
 		}
 		key := exprText(sel.X)

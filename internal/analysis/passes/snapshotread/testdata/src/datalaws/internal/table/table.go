@@ -32,3 +32,23 @@ func (t *Table) View(f func(cols []Column, rows int) error) error { return nil }
 
 // Snapshot is View extended with the version counter.
 func (t *Table) Snapshot(f func(cols []Column, rows int, version uint64) error) error { return nil }
+
+// Chunks captures a consistent chunked view under one lock; a data
+// accessor for pairing purposes.
+func (t *Table) Chunks() *ChunkView { return nil }
+
+// ChunkView is the point-in-time chunked capture stub.
+type ChunkView struct{}
+
+// Columns on a ChunkView reads through the shared decode cache; sanctioned.
+func (v *ChunkView) Columns(k int) ([]Column, int, error) { return nil, 0, nil }
+
+// NumSealed is chunk-shape metadata on the captured view.
+func (v *ChunkView) NumSealed() int { return 0 }
+
+// Chunk is one sealed, encoded chunk.
+type Chunk struct{}
+
+// Columns decodes the raw frames, bypassing the cache; flagged outside
+// the table package.
+func (c *Chunk) Columns() ([]Column, error) { return nil, nil }

@@ -53,6 +53,33 @@ func twoTables(a, b *table.Table) {
 	_, _ = x, y
 }
 
+// A single Chunks capture is the sanctioned consistent read; everything
+// drawn from the returned view shares one append state.
+func chunkCapture(t *table.Table) {
+	v := t.Chunks()
+	_, _, _ = v.Columns(0)
+	_ = v.NumSealed()
+}
+
+// Two captures can straddle an append, same as any other accessor pair.
+func tornDoubleCapture(t *table.Table) {
+	a := t.Chunks()
+	b := t.Chunks() // want `Chunks\(\) is the second separately-locked read of table "t" in tornDoubleCapture \(2 data/0 metadata reads\)`
+	_, _ = a, b
+}
+
+// A capture next to a direct accessor pairs too.
+func tornCaptureAndRow(t *table.Table) {
+	v := t.Chunks()
+	r := t.Row(0) // want `Row\(\) is the second separately-locked read of table "t" in tornCaptureAndRow \(2 data/0 metadata reads\)`
+	_, _ = v, r
+}
+
+// Raw per-chunk decode bypasses the shared cache: flagged even alone.
+func rawChunkDecode(c *table.Chunk) {
+	_, _ = c.Columns() // want `Columns\(\) on \*table\.Chunk decodes outside the shared chunk cache`
+}
+
 // A documented suppression is honored.
 func tornSuppressed(t *table.Table) {
 	a, _ := t.FloatColumn("a")

@@ -6,6 +6,7 @@ import (
 
 	"datalaws/internal/expr"
 	"datalaws/internal/modelstore"
+	"datalaws/internal/storage"
 	"datalaws/internal/synth"
 	"datalaws/internal/table"
 )
@@ -162,10 +163,13 @@ func TestWrongModelRejected(t *testing.T) {
 
 func TestXORFloatsRoundTrip(t *testing.T) {
 	vals := []float64{0, 1.5, 1.5, -2.25, math.Pi, math.Pi, 1e-300, -1e300}
-	b := encodeXORFloats(vals)
-	back, err := decodeXORFloats(b)
+	b := storage.EncodeXORFloats(vals)
+	back, consumed, err := storage.DecodeXORFloats(b, len(vals))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if consumed != len(b) {
+		t.Fatalf("consumed %d of %d payload bytes", consumed, len(b))
 	}
 	if len(back) != len(vals) {
 		t.Fatalf("len %d", len(back))

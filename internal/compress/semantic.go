@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"datalaws/internal/modelstore"
+	"datalaws/internal/storage"
 	"datalaws/internal/table"
 )
 
@@ -89,7 +90,7 @@ func CompressOutput(t *table.Table, m *modelstore.CapturedModel, mode Mode, epsi
 	}
 	switch mode {
 	case Lossless:
-		cc.Payload = encodeXORFloats(resid)
+		cc.Payload = storage.EncodeXORFloats(resid)
 	case BoundedLoss:
 		cc.Payload = encodeQuantized(resid, epsilon)
 	default:
@@ -114,7 +115,9 @@ func (c *CompressedColumn) Decompress(t *table.Table, m *modelstore.CapturedMode
 	var resid []float64
 	switch c.Mode {
 	case Lossless:
-		resid, err = decodeXORFloats(c.Payload)
+		// Residual count is exact: every row is either model-covered (one
+		// residual) or spilled raw, so the XOR stream holds N - |raw| values.
+		resid, _, err = storage.DecodeXORFloats(c.Payload, c.N-len(c.RawVals))
 	case BoundedLoss:
 		resid, err = decodeQuantized(c.Payload, c.Epsilon)
 	default:
@@ -180,61 +183,12 @@ func predictions(t *table.Table, m *modelstore.CapturedModel) ([]float64, []bool
 }
 
 // --- residual encodings ---
-
-func encodeXORFloats(vals []float64) []byte {
-	var buf []byte
-	var prev uint64
-	word := make([]byte, 8)
-	for _, v := range vals {
-		bits := math.Float64bits(v)
-		x := bits ^ prev
-		prev = bits
-		if x == 0 {
-			buf = append(buf, 0x80)
-			continue
-		}
-		binary.BigEndian.PutUint64(word, x)
-		lead := 0
-		for lead < 8 && word[lead] == 0 {
-			lead++
-		}
-		mid := 8 - lead
-		buf = append(buf, byte(lead))
-		buf = append(buf, word[lead:lead+mid]...)
-	}
-	return buf
-}
-
-func decodeXORFloats(b []byte) ([]float64, error) {
-	var out []float64
-	var prev uint64
-	word := make([]byte, 8)
-	off := 0
-	for off < len(b) {
-		h := b[off]
-		off++
-		if h == 0x80 {
-			out = append(out, math.Float64frombits(prev))
-			continue
-		}
-		lead := int(h)
-		if lead > 7 {
-			return nil, fmt.Errorf("compress: corrupt XOR header %d", h)
-		}
-		mid := 8 - lead
-		if off+mid > len(b) {
-			return nil, fmt.Errorf("compress: truncated XOR payload")
-		}
-		for k := range word {
-			word[k] = 0
-		}
-		copy(word[lead:], b[off:off+mid])
-		off += mid
-		prev ^= binary.BigEndian.Uint64(word)
-		out = append(out, math.Float64frombits(prev))
-	}
-	return out, nil
-}
+//
+// Lossless residuals go through storage.EncodeXORFloats/DecodeXORFloats —
+// the same XOR-chaining codec the column encoder uses for EncXOR frames —
+// so the engine has exactly one XOR float implementation. Payloads are
+// runtime-only (rebuilt at compression time, never persisted), so sharing
+// the storage wire format carries no compatibility burden.
 
 func encodeQuantized(vals []float64, eps float64) []byte {
 	buf := make([]byte, 0, len(vals))

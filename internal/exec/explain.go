@@ -23,7 +23,8 @@ func writePlan(sb *strings.Builder, op Operator, depth int) {
 	indent := strings.Repeat("  ", depth)
 	switch o := op.(type) {
 	case *TableScan:
-		fmt.Fprintf(sb, "%sTableScan %s (%d rows)\n", indent, o.Table.Name, o.Table.NumRows())
+		fmt.Fprintf(sb, "%sTableScan %s (%d rows)%s\n", indent, o.Table.Name, o.Table.NumRows(),
+			chunkExplain(o.Table, o.Where, o.alias))
 	case *ValuesScan:
 		fmt.Fprintf(sb, "%sValuesScan (%d rows)\n", indent, len(o.Rows))
 	case *Filter:
@@ -74,7 +75,8 @@ func writeVecPlan(sb *strings.Builder, op VectorOperator, depth int) {
 	indent := strings.Repeat("  ", depth)
 	switch o := op.(type) {
 	case *VecTableScan:
-		fmt.Fprintf(sb, "%sVecTableScan %s (%d rows)\n", indent, o.Table.Name, o.Table.NumRows())
+		fmt.Fprintf(sb, "%sVecTableScan %s (%d rows)%s\n", indent, o.Table.Name, o.Table.NumRows(),
+			chunkExplain(o.Table, o.Where, o.aliasName()))
 	case *VecValuesScan:
 		fmt.Fprintf(sb, "%sVecValuesScan (%d rows)\n", indent, len(o.Rows))
 	case *VecFilter:
@@ -107,7 +109,8 @@ func writeVecPlan(sb *strings.Builder, op VectorOperator, depth int) {
 			indent, strings.Join(parts, ", "), len(o.Aggs), o.Workers())
 		writeVecPlan(sb, o.pipes[0].pipe, depth+1)
 	case *vecMorselScan:
-		fmt.Fprintf(sb, "%sVecMorselScan %s (%d rows)\n", indent, o.shared.tbl.Name, o.shared.tbl.NumRows())
+		fmt.Fprintf(sb, "%sVecMorselScan %s (%d rows)%s\n", indent, o.shared.tbl.Name, o.shared.tbl.NumRows(),
+			chunkExplain(o.shared.tbl, o.shared.where, o.shared.alias))
 	case *batchAdapter:
 		fmt.Fprintf(sb, "%sRowSource\n", indent)
 		writePlan(sb, o.Op, depth+1)

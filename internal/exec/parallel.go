@@ -1,9 +1,12 @@
 // Morsel-driven parallel execution.
 //
 // A parallelizable pipeline — a table or model scan, optionally under
-// filters and projections — is split into morsels: fixed-size row ranges
-// claimed from a shared atomic cursor, the scheduling unit of [Leis et al.,
-// SIGMOD 2014]. Every worker owns a private copy of the whole pipeline
+// filters and projections — is split into morsels claimed from a shared
+// atomic cursor, the scheduling unit of [Leis et al., SIGMOD 2014]. For
+// table scans a morsel is exactly one storage chunk (the sealed chunk row
+// budget matches the old fixed morsel size), so "claim a morsel" and
+// "decode a chunk" coincide and zone-map-pruned chunks never enter the
+// morsel space at all. Every worker owns a private copy of the whole pipeline
 // (its own compiled kernels, batch buffers and interrupt state) over a
 // shared immutable snapshot of the input, so no synchronization happens on
 // the data path; workers coordinate only when claiming the next morsel.
@@ -56,12 +59,6 @@ func (o Options) Workers() int {
 	return o.Parallelism
 }
 
-// morselRows is the number of rows in one table-scan morsel: a multiple of
-// BatchSize large enough to amortize claim overhead, small enough that
-// claims rebalance skewed per-morsel work across the pool. A var so tests
-// can shrink it to force many morsels over small fixtures.
-var morselRows = 16 * BatchSize
-
 // MorselSource is a VectorOperator that cooperates with sibling sources on
 // a shared morsel queue. NextBatch returns nil at the end of the current
 // morsel; NextMorsel claims the next unprocessed one. Morsel indexes are
@@ -85,18 +82,19 @@ type MorselSplitter interface {
 }
 
 // sharedTableMorsels is the worker-shared state of a parallel table scan:
-// one immutable column snapshot plus the morsel claim cursor. The snapshot
-// is (re)taken when the first sibling of an execution opens and torn down
-// when the last closes, so a re-executed plan sees fresh data.
+// one ChunkView capture (with zone-map pruning applied) plus the morsel
+// claim cursor over the surviving chunks. The capture is (re)taken when the
+// first sibling of an execution opens and torn down when the last closes,
+// so a re-executed plan sees fresh data.
 type sharedTableMorsels struct {
-	tbl  *table.Table
-	cols []string
+	tbl   *table.Table
+	where expr.Expr
+	alias string
+	cols  []string
 
 	mu     sync.Mutex
 	opened int
-	src    []vecColSrc
-	n      int
-	morsel int
+	cs     chunkSet
 	total  int64
 	cursor atomic.Int64
 }
@@ -105,13 +103,12 @@ func (s *sharedTableMorsels) open() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.opened == 0 {
-		src, n, err := snapshotVecCols(s.tbl, len(s.cols))
+		cs, err := captureChunks(s.tbl, s.where, s.alias)
 		if err != nil {
 			return err
 		}
-		s.src, s.n = src, n
-		s.morsel = morselRows
-		s.total = int64((n + s.morsel - 1) / s.morsel)
+		s.cs = cs
+		s.total = int64(cs.numChunks())
 		s.cursor.Store(0)
 	}
 	s.opened++
@@ -123,21 +120,25 @@ func (s *sharedTableMorsels) close() {
 	if s.opened > 0 {
 		s.opened--
 		if s.opened == 0 {
-			s.src = nil
+			s.cs = chunkSet{}
 		}
 	}
 	s.mu.Unlock()
 }
 
 // vecMorselScan is one worker's view of a parallel table scan: it claims
-// row-range morsels from the shared cursor and materializes batch windows
-// into private buffers, exactly like VecTableScan does serially.
+// chunk morsels from the shared cursor, decodes each through the shared
+// cache on first NextBatch (NextMorsel cannot report errors), and
+// materializes batch windows into private buffers, exactly like
+// VecTableScan does serially.
 type vecMorselScan struct {
 	shared *sharedTableMorsels
 	Interruptible
 
-	win         colWindow
-	lo, hi, pos int
+	win    colWindow
+	cur    int // claimed position in the survivor list; -1 before any claim
+	src    []vecColSrc
+	n, pos int
 }
 
 // Columns implements VectorOperator.
@@ -149,23 +150,19 @@ func (m *vecMorselScan) Open() error {
 		return err
 	}
 	m.win.init(len(m.shared.cols))
-	m.lo, m.hi, m.pos = 0, 0, 0
+	m.cur, m.src, m.n, m.pos = -1, nil, 0, 0
 	m.ResetInterrupt()
 	return nil
 }
 
-// NextMorsel implements MorselSource.
+// NextMorsel implements MorselSource: one morsel is one surviving chunk.
 func (m *vecMorselScan) NextMorsel() (int64, bool) {
 	idx := m.shared.cursor.Add(1) - 1
 	if idx >= m.shared.total {
 		return 0, false
 	}
-	m.lo = int(idx) * m.shared.morsel
-	m.hi = m.lo + m.shared.morsel
-	if m.hi > m.shared.n {
-		m.hi = m.shared.n
-	}
-	m.pos = m.lo
+	m.cur = int(idx)
+	m.src, m.n, m.pos = nil, 0, 0
 	return idx, true
 }
 
@@ -178,38 +175,48 @@ func (m *vecMorselScan) NextBatch() (*Batch, error) {
 	if err := m.CheckInterruptNow(); err != nil {
 		return nil, err
 	}
-	if m.pos >= m.hi {
+	if m.cur < 0 {
+		return nil, nil
+	}
+	if m.src == nil {
+		src, n, err := m.shared.cs.columns(m.cur)
+		if err != nil {
+			return nil, err
+		}
+		m.src, m.n, m.pos = src, n, 0
+	}
+	if m.pos >= m.n {
 		return nil, nil
 	}
 	lo := m.pos
 	hi := lo + BatchSize
-	if hi > m.hi {
-		hi = m.hi
+	if hi > m.n {
+		hi = m.n
 	}
 	m.pos = hi
-	return m.win.window(m.shared.src, lo, hi), nil
+	return m.win.window(m.src, lo, hi), nil
 }
 
 // Close implements VectorOperator.
 func (m *vecMorselScan) Close() error { m.shared.close(); return nil }
 
 // splitTableScan builds the worker-shared morsel sources for a table scan.
-// Tables that fit in a single morsel stay serial — a pool cannot help, and
-// per-query goroutines are not free — and the pool never exceeds the
-// morsel count the plan-time row count implies (workers beyond it would
-// compile kernels and allocate buffers only to claim nothing).
-func splitTableScan(t *table.Table, cols []string, workers int) ([]MorselSource, bool) {
+// Single-chunk tables stay serial — a pool cannot help, and per-query
+// goroutines are not free — and the pool never exceeds the plan-time chunk
+// count (workers beyond it would compile kernels and allocate buffers only
+// to claim nothing).
+func splitTableScan(t *table.Table, where expr.Expr, alias string, cols []string, workers int) ([]MorselSource, bool) {
 	if t == nil {
 		return nil, false
 	}
-	rows := t.NumRows()
-	if rows <= morselRows {
+	chunks := t.NumChunks()
+	if chunks <= 1 {
 		return nil, false
 	}
-	if m := (rows + morselRows - 1) / morselRows; workers > m {
-		workers = m
+	if workers > chunks {
+		workers = chunks
 	}
-	shared := &sharedTableMorsels{tbl: t, cols: cols}
+	shared := &sharedTableMorsels{tbl: t, where: where, alias: alias, cols: cols}
 	out := make([]MorselSource, workers)
 	for i := range out {
 		out[i] = &vecMorselScan{shared: shared}
@@ -230,7 +237,7 @@ type workerPipe struct {
 func parallelPipelines(op Operator, workers int) ([]workerPipe, bool) {
 	switch o := op.(type) {
 	case *TableScan:
-		srcs, ok := splitTableScan(o.Table, o.cols, workers)
+		srcs, ok := splitTableScan(o.Table, o.Where, o.alias, o.cols, workers)
 		if !ok {
 			return nil, false
 		}

@@ -107,9 +107,9 @@ func largeDiffFixture(t *testing.T, rows int) *table.Catalog {
 // morsels, restoring it when the test ends.
 func withSmallMorsels(t *testing.T, rows int) {
 	t.Helper()
-	old := morselRows
-	morselRows = rows
-	t.Cleanup(func() { morselRows = old })
+	old := table.DefaultChunkRows
+	table.DefaultChunkRows = rows
+	t.Cleanup(func() { table.DefaultChunkRows = old })
 }
 
 // closeValue compares kind-exactly, with a relative tolerance for floats:

@@ -26,6 +26,9 @@ type PartitionScan struct {
 	// partitions before pruning.
 	Parts []*table.Table
 	Total int
+	// Where is the statement's WHERE predicate, carried down so the
+	// surviving partitions' scans can zone-map-prune their chunks with it.
+	Where expr.Expr
 	Interruptible
 
 	cols  []string
@@ -41,7 +44,7 @@ func NewPartitionScan(pt *table.PartitionedTable, where expr.Expr) *PartitionSca
 	for i, idx := range keep {
 		parts[i] = pt.Part(idx)
 	}
-	return &PartitionScan{Parted: pt, Parts: parts, Total: pt.NumParts(), cols: partitionCols(pt)}
+	return &PartitionScan{Parted: pt, Parts: parts, Total: pt.NumParts(), Where: where, cols: partitionCols(pt)}
 }
 
 func partitionCols(pt *table.PartitionedTable) []string {
@@ -71,6 +74,7 @@ func (s *PartitionScan) Open() error {
 	s.scans = make([]*TableScan, len(s.Parts))
 	for i, p := range s.Parts {
 		s.scans[i] = NewTableScanAs(p, s.Parted.Name)
+		s.scans[i].Where = s.Where
 		s.scans[i].SetContext(s.Context())
 	}
 	s.cur = 0
@@ -113,7 +117,9 @@ func (s *PartitionScan) Close() error {
 func (s *PartitionScan) AsVectorOperator() (VectorOperator, bool) {
 	children := make([]VectorOperator, len(s.Parts))
 	for i, p := range s.Parts {
-		children[i] = NewVecTableScanAs(p, s.Parted.Name)
+		vs := NewVecTableScanAs(p, s.Parted.Name)
+		vs.Where = s.Where
+		children[i] = vs
 	}
 	return &vecPartitionScan{VecConcat: VecConcat{Children: children}, src: s}, true
 }
@@ -160,41 +166,42 @@ func (v *vecPartitionScan) ExplainInfo() string {
 }
 
 // sharedPartMorsels is the worker-shared state of a parallel partition scan:
-// one immutable snapshot per surviving partition plus a claim cursor over
-// the combined morsel space. Morsel indexes are dense across partitions in
-// range order, so VecGather reconstructs exactly the serial partition-order
-// output.
+// one chunk capture per surviving partition (each zone-map-pruned by the
+// statement's WHERE) plus a claim cursor over the flattened survivor-chunk
+// space. Morsel indexes are dense across partitions in range order, so
+// VecGather reconstructs exactly the serial partition-order output.
 type sharedPartMorsels struct {
 	src *PartitionScan
 
 	mu     sync.Mutex
 	opened int
-	snaps  [][]vecColSrc
-	ns     []int
-	starts []int64 // first global morsel index of each partition
-	total  int64
+	sets   []chunkSet
+	units  []partChunk // flattened (partition, survivor-chunk) pairs
 	cursor atomic.Int64
+}
+
+// partChunk addresses one surviving chunk of one surviving partition.
+type partChunk struct {
+	part int // index into src.Parts / sets
+	k    int // dense survivor position within that partition's chunkSet
 }
 
 func (s *sharedPartMorsels) open() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.opened == 0 {
-		nc := len(s.src.cols)
-		s.snaps = make([][]vecColSrc, len(s.src.Parts))
-		s.ns = make([]int, len(s.src.Parts))
-		s.starts = make([]int64, len(s.src.Parts))
-		var total int64
+		s.sets = make([]chunkSet, len(s.src.Parts))
+		s.units = s.units[:0]
 		for i, p := range s.src.Parts {
-			src, n, err := snapshotVecCols(p, nc)
+			cs, err := captureChunks(p, s.src.Where, s.src.Parted.Name)
 			if err != nil {
 				return err
 			}
-			s.snaps[i], s.ns[i] = src, n
-			s.starts[i] = total
-			total += int64((n + morselRows - 1) / morselRows)
+			s.sets[i] = cs
+			for k := 0; k < cs.numChunks(); k++ {
+				s.units = append(s.units, partChunk{part: i, k: k})
+			}
 		}
-		s.total = total
 		s.cursor.Store(0)
 	}
 	s.opened++
@@ -206,7 +213,7 @@ func (s *sharedPartMorsels) close() {
 	if s.opened > 0 {
 		s.opened--
 		if s.opened == 0 {
-			s.snaps = nil
+			s.sets, s.units = nil, nil
 		}
 	}
 	s.mu.Unlock()
@@ -217,9 +224,10 @@ type vecPartMorselScan struct {
 	shared *sharedPartMorsels
 	Interruptible
 
-	win         colWindow
-	part        int
-	lo, hi, pos int
+	win    colWindow
+	cur    int // claimed position in the flattened unit list; -1 before any claim
+	src    []vecColSrc
+	n, pos int
 }
 
 // Columns implements VectorOperator.
@@ -236,72 +244,72 @@ func (m *vecPartMorselScan) Open() error {
 		return err
 	}
 	m.win.init(len(m.shared.src.cols))
-	m.part, m.lo, m.hi, m.pos = 0, 0, 0, 0
+	m.cur, m.src, m.n, m.pos = -1, nil, 0, 0
 	m.ResetInterrupt()
 	return nil
 }
 
-// NextMorsel implements MorselSource: it claims the next global morsel and
-// resolves it to a (partition, row range) pair.
+// NextMorsel implements MorselSource: one morsel is one surviving chunk of
+// one surviving partition.
 func (m *vecPartMorselScan) NextMorsel() (int64, bool) {
 	idx := m.shared.cursor.Add(1) - 1
-	if idx >= m.shared.total {
+	if idx >= int64(len(m.shared.units)) {
 		return 0, false
 	}
-	// Resolve the partition owning this dense index: starts is ascending, so
-	// find the last start ≤ idx.
-	p := len(m.shared.starts) - 1
-	for p > 0 && m.shared.starts[p] > idx {
-		p--
-	}
-	local := int(idx - m.shared.starts[p])
-	m.part = p
-	m.lo = local * morselRows
-	m.hi = m.lo + morselRows
-	if m.hi > m.shared.ns[p] {
-		m.hi = m.shared.ns[p]
-	}
-	m.pos = m.lo
+	m.cur = int(idx)
+	m.src, m.n, m.pos = nil, 0, 0
 	return idx, true
 }
 
 // NumMorsels implements MorselSource.
-func (m *vecPartMorselScan) NumMorsels() int64 { return m.shared.total }
+func (m *vecPartMorselScan) NumMorsels() int64 { return int64(len(m.shared.units)) }
 
 // NextBatch implements VectorOperator, returning nil at the end of the
-// current morsel.
+// current morsel. The claimed chunk decodes through the shared cache on the
+// first call (NextMorsel cannot report errors).
 func (m *vecPartMorselScan) NextBatch() (*Batch, error) {
 	if err := m.CheckInterruptNow(); err != nil {
 		return nil, err
 	}
-	if m.pos >= m.hi {
+	if m.cur < 0 {
+		return nil, nil
+	}
+	if m.src == nil {
+		u := m.shared.units[m.cur]
+		src, n, err := m.shared.sets[u.part].columns(u.k)
+		if err != nil {
+			return nil, err
+		}
+		m.src, m.n, m.pos = src, n, 0
+	}
+	if m.pos >= m.n {
 		return nil, nil
 	}
 	lo := m.pos
 	hi := lo + BatchSize
-	if hi > m.hi {
-		hi = m.hi
+	if hi > m.n {
+		hi = m.n
 	}
 	m.pos = hi
-	return m.win.window(m.shared.snaps[m.part], lo, hi), nil
+	return m.win.window(m.src, lo, hi), nil
 }
 
 // Close implements VectorOperator.
 func (m *vecPartMorselScan) Close() error { m.shared.close(); return nil }
 
-// SplitMorsels implements MorselSplitter: the surviving partitions' row
-// ranges form one combined morsel space. Inputs small enough for a single
-// morsel stay serial, and the pool never exceeds the morsel count.
+// SplitMorsels implements MorselSplitter: the surviving partitions' chunks
+// form one combined morsel space. Inputs with at most one chunk stay
+// serial, and the pool never exceeds the plan-time chunk count.
 func (s *PartitionScan) SplitMorsels(workers int) ([]MorselSource, bool) {
-	rows := 0
+	chunks := 0
 	for _, p := range s.Parts {
-		rows += p.NumRows()
+		chunks += p.NumChunks()
 	}
-	if rows <= morselRows {
+	if chunks <= 1 {
 		return nil, false
 	}
-	if m := (rows + morselRows - 1) / morselRows; workers > m {
-		workers = m
+	if workers > chunks {
+		workers = chunks
 	}
 	shared := &sharedPartMorsels{src: s}
 	out := make([]MorselSource, workers)

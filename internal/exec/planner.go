@@ -169,7 +169,9 @@ func buildScan(cat *table.Catalog, name string, where expr.Expr) (Operator, erro
 	if err != nil {
 		return nil, fmt.Errorf("exec: %w", err)
 	}
-	return NewTableScan(t), nil
+	ts := NewTableScan(t)
+	ts.Where = where
+	return ts, nil
 }
 
 func expandStars(items []sql.SelectItem, cols []string) ([]sql.SelectItem, error) {

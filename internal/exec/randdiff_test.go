@@ -241,6 +241,18 @@ func TestRandomizedDifferential(t *testing.T) {
 	withSmallMorsels(t, 256)
 	cat := randdiffFixture(t, rng, 3000)
 
+	// The differential corpus only exercises the chunked paths if the fixture
+	// actually spans chunks: pin the shape so a future DefaultChunkRows or
+	// fixture-size change can't silently collapse it to a single tail.
+	flat, ok := cat.Get("flat")
+	if !ok {
+		t.Fatal("fixture missing flat table")
+	}
+	if cv := flat.Chunks(); cv.NumSealed() < 4 || cv.NumChunks() == cv.NumSealed() {
+		t.Fatalf("fixture shape: %d sealed chunks, %d total — want ≥4 sealed plus a hot tail",
+			cv.NumSealed(), cv.NumChunks())
+	}
+
 	for i := 0; i < iters; i++ {
 		q, grouped, ordered := genQuery(rng)
 		st, err := sql.Parse(q)

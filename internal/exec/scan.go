@@ -1,33 +1,42 @@
 package exec
 
 import (
-	"fmt"
-
+	"datalaws/internal/expr"
+	"datalaws/internal/storage"
 	"datalaws/internal/table"
 )
 
-// TableScan reads every row of a base table, snapshotting the row count at
-// Open so concurrent appends do not tear the scan. It checks the bound
-// statement context once per stride of rows.
+// TableScan reads a base table chunk by chunk, capturing one consistent
+// ChunkView at Open so concurrent appends do not tear the scan. Where is the
+// statement's WHERE predicate, used only for zone-map pruning — sealed
+// chunks whose per-column min/max provably cannot satisfy it are skipped
+// without being decoded; exact filtering still happens in the Filter
+// operator above.
 type TableScan struct {
 	Table *table.Table
+	// Where prunes sealed chunks by zone map; nil scans everything.
+	Where expr.Expr
 	Interruptible
 
-	cols []string
-	n    int
-	pos  int
+	cols  []string
+	alias string
+
+	cs     chunkSet
+	ki     int
+	cur    []storage.Column
+	n, pos int
 }
 
 // NewTableScan builds a scan over t with qualified output columns.
 func NewTableScan(t *table.Table) *TableScan {
-	return &TableScan{Table: t, cols: qualifiedCols(t)}
+	return &TableScan{Table: t, cols: qualifiedCols(t), alias: t.Name}
 }
 
 // NewTableScanAs is NewTableScan with the qualifier overridden: partition
 // child tables scan under their parent's name, so queries reference
 // "parent.column" regardless of which partitions survive pruning.
 func NewTableScanAs(t *table.Table, alias string) *TableScan {
-	return &TableScan{Table: t, cols: qualifiedColsAs(t, alias)}
+	return &TableScan{Table: t, cols: qualifiedColsAs(t, alias), alias: alias}
 }
 
 // qualifiedCols names a table's columns as "table.column", the form every
@@ -51,30 +60,54 @@ func (s *TableScan) Columns() []string { return s.cols }
 
 // Open implements Operator.
 func (s *TableScan) Open() error {
-	if s.Table == nil {
-		return fmt.Errorf("exec: scan over nil table")
+	cs, err := captureChunks(s.Table, s.Where, s.alias)
+	if err != nil {
+		return err
 	}
-	s.n = s.Table.NumRows()
-	s.pos = 0
+	s.cs = cs
+	s.ki = 0
+	s.cur, s.n, s.pos = nil, 0, 0
 	s.ResetInterrupt()
 	return nil
 }
 
-// Next implements Operator.
+// Next implements Operator, advancing to the next surviving chunk when the
+// current one drains. Chunks decode through the shared cache on first
+// touch, so a row loop over a cold table pays one decode per chunk.
 func (s *TableScan) Next() (Row, error) {
 	if err := s.CheckInterrupt(); err != nil {
 		return nil, err
 	}
-	if s.pos >= s.n {
-		return nil, nil
+	for {
+		if s.cur == nil {
+			if s.ki >= s.cs.numChunks() {
+				return nil, nil
+			}
+			cols, n, err := s.cs.rawColumns(s.ki)
+			if err != nil {
+				return nil, err
+			}
+			s.cur, s.n, s.pos = cols, n, 0
+		}
+		if s.pos >= s.n {
+			s.cur = nil
+			s.ki++
+			continue
+		}
+		row := make(Row, len(s.cur))
+		for c, col := range s.cur {
+			row[c] = col.Value(s.pos)
+		}
+		s.pos++
+		return row, nil
 	}
-	row := s.Table.Row(s.pos)
-	s.pos++
-	return row, nil
 }
 
 // Close implements Operator.
-func (s *TableScan) Close() error { return nil }
+func (s *TableScan) Close() error {
+	s.cur, s.cs = nil, chunkSet{}
+	return nil
+}
 
 // ValuesScan replays pre-materialized rows; used for model scans' grids and
 // tests.

@@ -88,9 +88,10 @@ func LowerOpts(op Operator, workers int) Operator {
 func vectorize(op Operator) (VectorOperator, bool) {
 	switch o := op.(type) {
 	case *TableScan:
-		// Carry the row scan's column list: it may qualify with an alias
-		// (partition children scan under their parent's name).
-		return &VecTableScan{Table: o.Table, cols: append([]string(nil), o.cols...)}, true
+		// Carry the row scan's column list (it may qualify with an alias —
+		// partition children scan under their parent's name) and its pruning
+		// predicate.
+		return &VecTableScan{Table: o.Table, Where: o.Where, Alias: o.alias, cols: append([]string(nil), o.cols...)}, true
 	case *ValuesScan:
 		return &VecValuesScan{Cols: o.Cols, Rows: o.Rows}, true
 	case *Filter:

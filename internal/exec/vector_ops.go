@@ -20,16 +20,24 @@ type VectorOperator interface {
 	Close() error
 }
 
-// VecTableScan reads a base table in batches whose int/float vectors are
-// zero-copy views straight off the storage columns — no per-row boxing, no
-// table.Row materialization. Like TableScan it snapshots the row count (and
-// the column slice headers) at Open so concurrent appends do not tear the
-// scan.
+// VecTableScan reads a base table chunk by chunk in batches whose int/float
+// vectors are zero-copy views straight off the decoded storage columns — no
+// per-row boxing, no table.Row materialization. Like TableScan it captures
+// one consistent ChunkView at Open (concurrent appends do not tear the
+// scan) and skips sealed chunks whose zone maps prove Where cannot match,
+// without decoding them.
 type VecTableScan struct {
 	Table *table.Table
+	// Where prunes sealed chunks by zone map; nil scans everything.
+	Where expr.Expr
+	// Alias is the qualifier Where references columns under; empty means the
+	// table's own name.
+	Alias string
 	Interruptible
 
 	cols   []string
+	cs     chunkSet
+	ki     int
 	src    []vecColSrc
 	n, pos int
 	win    colWindow
@@ -51,83 +59,73 @@ type vecColSrc struct {
 // NewVecTableScan builds a vectorized scan over t with qualified output
 // columns.
 func NewVecTableScan(t *table.Table) *VecTableScan {
-	return &VecTableScan{Table: t, cols: qualifiedCols(t)}
+	return &VecTableScan{Table: t, cols: qualifiedCols(t), Alias: t.Name}
 }
 
 // NewVecTableScanAs is NewVecTableScan with the qualifier overridden (see
 // NewTableScanAs).
 func NewVecTableScanAs(t *table.Table, alias string) *VecTableScan {
-	return &VecTableScan{Table: t, cols: qualifiedColsAs(t, alias)}
+	return &VecTableScan{Table: t, cols: qualifiedColsAs(t, alias), Alias: alias}
 }
 
 // Columns implements VectorOperator.
 func (s *VecTableScan) Columns() []string { return s.cols }
 
+// aliasName resolves the pruning qualifier.
+func (s *VecTableScan) aliasName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Table != nil {
+		return s.Table.Name
+	}
+	return ""
+}
+
 // Open implements VectorOperator.
 func (s *VecTableScan) Open() error {
-	src, n, err := snapshotVecCols(s.Table, len(s.cols))
+	cs, err := captureChunks(s.Table, s.Where, s.aliasName())
 	if err != nil {
 		return err
 	}
-	s.src, s.n = src, n
-	s.pos = 0
+	s.cs = cs
+	s.ki = 0
+	s.src, s.n, s.pos = nil, 0, 0
 	s.ResetInterrupt()
 	s.win.init(len(s.cols))
 	return nil
 }
 
-// NextBatch implements VectorOperator.
+// NextBatch implements VectorOperator. Batch windows never span chunks, so
+// every emitted vector views a single decoded chunk (or the tail snapshot).
 func (s *VecTableScan) NextBatch() (*Batch, error) {
 	if err := s.CheckInterruptNow(); err != nil {
 		return nil, err
 	}
-	if s.pos >= s.n {
-		return nil, nil
-	}
-	lo := s.pos
-	hi := lo + BatchSize
-	if hi > s.n {
-		hi = s.n
-	}
-	s.pos = hi
-	return s.win.window(s.src, lo, hi), nil
-}
-
-// snapshotVecCols snapshots a table's typed column slice headers and row
-// count under one table lock: headers read outside it would race with a
-// concurrent append's slice growth, even though the first n elements are
-// immutable. Bitmaps pack many rows per word, so appends mutate words
-// earlier rows share — those are deep-copied up to the snapshot length. The
-// returned snapshot is immutable and safe to read from many goroutines
-// (morsel workers share one).
-func snapshotVecCols(t *table.Table, nc int) ([]vecColSrc, int, error) {
-	if t == nil {
-		return nil, 0, fmt.Errorf("exec: scan over nil table")
-	}
-	src := make([]vecColSrc, nc)
-	var n int
-	err := t.View(func(cols []storage.Column, rows int) error {
-		n = rows
-		for i := 0; i < nc; i++ {
-			switch tc := cols[i].(type) {
-			case *storage.Int64Column:
-				src[i] = vecColSrc{kind: expr.KindInt, i64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
-			case *storage.Float64Column:
-				src[i] = vecColSrc{kind: expr.KindFloat, f64: tc.Vals, nulls: tc.Nulls.ClonePrefix(rows)}
-			case *storage.StringColumn:
-				src[i] = vecColSrc{kind: expr.KindString, codes: tc.Codes, dict: tc.Dict, nulls: tc.Nulls.ClonePrefix(rows)}
-			case *storage.BoolColumn:
-				src[i] = vecColSrc{kind: expr.KindBool, bools: tc.Vals.ClonePrefix(rows), nulls: tc.Nulls.ClonePrefix(rows)}
-			default:
-				return fmt.Errorf("exec: cannot vectorize column type %T", tc)
+	for {
+		if s.src == nil {
+			if s.ki >= s.cs.numChunks() {
+				return nil, nil
 			}
+			src, n, err := s.cs.columns(s.ki)
+			if err != nil {
+				return nil, err
+			}
+			s.src, s.n, s.pos = src, n, 0
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, 0, err
+		if s.pos >= s.n {
+			s.src = nil
+			s.ki++
+			continue
+		}
+		lo := s.pos
+		hi := lo + BatchSize
+		if hi > s.n {
+			hi = s.n
+		}
+		s.pos = hi
+		return s.win.window(s.src, lo, hi), nil
 	}
-	return src, n, nil
 }
 
 // colWindow materializes [lo, hi) row windows of a column snapshot into a
@@ -213,7 +211,10 @@ func (w *colWindow) nullSlice(c int, bm *storage.Bitmap, lo, n int) []bool {
 }
 
 // Close implements VectorOperator.
-func (s *VecTableScan) Close() error { return nil }
+func (s *VecTableScan) Close() error {
+	s.src, s.cs = nil, chunkSet{}
+	return nil
+}
 
 // VecValuesScan replays pre-materialized boxed rows in batches.
 type VecValuesScan struct {

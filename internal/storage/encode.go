@@ -12,11 +12,12 @@ type Encoding uint8
 // Encodings. EncodeColumn picks the smallest candidate for the column's
 // type; DecodeColumn dispatches on the stored tag.
 const (
-	EncPlain Encoding = iota
-	EncDelta          // zig-zag varint deltas (sorted/sequential ints)
-	EncRLE            // run-length (low-cardinality ints)
-	EncDict           // dictionary codes + string table
-	EncXOR            // byte-aligned XOR chaining for floats
+	EncPlain  Encoding = iota
+	EncDelta           // zig-zag varint deltas (sorted/sequential ints)
+	EncRLE             // run-length (low-cardinality ints)
+	EncDict            // dictionary codes + string table
+	EncXOR             // byte-aligned XOR chaining for floats
+	EncLinear          // linear-law fit + XOR residuals vs the fitted line
 )
 
 func (e Encoding) String() string {
@@ -31,6 +32,8 @@ func (e Encoding) String() string {
 		return "dict"
 	case EncXOR:
 		return "xor"
+	case EncLinear:
+		return "linear"
 	}
 	return fmt.Sprintf("Encoding(%d)", uint8(e))
 }
@@ -107,6 +110,50 @@ func decFloat64Plain(b []byte, n int) ([]float64, error) {
 	return vals, nil
 }
 
+// appendPackedWord appends one XOR word: a zero word costs one byte (0x88,
+// lead=8 encoded as 8<<4), otherwise a header byte packs the leading- and
+// trailing-zero byte counts followed by the nonzero middle bytes. word is an
+// 8-byte scratch buffer the caller reuses across values.
+func appendPackedWord(buf []byte, x uint64, word []byte) []byte {
+	if x == 0 {
+		return append(buf, 0x88)
+	}
+	binary.BigEndian.PutUint64(word, x)
+	lead := 0
+	for lead < 8 && word[lead] == 0 {
+		lead++
+	}
+	trail := 0
+	for trail < 8-lead && word[7-trail] == 0 {
+		trail++
+	}
+	buf = append(buf, byte(lead<<4|trail))
+	return append(buf, word[lead:8-trail]...)
+}
+
+// readPackedWord reads one appendPackedWord frame starting at b[off],
+// returning the word and the bytes consumed. word is 8 bytes of scratch.
+func readPackedWord(b []byte, off int, word []byte) (uint64, int, error) {
+	if off >= len(b) {
+		return 0, 0, fmt.Errorf("storage: truncated XOR payload")
+	}
+	h := b[off]
+	lead := int(h >> 4)
+	trail := int(h & 0x0f)
+	if lead == 8 {
+		return 0, 1, nil
+	}
+	mid := 8 - lead - trail
+	if mid <= 0 || off+1+mid > len(b) {
+		return 0, 0, fmt.Errorf("storage: corrupt XOR header")
+	}
+	for k := range word {
+		word[k] = 0
+	}
+	copy(word[lead:8-trail], b[off+1:off+1+mid])
+	return binary.BigEndian.Uint64(word), 1 + mid, nil
+}
+
 // encFloat64XOR chains values through XOR with the previous value and stores
 // only the nonzero middle bytes of each XOR word, with a header byte packing
 // the leading- and trailing-zero byte counts. Repeated values cost one byte.
@@ -116,25 +163,103 @@ func encFloat64XOR(vals []float64) []byte {
 	word := make([]byte, 8)
 	for _, v := range vals {
 		bits := math.Float64bits(v)
-		x := bits ^ prev
+		buf = appendPackedWord(buf, bits^prev, word)
 		prev = bits
-		if x == 0 {
-			buf = append(buf, 0x88) // lead=8 encoded as 8<<4: full zero word
-			continue
-		}
-		binary.BigEndian.PutUint64(word, x)
-		lead := 0
-		for lead < 8 && word[lead] == 0 {
-			lead++
-		}
-		trail := 0
-		for trail < 8-lead && word[7-trail] == 0 {
-			trail++
-		}
-		buf = append(buf, byte(lead<<4|trail))
-		buf = append(buf, word[lead:8-trail]...)
 	}
 	return buf
+}
+
+// EncodeXORFloats packs a float64 slice with the XOR-chaining codec the
+// column encoder uses for EncXOR frames (Gorilla-style: consecutive equal or
+// close values share high bits, so their XOR has few nonzero bytes). It is
+// exported for residual streams — internal/compress stores model residuals
+// through it — so the engine has exactly one XOR float implementation.
+func EncodeXORFloats(vals []float64) []byte { return encFloat64XOR(vals) }
+
+// DecodeXORFloats reverses EncodeXORFloats for exactly n values, returning
+// the values and the payload bytes consumed.
+func DecodeXORFloats(b []byte, n int) ([]float64, int, error) {
+	return decFloat64XORCount(b, n)
+}
+
+// linPred evaluates the fitted line a + b·i. math.FMA keeps the evaluation
+// bit-identical across architectures (the compiler may otherwise fuse or not
+// fuse the multiply-add differently per platform), which EncLinear's
+// bit-exact reconstruction depends on: encoder and decoder must predict the
+// same float for frames to round-trip across machines.
+func linPred(a, b float64, i int) float64 { return math.FMA(b, float64(i), a) }
+
+// fitLinear least-squares fits vals against the row index, ignoring NaN/Inf.
+// The parameters are stored in the frame, so the fit itself only affects
+// compression ratio, never correctness.
+func fitLinear(vals []float64) (a, b float64) {
+	var n, sx, sy, sxx, sxy float64
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		x := float64(i)
+		n++
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	if n < 2 {
+		return 0, 0
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / det
+	a = (sy - b*sx) / n
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return 0, 0
+	}
+	return a, b
+}
+
+// encFloat64Linear is the paper-flavored law-as-compressor encoding: fit a
+// linear law to the column, store the two parameters, then store each value
+// as the XOR of its bits against the prediction's bits — lossless for every
+// input (NaN payloads included), and near-free when the data follows the
+// law. Returns nil when the column is too short to be worth a 16-byte
+// parameter header.
+func encFloat64Linear(vals []float64) []byte {
+	if len(vals) < 4 {
+		return nil
+	}
+	a, b := fitLinear(vals)
+	buf := make([]byte, 16, 16+len(vals))
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(a))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(b))
+	word := make([]byte, 8)
+	for i, v := range vals {
+		x := math.Float64bits(v) ^ math.Float64bits(linPred(a, b, i))
+		buf = appendPackedWord(buf, x, word)
+	}
+	return buf
+}
+
+func decFloat64LinearCount(b []byte, n int) ([]float64, int, error) {
+	if len(b) < 16 {
+		return nil, 0, fmt.Errorf("storage: truncated linear header")
+	}
+	a := math.Float64frombits(binary.LittleEndian.Uint64(b[0:]))
+	slope := math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	off := 16
+	vals := make([]float64, n)
+	word := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		x, sz, err := readPackedWord(b, off, word)
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: linear payload row %d: %w", i, err)
+		}
+		off += sz
+		vals[i] = math.Float64frombits(math.Float64bits(linPred(a, slope, i)) ^ x)
+	}
+	return vals, off, nil
 }
 
 // --- column framing ---
@@ -218,6 +343,9 @@ func EncodeColumn(c Column) []byte {
 		if len(xor) < len(payload) {
 			enc, payload = EncXOR, xor
 		}
+		if linear := encFloat64Linear(col.Vals); linear != nil && len(linear) < len(payload) {
+			enc, payload = EncLinear, linear
+		}
 		out := header(enc, len(col.Vals))
 		out = append(out, payload...)
 		return append(out, encodeNulls(col.Nulls)...)
@@ -253,6 +381,11 @@ func EncodeColumn(c Column) []byte {
 	panic(fmt.Sprintf("storage: unknown column %T", c))
 }
 
+// maxDecodeRows bounds the row count a column frame may claim, matching the
+// chunk-size ceiling the table layer enforces when persisting. Anything
+// larger is corruption, rejected before it can size an allocation.
+const maxDecodeRows = 1 << 31
+
 // DecodeColumn reverses EncodeColumn.
 func DecodeColumn(b []byte) (Column, error) {
 	if len(b) < 3 {
@@ -264,8 +397,18 @@ func DecodeColumn(b []byte) (Column, error) {
 	if sz <= 0 {
 		return nil, fmt.Errorf("storage: bad row count")
 	}
+	if n64 > maxDecodeRows {
+		return nil, fmt.Errorf("storage: implausible row count %d", n64)
+	}
 	n := int(n64)
 	body := b[2+sz:]
+	// Every encoding except RLE spends at least one payload byte per row, so
+	// a row count exceeding the remaining frame is corrupt. Checking before
+	// the decoders run keeps allocation proportional to the input, not to an
+	// attacker-chosen header. (RLE allocates with a clamped capacity instead.)
+	if enc != EncRLE && typ != TypeBool && n > len(body) {
+		return nil, fmt.Errorf("storage: row count %d exceeds frame", n)
+	}
 	switch typ {
 	case TypeInt64:
 		// Payload length is implicit for varint encodings: find the split
@@ -310,6 +453,8 @@ func DecodeColumn(b []byte) (Column, error) {
 			consumed = 8 * n
 		case EncXOR:
 			vals, consumed, err = decFloat64XORCount(body, n)
+		case EncLinear:
+			vals, consumed, err = decFloat64LinearCount(body, n)
 		default:
 			return nil, fmt.Errorf("storage: bad float encoding %s", enc)
 		}
@@ -329,6 +474,9 @@ func DecodeColumn(b []byte) (Column, error) {
 		dn, sz := binary.Uvarint(body[off:])
 		if sz <= 0 {
 			return nil, fmt.Errorf("storage: bad dictionary size")
+		}
+		if dn > uint64(len(body)) { // each entry needs ≥1 length byte
+			return nil, fmt.Errorf("storage: implausible dictionary size %d", dn)
 		}
 		off += sz
 		col := NewStringColumn()
@@ -398,7 +546,13 @@ func decInt64DeltaCount(b []byte, n int) ([]int64, int, error) {
 }
 
 func decInt64RLECount(b []byte, n int) ([]int64, int, error) {
-	vals := make([]int64, 0, n)
+	// Runs compress, so n may legitimately dwarf len(b); clamp the upfront
+	// capacity to the input size and let append grow on real data.
+	cap0 := n
+	if cap0 > len(b) {
+		cap0 = len(b)
+	}
+	vals := make([]int64, 0, cap0)
 	off := 0
 	for len(vals) < n {
 		v, sz := binary.Varint(b[off:])
@@ -427,27 +581,12 @@ func decFloat64XORCount(b []byte, n int) ([]float64, int, error) {
 	off := 0
 	word := make([]byte, 8)
 	for i := 0; i < n; i++ {
-		if off >= len(b) {
-			return nil, 0, fmt.Errorf("storage: truncated XOR payload at row %d", i)
+		x, sz, err := readPackedWord(b, off, word)
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: XOR payload row %d: %w", i, err)
 		}
-		h := b[off]
-		off++
-		lead := int(h >> 4)
-		trail := int(h & 0x0f)
-		if lead == 8 {
-			vals[i] = math.Float64frombits(prev)
-			continue
-		}
-		mid := 8 - lead - trail
-		if mid <= 0 || off+mid > len(b) {
-			return nil, 0, fmt.Errorf("storage: corrupt XOR header at row %d", i)
-		}
-		for k := range word {
-			word[k] = 0
-		}
-		copy(word[lead:8-trail], b[off:off+mid])
-		off += mid
-		prev ^= binary.BigEndian.Uint64(word)
+		off += sz
+		prev ^= x
 		vals[i] = math.Float64frombits(prev)
 	}
 	return vals, off, nil

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"datalaws/internal/expr"
+)
+
+// buildFuzzColumn interprets raw fuzz bytes as an append program: the first
+// byte picks the column type, then each step consumes a tag byte (NULL vs
+// value, and for RLE-friendliness a "repeat previous" mode) plus a value
+// payload. Every byte string maps to some valid column, so the fuzzer
+// explores encoder choice boundaries (sequential vs RLE vs raw ints, XOR vs
+// linear floats, dictionary widths) rather than just rejecting inputs.
+func buildFuzzColumn(data []byte) Column {
+	if len(data) == 0 {
+		return NewInt64Column()
+	}
+	kind, data := data[0]%4, data[1:]
+	take := func(n int) []byte {
+		if len(data) < n {
+			pad := make([]byte, n)
+			copy(pad, data)
+			data = nil
+			return pad
+		}
+		v := data[:n]
+		data = data[n:]
+		return v
+	}
+	switch kind {
+	case 0:
+		col := NewInt64Column()
+		var prev, stride int64
+		for len(data) > 0 {
+			tag := take(1)[0]
+			switch {
+			case tag%8 == 0:
+				col.AppendNull()
+			case tag%8 < 4: // repeat-with-stride runs exercise RLE/sequential
+				for i := byte(0); i < tag%8; i++ {
+					prev += stride
+					col.Append(prev)
+				}
+			default:
+				prev = int64(binary.LittleEndian.Uint64(take(8)))
+				stride = int64(tag>>4) - 7
+				col.Append(prev)
+			}
+		}
+		return col
+	case 1:
+		col := NewFloat64Column()
+		var prev float64
+		for len(data) > 0 {
+			tag := take(1)[0]
+			switch {
+			case tag%8 == 0:
+				col.AppendNull()
+			case tag%8 < 4: // repeats hit the XOR codec's zero-delta path
+				for i := byte(0); i < tag%8; i++ {
+					col.Append(prev)
+				}
+			default:
+				// Raw bit pattern: NaN payloads, ±Inf, -0 and subnormals all
+				// reachable, so round-trips must be bit-exact, not Value-equal.
+				prev = math.Float64frombits(binary.LittleEndian.Uint64(take(8)))
+				col.Append(prev)
+			}
+		}
+		return col
+	case 2:
+		col := NewStringColumn()
+		for len(data) > 0 {
+			tag := take(1)[0]
+			if tag%8 == 0 {
+				col.AppendNull()
+				continue
+			}
+			col.Append(string(take(int(tag % 8))))
+		}
+		return col
+	default:
+		col := NewBoolColumn()
+		for len(data) > 0 {
+			tag := take(1)[0]
+			switch {
+			case tag%4 == 0:
+				col.AppendNull()
+			default:
+				col.Append(tag%2 == 1)
+			}
+		}
+		return col
+	}
+}
+
+func sameColumn(t *testing.T, a, b Column) {
+	t.Helper()
+	if a.Type() != b.Type() || a.Len() != b.Len() {
+		t.Fatalf("shape: %v/%d vs %v/%d", a.Type(), a.Len(), b.Type(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.IsNull(i) != b.IsNull(i) {
+			t.Fatalf("row %d: null %v vs %v", i, a.IsNull(i), b.IsNull(i))
+		}
+		if a.IsNull(i) {
+			continue
+		}
+		av, bv := a.Value(i), b.Value(i)
+		if ac, ok := a.(*Float64Column); ok {
+			bits := math.Float64bits(ac.Vals[i])
+			if got := math.Float64bits(b.(*Float64Column).Vals[i]); got != bits {
+				t.Fatalf("row %d: float bits %016x vs %016x", i, bits, got)
+			}
+			continue
+		}
+		if av.K != bv.K || av.String() != bv.String() {
+			t.Fatalf("row %d: %v (%s) vs %v (%s)", i, av, av.K, bv, bv.K)
+		}
+	}
+}
+
+// FuzzEncodeColumn drives EncodeColumn/DecodeColumn from two directions:
+// columns built from the input must round-trip bit-for-bit (and re-encode to
+// the identical frame — the encoders are deterministic), and the raw input
+// fed straight into DecodeColumn must error cleanly rather than panic.
+func FuzzEncodeColumn(f *testing.F) {
+	f.Add([]byte{})                                            // empty input → empty column
+	f.Add([]byte{0})                                           // empty int column
+	f.Add([]byte{1})                                           // empty float column
+	f.Add([]byte{0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 8, 0})   // ints with NULLs interleaved
+	f.Add([]byte{0, 9, 1, 2, 3, 1, 2, 3})                      // single-run RLE: one value, stride 0 repeats
+	f.Add([]byte{1, 12, 0, 0, 0, 0, 0, 0, 248, 127, 1, 1, 1}) // +Inf then zero-delta repeats
+	f.Add([]byte{1, 0, 0, 0})                                  // all-NULL float column
+	f.Add([]byte{2, 3, 'a', 'b', 'c', 3, 'a', 'b', 'c', 0, 5}) // dict strings with dup + NULL
+	f.Add([]byte{3, 1, 3, 0, 1, 3})                            // bools with NULL
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col := buildFuzzColumn(data)
+		frame := EncodeColumn(col)
+		got, err := DecodeColumn(frame)
+		if err != nil {
+			t.Fatalf("decode of fresh encode failed: %v", err)
+		}
+		sameColumn(t, col, got)
+		if re := EncodeColumn(got); !bytes.Equal(frame, re) {
+			t.Fatalf("re-encode differs: %d vs %d bytes", len(frame), len(re))
+		}
+		// Decoded columns stay appendable (string dict index must rebuild).
+		if err := got.AppendValue(expr.Null()); err != nil {
+			t.Fatalf("append to decoded column: %v", err)
+		}
+		if !got.IsNull(got.Len() - 1) {
+			t.Fatal("appended NULL not readable on decoded column")
+		}
+
+		// Adversarial direction: arbitrary bytes must never panic the decoder.
+		// Skip frames whose header claims a huge row count: RLE runs make
+		// them decodable in principle, but materializing millions of rows per
+		// iteration would stall the fuzzer without covering new code.
+		if n, sz := binary.Uvarint(data[min(2, len(data)):]); sz <= 0 || n <= 1<<20 {
+			if c, err := DecodeColumn(data); err == nil {
+				// Whatever it accepted must be internally consistent.
+				_ = EncodeColumn(c)
+			}
+		}
+	})
+}

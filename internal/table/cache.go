@@ -1,0 +1,144 @@
+package table
+
+import (
+	"container/list"
+	"sync"
+
+	"datalaws/internal/storage"
+)
+
+// DefaultChunkCacheBytes is the decoded-chunk cache's default byte budget.
+// The budget bounds the decoded working set, not the table size: a scan over
+// a table many times larger than the budget streams chunks through the cache
+// and completes in bounded memory.
+const DefaultChunkCacheBytes = 128 << 20
+
+// chunkCache is a process-wide LRU of decoded chunks keyed by chunk
+// identity. Entries evicted while a scan still holds their column slices
+// stay alive through the garbage collector; the cache only bounds what it
+// retains. A decoded chunk larger than the whole budget is returned uncached
+// so retained bytes never exceed the budget.
+type chunkCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[*Chunk]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	ch   *Chunk
+	cols []storage.Column
+	size int64
+}
+
+var decodedCache = newChunkCache(DefaultChunkCacheBytes)
+
+func newChunkCache(budget int64) *chunkCache {
+	return &chunkCache{budget: budget, ll: list.New(), entries: map[*Chunk]*list.Element{}}
+}
+
+// columns returns the chunk's decoded column set, decoding on miss. The
+// decode runs outside the lock — concurrent misses on one chunk may decode
+// it twice, but only one result is retained.
+func (c *chunkCache) columns(ch *Chunk) ([]storage.Column, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[ch]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		cols := el.Value.(*cacheEntry).cols
+		c.mu.Unlock()
+		return cols, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	cols, err := ch.decode()
+	if err != nil {
+		return nil, err
+	}
+	size := int64(ch.raw)
+
+	c.mu.Lock()
+	if _, ok := c.entries[ch]; !ok && size <= c.budget {
+		c.entries[ch] = c.ll.PushFront(&cacheEntry{ch: ch, cols: cols, size: size})
+		c.used += size
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return cols, nil
+}
+
+// evictLocked drops least-recently-used entries until used ≤ budget; callers
+// hold c.mu. The most recent entry survives because its size alone fits the
+// budget (columns checks before inserting).
+func (c *chunkCache) evictLocked() {
+	for c.used > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.ch)
+		c.used -= e.size
+		c.evictions++
+	}
+	if c.used > c.budget && c.ll.Len() == 1 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.ch)
+		c.used -= e.size
+		c.evictions++
+	}
+}
+
+func (c *chunkCache) setBudget(bytes int64) {
+	c.mu.Lock()
+	c.budget = bytes
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+func (c *chunkCache) stats() ChunkCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChunkCacheStats{
+		Budget:    c.budget,
+		Used:      c.used,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+func (c *chunkCache) resetStats() {
+	c.mu.Lock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.mu.Unlock()
+}
+
+// ChunkCacheStats reports the decoded-chunk cache's occupancy and traffic.
+// Misses count chunk decodes, which is what the "selective scans decode few
+// chunks" acceptance tests measure.
+type ChunkCacheStats struct {
+	Budget    int64
+	Used      int64
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// SetChunkCacheBudget resizes the process-wide decoded-chunk cache,
+// evicting immediately if the new budget is smaller. A budget of 0 disables
+// caching (every sealed-chunk read decodes).
+func SetChunkCacheBudget(bytes int64) { decodedCache.setBudget(bytes) }
+
+// CacheStats returns the decoded-chunk cache counters.
+func CacheStats() ChunkCacheStats { return decodedCache.stats() }
+
+// ResetCacheStats zeroes the hit/miss/eviction counters (occupancy is kept);
+// tests bracket a scan with it to measure decode traffic.
+func ResetCacheStats() { decodedCache.resetStats() }

@@ -2,6 +2,14 @@
 // tables, a catalog, and CSV import/export. Tables are append-oriented (the
 // telescope keeps observing; §2 expects measurement counts to grow linearly
 // over time) and safe for concurrent readers with a single writer.
+//
+// Storage is two-tier: appends land in a mutable hot tail of plain columns;
+// when the tail reaches the chunk row budget it is sealed into an immutable
+// compressed chunk (per-column best-of encoding plus a zone map for scan
+// pruning). Readers take a ChunkView — sealed chunk references plus an
+// immutable tail snapshot captured under one lock — and decode chunks on
+// demand through a byte-budgeted LRU cache, so a scan's working set, not the
+// table size, bounds memory.
 package table
 
 import (
@@ -62,24 +70,39 @@ func (s *Schema) Names() []string {
 	return out
 }
 
-// Table is a relational table over typed columns.
+// Table is a relational table over typed columns: a list of sealed immutable
+// compressed chunks plus a mutable hot tail absorbing appends.
 type Table struct {
 	Name   string
 	schema *Schema
 
-	mu      sync.RWMutex
-	cols    []storage.Column
-	rows    int
-	version uint64 // bumped on every append; model staleness detection
+	mu         sync.RWMutex
+	sealed     []*Chunk
+	sealedRows int
+	tail       []storage.Column
+	tailRows   int
+	chunkRows  int    // seal threshold, fixed at creation and persisted
+	version    uint64 // bumped on every append; model staleness detection
 }
 
-// New creates an empty table with the given schema.
+// New creates an empty table with the given schema. The seal threshold is
+// captured from DefaultChunkRows at creation, so sealing depends only on the
+// row-arrival sequence — WAL replay re-seals a recovered table identically.
 func New(name string, schema *Schema) *Table {
+	t := &Table{Name: name, schema: schema, chunkRows: DefaultChunkRows}
+	if t.chunkRows < 1 {
+		t.chunkRows = 1
+	}
+	t.tail = newTailCols(schema)
+	return t
+}
+
+func newTailCols(schema *Schema) []storage.Column {
 	cols := make([]storage.Column, len(schema.Cols))
 	for i, c := range schema.Cols {
 		cols[i] = storage.NewColumn(c.Type)
 	}
-	return &Table{Name: name, schema: schema, cols: cols}
+	return cols
 }
 
 // Schema returns the table's schema.
@@ -89,7 +112,19 @@ func (t *Table) Schema() *Schema { return t.schema }
 func (t *Table) NumRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows
+	return t.sealedRows + t.tailRows
+}
+
+// NumChunks counts the table's current scan units: sealed chunks plus the
+// hot tail when it is non-empty.
+func (t *Table) NumChunks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.sealed)
+	if t.tailRows > 0 {
+		n++
+	}
+	return n
 }
 
 // Version returns a counter that increases with every append. The model
@@ -134,7 +169,8 @@ func (t *Table) AppendRows(rows [][]expr.Value) (int, error) {
 	return len(rows), nil
 }
 
-// appendRowLocked appends one schema-aligned row; callers hold t.mu and are
+// appendRowLocked appends one schema-aligned row to the hot tail, sealing it
+// into a chunk when the row budget fills; callers hold t.mu and are
 // responsible for the version bump. A failing value rolls back the partial
 // row so columns stay aligned.
 func (t *Table) appendRowLocked(vals []expr.Value) error {
@@ -142,15 +178,32 @@ func (t *Table) appendRowLocked(vals []expr.Value) error {
 		return fmt.Errorf("table %s: row has %d values, schema has %d", t.Name, len(vals), len(t.schema.Cols))
 	}
 	for i, v := range vals {
-		if err := t.cols[i].AppendValue(v); err != nil {
+		if err := t.tail[i].AppendValue(v); err != nil {
 			for j := 0; j < i; j++ {
-				rollbackLast(t.cols[j])
+				rollbackLast(t.tail[j])
 			}
 			return fmt.Errorf("table %s, column %s: %w", t.Name, t.schema.Cols[i].Name, err)
 		}
 	}
-	t.rows++
+	t.tailRows++
+	if t.tailRows >= t.chunkRows {
+		t.sealTailLocked()
+	}
 	return nil
+}
+
+// sealTailLocked encodes the tail into an immutable chunk and starts a fresh
+// one; callers hold t.mu. Safe against concurrent ChunkViews: their tail
+// snapshots alias the old column backing arrays, which sealing never
+// mutates.
+func (t *Table) sealTailLocked() {
+	if t.tailRows == 0 {
+		return
+	}
+	t.sealed = append(t.sealed, sealChunk(t.tail, t.tailRows))
+	t.sealedRows += t.tailRows
+	t.tailRows = 0
+	t.tail = newTailCols(t.schema)
 }
 
 func rollbackLast(c storage.Column) {
@@ -186,200 +239,336 @@ func rollbackLast(c storage.Column) {
 	}
 }
 
-// Column returns the named column, or nil.
+// mustDecode is the chunk-decode failure policy for accessors whose
+// signature has no error: frames are validated by decoding at load time and
+// produced by the in-process encoder otherwise, so a failure here means
+// memory corruption, not bad input — fail loudly.
+func mustDecode(cols []storage.Column, err error) []storage.Column {
+	if err != nil {
+		panic(fmt.Sprintf("table: sealed chunk failed to decode: %v", err))
+	}
+	return cols
+}
+
+// Column returns the named column materialized across every chunk, or nil.
+// Tables that fit in the tail return the snapshot directly; otherwise the
+// chunks are decoded and concatenated — prefer ChunkView or View/Snapshot
+// for scan-sized reads.
 func (t *Table) Column(name string) storage.Column {
 	i := t.schema.Index(name)
 	if i < 0 {
 		return nil
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.cols[i]
+	return t.ColumnAt(i)
 }
 
-// ColumnAt returns the column at position i.
+// ColumnAt returns the column at position i, materialized across chunks.
 func (t *Table) ColumnAt(i int) storage.Column {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.cols[i]
+	v := t.Chunks()
+	if len(v.sealed) == 0 {
+		if v.tail != nil {
+			return v.tail[i]
+		}
+		return storage.NewColumn(t.schema.Cols[i].Type)
+	}
+	dst := storage.NewColumn(t.schema.Cols[i].Type)
+	for k := 0; k < v.NumChunks(); k++ {
+		cols := mustDecode(v.Columns(k))
+		appendColPrefix(dst, cols[i], v.ChunkLen(k))
+	}
+	return dst
 }
 
-// View runs f with the column set and row count under one read-lock
-// acquisition. Scans that snapshot typed slice headers (the vectorized
-// table scan) must take them inside f: reading a column's slice header
-// outside the lock races with a concurrent append's header update, even
-// though the first `rows` elements themselves are immutable.
+// View runs f over a consistent materialized snapshot: every column decoded
+// and concatenated from the same ChunkView, so cross-column reads cannot
+// tear even while a writer keeps appending. The columns handed to f are
+// immutable. Scans should not use View — it materializes the whole table;
+// the chunk-streaming path (Chunks) bounds memory by the cache budget.
 func (t *Table) View(f func(cols []storage.Column, rows int) error) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return f(t.cols, t.rows)
+	cols, rows, _, err := t.materializeView()
+	if err != nil {
+		return err
+	}
+	return f(cols, rows)
 }
 
 // Snapshot is View extended with the version counter: f observes columns,
-// row count and version under the same read-lock acquisition, so fitting can
+// row count and version captured from the same instant, so fitting can
 // record exactly which table state it saw even while a writer keeps
-// appending. Only the first `rows` elements of each column are part of the
-// snapshot; they are immutable once written.
+// appending.
 func (t *Table) Snapshot(f func(cols []storage.Column, rows int, version uint64) error) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return f(t.cols, t.rows, t.version)
+	cols, rows, version, err := t.materializeView()
+	if err != nil {
+		return err
+	}
+	return f(cols, rows, version)
 }
 
-// Row materializes row i as boxed values.
+// materializeView decodes and concatenates every chunk of one ChunkView.
+// Tables with no sealed chunks return the tail snapshot without copying.
+func (t *Table) materializeView() ([]storage.Column, int, uint64, error) {
+	v := t.Chunks()
+	if len(v.sealed) == 0 {
+		cols := v.tail
+		if cols == nil {
+			cols = newTailCols(t.schema)
+		}
+		return cols, v.rows, v.version, nil
+	}
+	out := newTailCols(t.schema)
+	for k := 0; k < v.NumChunks(); k++ {
+		cols, err := v.Columns(k)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for i := range out {
+			appendColPrefix(out[i], cols[i], v.ChunkLen(k))
+		}
+	}
+	return out, v.rows, v.version, nil
+}
+
+// appendColPrefix appends the first n rows of src onto dst (same storage
+// type; chunks of one table share the schema).
+func appendColPrefix(dst, src storage.Column, n int) {
+	switch d := dst.(type) {
+	case *storage.Int64Column:
+		s := src.(*storage.Int64Column)
+		d.Vals = append(d.Vals, s.Vals[:n]...)
+		appendBits(d.Nulls, s.Nulls, n)
+	case *storage.Float64Column:
+		s := src.(*storage.Float64Column)
+		d.Vals = append(d.Vals, s.Vals[:n]...)
+		appendBits(d.Nulls, s.Nulls, n)
+	case *storage.StringColumn:
+		s := src.(*storage.StringColumn)
+		for i := 0; i < n; i++ {
+			if s.Nulls.Get(i) {
+				d.AppendNull()
+			} else {
+				d.Append(s.Dict[s.Codes[i]])
+			}
+		}
+	case *storage.BoolColumn:
+		s := src.(*storage.BoolColumn)
+		for i := 0; i < n; i++ {
+			if s.Nulls.Get(i) {
+				d.AppendNull()
+			} else {
+				d.Append(s.Vals.Get(i))
+			}
+		}
+	}
+}
+
+func appendBits(dst, src *storage.Bitmap, n int) {
+	for i := 0; i < n; i++ {
+		dst.Append(src.Get(i))
+	}
+}
+
+// Row materializes row i as boxed values. Tail rows are read under the lock;
+// sealed rows resolve their chunk under the lock and decode through the
+// cache outside it, so sequential Row loops (CSV export) decode each chunk
+// once.
 func (t *Table) Row(i int) []expr.Value {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]expr.Value, len(t.cols))
-	for c, col := range t.cols {
-		out[c] = col.Value(i)
+	if i >= t.sealedRows {
+		li := i - t.sealedRows
+		out := make([]expr.Value, len(t.tail))
+		for c, col := range t.tail {
+			out[c] = col.Value(li)
+		}
+		t.mu.RUnlock()
+		return out
+	}
+	var ch *Chunk
+	li, off := 0, 0
+	for _, c := range t.sealed {
+		if i < off+c.rows {
+			ch, li = c, i-off
+			break
+		}
+		off += c.rows
+	}
+	t.mu.RUnlock()
+	cols := mustDecode(decodedCache.columns(ch))
+	out := make([]expr.Value, len(cols))
+	for c, col := range cols {
+		out[c] = col.Value(li)
 	}
 	return out
 }
 
 // FloatColumn extracts the named column as []float64, coercing integers.
 // NULL entries and non-numeric columns yield an error: fitting needs
-// complete numeric data.
+// complete numeric data. NULL detection reads the sealed chunks' zone maps,
+// so a NULL-bearing table fails before any chunk is decoded.
 func (t *Table) FloatColumn(name string) ([]float64, error) {
-	col := t.Column(name)
-	if col == nil {
+	i := t.schema.Index(name)
+	if i < 0 {
 		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	switch c := col.(type) {
-	case *storage.Float64Column:
-		if c.Nulls.Any() {
-			return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
-		}
-		out := make([]float64, len(c.Vals))
-		copy(out, c.Vals)
-		return out, nil
-	case *storage.Int64Column:
-		if c.Nulls.Any() {
-			return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
-		}
-		out := make([]float64, len(c.Vals))
-		for i, v := range c.Vals {
-			out[i] = float64(v)
-		}
-		return out, nil
+	def := t.schema.Cols[i]
+	if def.Type != storage.TypeInt64 && def.Type != storage.TypeFloat64 {
+		return nil, fmt.Errorf("table %s: column %q is not numeric", t.Name, name)
 	}
-	return nil, fmt.Errorf("table %s: column %q is not numeric", t.Name, name)
+	v := t.Chunks()
+	if v.hasNulls(i) {
+		return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+	}
+	out := make([]float64, 0, v.rows)
+	for k := 0; k < v.NumChunks(); k++ {
+		cols, err := v.Columns(k)
+		if err != nil {
+			return nil, err
+		}
+		n := v.ChunkLen(k)
+		switch c := cols[i].(type) {
+		case *storage.Float64Column:
+			out = append(out, c.Vals[:n]...)
+		case *storage.Int64Column:
+			for _, x := range c.Vals[:n] {
+				out = append(out, float64(x))
+			}
+		}
+	}
+	return out, nil
 }
 
 // IntColumn extracts the named column as []int64.
 func (t *Table) IntColumn(name string) ([]int64, error) {
-	col := t.Column(name)
-	if col == nil {
+	i := t.schema.Index(name)
+	if i < 0 {
 		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
 	}
-	c, ok := col.(*storage.Int64Column)
-	if !ok {
+	if t.schema.Cols[i].Type != storage.TypeInt64 {
 		return nil, fmt.Errorf("table %s: column %q is not BIGINT", t.Name, name)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if c.Nulls.Any() {
+	v := t.Chunks()
+	if v.hasNulls(i) {
 		return nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
 	}
-	out := make([]int64, len(c.Vals))
-	copy(out, c.Vals)
+	out := make([]int64, 0, v.rows)
+	for k := 0; k < v.NumChunks(); k++ {
+		cols, err := v.Columns(k)
+		if err != nil {
+			return nil, err
+		}
+		n := v.ChunkLen(k)
+		out = append(out, cols[i].(*storage.Int64Column).Vals[:n]...)
+	}
 	return out, nil
+}
+
+// hasNulls reports whether column i holds any NULL in the view: sealed
+// chunks answer from their zone maps without decoding, the tail by scanning
+// its snapshot.
+func (v *ChunkView) hasNulls(i int) bool {
+	for _, ch := range v.sealed {
+		if ch.zones[i].Nulls > 0 {
+			return true
+		}
+	}
+	if v.tail != nil {
+		c := v.tail[i]
+		for r := 0; r < v.tailRows; r++ {
+			if c.IsNull(r) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ModelView extracts the model-evaluation read set — row count, an optional
 // BIGINT group column, and a list of numeric columns coerced to float64 —
-// under a single read-lock acquisition, so every returned slice describes
-// the same table state even while a writer keeps appending. Separate
-// FloatColumn/IntColumn calls each take their own lock and can observe a
-// torn cross-column view. groupCol may be "" for ungrouped extraction.
+// from a single ChunkView, so every returned slice describes the same table
+// state even while a writer keeps appending. Separate FloatColumn/IntColumn
+// calls each capture their own view and can observe a torn cross-column
+// snapshot. groupCol may be "" for ungrouped extraction.
 func (t *Table) ModelView(groupCol string, floatCols []string) (rows int, group []int64, floats [][]float64, err error) {
+	v := t.Chunks()
+	rows = v.rows
+	gi := -1
+	if groupCol != "" {
+		gi = t.schema.Index(groupCol)
+		if gi < 0 {
+			return 0, nil, nil, fmt.Errorf("table %s: no column %q", t.Name, groupCol)
+		}
+		if t.schema.Cols[gi].Type != storage.TypeInt64 {
+			return 0, nil, nil, fmt.Errorf("table %s: column %q is not BIGINT", t.Name, groupCol)
+		}
+		if v.hasNulls(gi) {
+			return 0, nil, nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, groupCol)
+		}
+		group = make([]int64, 0, rows)
+	}
+	fidx := make([]int, len(floatCols))
 	floats = make([][]float64, len(floatCols))
-	err = t.Snapshot(func(cols []storage.Column, n int, _ uint64) error {
-		rows = n
-		if groupCol != "" {
-			i := t.schema.Index(groupCol)
-			if i < 0 {
-				return fmt.Errorf("table %s: no column %q", t.Name, groupCol)
-			}
-			c, ok := cols[i].(*storage.Int64Column)
-			if !ok {
-				return fmt.Errorf("table %s: column %q is not BIGINT", t.Name, groupCol)
-			}
-			if anyNullPrefix(c.Nulls, n) {
-				return fmt.Errorf("table %s: column %q contains NULLs", t.Name, groupCol)
-			}
-			group = make([]int64, n)
-			copy(group, c.Vals[:n])
+	for k, name := range floatCols {
+		fidx[k] = t.schema.Index(name)
+		if fidx[k] < 0 {
+			return 0, nil, nil, fmt.Errorf("table %s: no column %q", t.Name, name)
 		}
-		for k, name := range floatCols {
-			i := t.schema.Index(name)
-			if i < 0 {
-				return fmt.Errorf("table %s: no column %q", t.Name, name)
-			}
-			out, err := floatPrefix(t.Name, name, cols[i], n)
-			if err != nil {
-				return err
-			}
-			floats[k] = out
+		def := t.schema.Cols[fidx[k]]
+		if def.Type != storage.TypeInt64 && def.Type != storage.TypeFloat64 {
+			return 0, nil, nil, fmt.Errorf("table %s: column %q is not numeric", t.Name, name)
 		}
-		return nil
-	})
-	if err != nil {
-		return 0, nil, nil, err
+		if v.hasNulls(fidx[k]) {
+			return 0, nil, nil, fmt.Errorf("table %s: column %q contains NULLs", t.Name, name)
+		}
+		floats[k] = make([]float64, 0, rows)
+	}
+	for k := 0; k < v.NumChunks(); k++ {
+		cols, cerr := v.Columns(k)
+		if cerr != nil {
+			return 0, nil, nil, cerr
+		}
+		n := v.ChunkLen(k)
+		if gi >= 0 {
+			group = append(group, cols[gi].(*storage.Int64Column).Vals[:n]...)
+		}
+		for j, ci := range fidx {
+			switch c := cols[ci].(type) {
+			case *storage.Float64Column:
+				floats[j] = append(floats[j], c.Vals[:n]...)
+			case *storage.Int64Column:
+				for _, x := range c.Vals[:n] {
+					floats[j] = append(floats[j], float64(x))
+				}
+			}
+		}
+	}
+	if gi < 0 {
+		group = nil
 	}
 	return rows, group, floats, nil
 }
 
 // Head materializes the first min(n, rows) rows as boxed values and returns
-// them with the total row count, under a single read-lock acquisition —
-// unlike a Row loop bracketed by NumRows calls, the prefix and the count
-// agree even while a writer keeps appending.
+// them with the total row count, from a single ChunkView — the prefix and
+// the count agree even while a writer keeps appending. Only the chunks
+// covering the prefix are decoded.
 func (t *Table) Head(n int) ([][]expr.Value, int) {
-	var out [][]expr.Value
-	total := 0
-	_ = t.Snapshot(func(cols []storage.Column, rows int, _ uint64) error {
-		total = rows
-		if n > rows {
-			n = rows
-		}
-		out = make([][]expr.Value, n)
-		for r := 0; r < n; r++ {
+	v := t.Chunks()
+	total := v.rows
+	if n > total {
+		n = total
+	}
+	out := make([][]expr.Value, 0, n)
+	for k := 0; k < v.NumChunks() && len(out) < n; k++ {
+		cols := mustDecode(v.Columns(k))
+		cl := v.ChunkLen(k)
+		for r := 0; r < cl && len(out) < n; r++ {
 			vals := make([]expr.Value, len(cols))
 			for c, col := range cols {
 				vals[c] = col.Value(r)
 			}
-			out[r] = vals
+			out = append(out, vals)
 		}
-		return nil
-	})
-	return out, total
-}
-
-// floatPrefix coerces the first rows entries of a numeric column to
-// float64, mirroring FloatColumn's rules (integers coerce; NULLs and
-// non-numeric columns error). Caller holds the table lock via Snapshot.
-func floatPrefix(tname, cname string, col storage.Column, rows int) ([]float64, error) {
-	switch c := col.(type) {
-	case *storage.Float64Column:
-		if anyNullPrefix(c.Nulls, rows) {
-			return nil, fmt.Errorf("table %s: column %q contains NULLs", tname, cname)
-		}
-		out := make([]float64, rows)
-		copy(out, c.Vals[:rows])
-		return out, nil
-	case *storage.Int64Column:
-		if anyNullPrefix(c.Nulls, rows) {
-			return nil, fmt.Errorf("table %s: column %q contains NULLs", tname, cname)
-		}
-		out := make([]float64, rows)
-		for i, v := range c.Vals[:rows] {
-			out[i] = float64(v)
-		}
-		return out, nil
 	}
-	return nil, fmt.Errorf("table %s: column %q is not numeric", tname, cname)
+	return out, total
 }
 
 // anyNullPrefix reports whether any of the first rows entries is NULL.
@@ -392,26 +581,30 @@ func anyNullPrefix(b *storage.Bitmap, rows int) bool {
 	return false
 }
 
-// RawSizeBytes estimates the in-memory footprint of the stored data, used
-// for the paper's Table 1 raw-vs-model size comparison.
+// RawSizeBytes estimates the decoded in-memory footprint of the stored data,
+// used for the paper's Table 1 raw-vs-model size comparison. Sealed chunks
+// report the footprint captured at seal time.
 func (t *Table) RawSizeBytes() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	total := 0
-	for _, col := range t.cols {
-		switch c := col.(type) {
-		case *storage.Int64Column:
-			total += 8 * len(c.Vals)
-		case *storage.Float64Column:
-			total += 8 * len(c.Vals)
-		case *storage.StringColumn:
-			total += 4 * len(c.Codes)
-			for _, s := range c.Dict {
-				total += len(s)
-			}
-		case *storage.BoolColumn:
-			total += (c.Len() + 7) / 8
-		}
+	for _, ch := range t.sealed {
+		total += ch.raw
+	}
+	for _, col := range t.tail {
+		total += colRawBytes(col, t.tailRows)
+	}
+	return total
+}
+
+// EncodedSizeBytes sums the sealed chunks' frame bytes — the compressed
+// footprint the chunked layout actually retains for cold data.
+func (t *Table) EncodedSizeBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := 0
+	for _, ch := range t.sealed {
+		total += ch.encoded
 	}
 	return total
 }

@@ -40,6 +40,13 @@ fi
 if [ "$pattern" = "wal" ]; then
   pattern='GroupCommit'
 fi
+# Shorthand for chunked column storage: selective and full scans over a
+# 16-chunk table vs the same rows held entirely in the mutable hot tail
+# (the selective spread is zone-map pruning; the full spread is decode
+# cost amortized by the chunk cache).
+if [ "$pattern" = "blocks" ]; then
+  pattern='ChunkedScan'
+fi
 outdir="bench-results"
 mkdir -p "$outdir"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"

@@ -1,0 +1,123 @@
+package datalaws
+
+import (
+	"path/filepath"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/table"
+	"datalaws/internal/wal"
+)
+
+// TestRecoverySealBoundary: WAL replay re-runs the appends through the same
+// seal logic the original engine used, so a log whose rows straddle chunk
+// seal boundaries recovers into an identical table — same rows bit-for-bit
+// AND the same sealed-chunk/hot-tail layout.
+func TestRecoverySealBoundary(t *testing.T) {
+	old := table.DefaultChunkRows
+	table.DefaultChunkRows = 8
+	t.Cleanup(func() { table.DefaultChunkRows = old })
+
+	dir := filepath.Join(t.TempDir(), "db")
+	e, err := Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec(`CREATE TABLE obs (id BIGINT, x DOUBLE)`)
+	// Three appends of 7 rows each: the first seal happens mid-append 2, the
+	// second mid-append 3, leaving a 5-row tail. Replay must land the exact
+	// same boundaries.
+	for b := 0; b < 3; b++ {
+		var rows [][]expr.Value
+		for i := 0; i < 7; i++ {
+			n := b*7 + i
+			rows = append(rows, []expr.Value{expr.Int(int64(n)), expr.Float(float64(n) * 0.125)})
+		}
+		if _, err := e.Append("obs", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, _ := e.Catalog.Get("obs")
+	cv := tb.Chunks()
+	if cv.NumSealed() != 2 || cv.Rows() != 21 {
+		t.Fatalf("pre-crash shape: %d sealed, %d rows; want 2 sealed, 21 rows", cv.NumSealed(), cv.Rows())
+	}
+	want := engineSig(t, e)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if st, _ := e2.WALStats(); st.Replayed == 0 {
+		t.Fatal("recovery replayed nothing — the appends never hit the log")
+	}
+	if got := engineSig(t, e2); got != want {
+		t.Fatalf("recovered state differs:\n--- recovered ---\n%s--- original ---\n%s", got, want)
+	}
+	tb2, _ := e2.Catalog.Get("obs")
+	cv2 := tb2.Chunks()
+	if cv2.NumSealed() != 2 || cv2.Rows() != 21 {
+		t.Fatalf("recovered shape: %d sealed, %d rows; want 2 sealed, 21 rows", cv2.NumSealed(), cv2.Rows())
+	}
+	// The recovered table keeps sealing at the same cadence: 3 more rows
+	// complete chunk 3.
+	for n := 21; n < 24; n++ {
+		e2.MustExec(`INSERT INTO obs VALUES (` + expr.Int(int64(n)).String() + `, 0.0)`)
+	}
+	if got := tb2.Chunks().NumSealed(); got != 3 {
+		t.Fatalf("post-recovery seal: %d sealed chunks, want 3", got)
+	}
+}
+
+// TestCheckpointSealBoundary: a checkpoint snapshots sealed chunks verbatim
+// (DLTB2 frames are written byte-for-byte), and reopening from snapshot +
+// empty log restores the same state and encoded size as before the
+// checkpoint.
+func TestCheckpointSealBoundary(t *testing.T) {
+	old := table.DefaultChunkRows
+	table.DefaultChunkRows = 8
+	t.Cleanup(func() { table.DefaultChunkRows = old })
+
+	dir := filepath.Join(t.TempDir(), "db")
+	e, err := Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec(`CREATE TABLE obs (id BIGINT, x DOUBLE)`)
+	var rows [][]expr.Value
+	for n := 0; n < 21; n++ {
+		rows = append(rows, []expr.Value{expr.Int(int64(n)), expr.Float(float64(n) * 0.125)})
+	}
+	if _, err := e.Append("obs", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := e.Catalog.Get("obs")
+	wantEnc := tb.EncodedSizeBytes()
+	want := engineSig(t, e)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := engineSig(t, e2); got != want {
+		t.Fatalf("post-checkpoint state differs:\n--- recovered ---\n%s--- original ---\n%s", got, want)
+	}
+	tb2, _ := e2.Catalog.Get("obs")
+	if cv := tb2.Chunks(); cv.NumSealed() != 2 || cv.Rows() != 21 {
+		t.Fatalf("shape after checkpoint restore: %d sealed, %d rows", cv.NumSealed(), cv.Rows())
+	}
+	if got := tb2.EncodedSizeBytes(); got != wantEnc {
+		t.Fatalf("encoded size drifted across checkpoint: %d vs %d — chunk frames were re-encoded, not copied", got, wantEnc)
+	}
+}
