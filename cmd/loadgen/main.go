@@ -1,0 +1,208 @@
+// Command loadgen drives a datalawsd server with rate-limited concurrent
+// traffic — a mix of prepared point lookups, aggregate scans and ingest —
+// and reports throughput and latency percentiles. It exits non-zero if
+// any request fails, which makes it double as the CI smoke check for the
+// network server.
+//
+//	loadgen -addr 127.0.0.1:7744 -conns 64 -duration 10s -rate 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datalaws/internal/server"
+)
+
+const tableName = "loadgen"
+
+// mix is the op distribution per hundred requests.
+const (
+	pointPct  = 70
+	scanPct   = 10
+	ingestPct = 20
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7744", "datalawsd address")
+	conns := fs.Int("conns", 64, "concurrent sessions")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	rate := fs.Int("rate", 0, "total requests/second across all sessions (0 = unthrottled)")
+	seedRows := fs.Int("seed", 2000, "rows seeded into the table before the run")
+	fetchRows := fs.Int("fetch-rows", 128, "cursor batch size for scans")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if err := bootstrap(*addr, *seedRows); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: bootstrap: %v\n", err)
+		return 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		ops      atomic.Uint64
+		errCount atomic.Uint64
+		firstErr atomic.Value
+	)
+	perConn := time.Duration(0)
+	if *rate > 0 {
+		perConn = time.Duration(*conns) * time.Second / time.Duration(*rate)
+	}
+	latCh := make(chan []time.Duration, *conns)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats, err := worker(c, *addr, deadline, perConn, *fetchRows, &ops)
+			latCh <- lats
+			if err != nil {
+				errCount.Add(1)
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(latCh)
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	total := ops.Load()
+	fmt.Printf("loadgen: %d sessions, %d requests in %.1fs (%.0f req/s)\n",
+		*conns, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	if len(all) > 0 {
+		fmt.Printf("loadgen: latency p50=%v p90=%v p99=%v max=%v\n",
+			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[len(all)-1])
+	}
+	if e := errCount.Load(); e > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d sessions failed; first error: %v\n", e, firstErr.Load())
+		return 1
+	}
+	fmt.Println("loadgen: zero errors")
+	return 0
+}
+
+// bootstrap creates and seeds the workload table on one throwaway session.
+// An existing table (a prior run against a durable server) is reused.
+func bootstrap(addr string, seedRows int) error {
+	cli, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cli.Close() }()
+	if _, err := cli.Exec(fmt.Sprintf("CREATE TABLE %s (a BIGINT, b DOUBLE)", tableName)); err != nil {
+		// A durable server may already hold the table from a prior run;
+		// anything else is fatal.
+		if _, qerr := cli.Query(fmt.Sprintf("SELECT count(*) FROM %s", tableName)); qerr != nil {
+			return err
+		}
+	}
+	ins, err := cli.Prepare(fmt.Sprintf("INSERT INTO %s VALUES (?, ?)", tableName))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < seedRows; i++ {
+		rows, err := ins.Query(int64(i), float64(i)*0.25)
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		_ = rows.Close()
+	}
+	return nil
+}
+
+// worker runs one session's share of the load until the deadline.
+func worker(id int, addr string, deadline time.Time, perOp time.Duration, fetchRows int, ops *atomic.Uint64) ([]time.Duration, error) {
+	cli, err := server.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("session %d: dial: %w", id, err)
+	}
+	defer func() { _ = cli.Close() }()
+	cli.FetchRows = fetchRows
+
+	point, err := cli.Prepare(fmt.Sprintf("SELECT b FROM %s WHERE a = ?", tableName))
+	if err != nil {
+		return nil, fmt.Errorf("session %d: prepare point: %w", id, err)
+	}
+	ingest, err := cli.Prepare(fmt.Sprintf("INSERT INTO %s VALUES (?, ?)", tableName))
+	if err != nil {
+		return nil, fmt.Errorf("session %d: prepare ingest: %w", id, err)
+	}
+
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	var lats []time.Duration
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if perOp > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(perOp)
+		}
+		start := time.Now()
+		var opErr error
+		switch p := rng.Intn(100); {
+		case p < pointPct:
+			opErr = drainQuery(point.Query(rng.Int63n(1000)))
+		case p < pointPct+scanPct:
+			opErr = drainQuery(cli.Query(fmt.Sprintf("SELECT count(*), sum(b) FROM %s", tableName)))
+		default:
+			opErr = drainQuery(ingest.Query(rng.Int63n(1000), rng.Float64()))
+		}
+		if opErr != nil {
+			return lats, fmt.Errorf("session %d: %w", id, opErr)
+		}
+		lats = append(lats, time.Since(start))
+		ops.Add(1)
+	}
+	return lats, nil
+}
+
+// drainQuery consumes a cursor to completion and surfaces any error.
+func drainQuery(rows *server.Rows, err error) error {
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		_ = rows.Close()
+		return err
+	}
+	return rows.Close()
+}
+
+// quantile reads the q-th percentile from a sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

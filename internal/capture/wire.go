@@ -5,17 +5,40 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	"datalaws/internal/expr"
 	"datalaws/internal/modelstore"
+	"datalaws/internal/wireerr"
 )
 
 // The wire protocol carries one gob-encoded request and one response per
 // round trip over a persistent TCP connection. Model WHERE predicates
 // travel in source form (the paper stores models "in their source code
-// form"; the same applies on the wire).
+// form"; the same applies on the wire). Errors travel as a stable code
+// plus the message (wireerr), so errors.Is against the engine's sentinels
+// works identically for remote and in-process backends.
+//
+// This is the strawman transport (Figure 2's R-session side). The full
+// query protocol — sessions, prepared statements, streaming cursors —
+// lives in internal/server.
+
+// maxWireMessage bounds how many bytes the server will read for a single
+// request before dropping the connection. Requests are small (a table
+// name, a formula, a handful of starting values and inputs); anything
+// larger is hostile or corrupt, and without the cap a crafted request
+// could make gob allocate attacker-sized slices before any validation
+// runs (the listening socket deserves the same hardening
+// storage.DecodeColumn got against attacker-sized allocations).
+const maxWireMessage = 1 << 20
+
+// maxPointInputs bounds the per-request input vector after decode; real
+// models have a handful of input columns.
+const maxPointInputs = 1 << 12
 
 type wireRequest struct {
 	Kind string // "info" | "fit" | "point"
@@ -40,7 +63,10 @@ type wireRequest struct {
 }
 
 type wireResponse struct {
-	Err string
+	// Err is the server error's message; ErrCode its sentinel identity
+	// (wireerr codes), so the client can rehydrate errors.Is behavior.
+	Err     string
+	ErrCode string
 
 	// info
 	Cols []string
@@ -58,6 +84,7 @@ type Server struct {
 	backend Backend
 	ln      net.Listener
 	wg      sync.WaitGroup
+	done    chan struct{}
 	mu      sync.Mutex
 	closed  bool
 }
@@ -68,10 +95,16 @@ func Serve(addr string, b Backend) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("capture: listen: %w", err)
 	}
-	s := &Server{backend: b, ln: ln}
+	return NewServer(ln, b), nil
+}
+
+// NewServer serves a Backend on an existing listener (injectable for
+// tests). The server owns the listener and closes it on Close.
+func NewServer(ln net.Listener, b Backend) *Server {
+	s := &Server{backend: b, ln: ln, done: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound address.
@@ -80,26 +113,72 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close stops the listener and waits for in-flight connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// temporaryAcceptErr reports whether an Accept failure is worth retrying:
+// timeouts, aborted handshakes, and descriptor exhaustion all clear up on
+// their own (fd exhaustion clears when connections close), so the loop
+// should back off and try again rather than spin or die.
+func temporaryAcceptErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.ENOMEM)
+}
+
+// acceptLoop accepts connections until the listener closes. Accept
+// failures must not spin: a persistent error like fd exhaustion used to
+// drive this loop at 100% CPU, silently. Temporary errors back off
+// exponentially (logged once per error streak); permanent ones log and
+// stop the loop — the listener is dead and retrying cannot revive it.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := time.Duration(0)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
 				return
+			}
+			if !temporaryAcceptErr(err) {
+				log.Printf("capture: accept failed permanently, stopping listener loop: %v", err)
+				return
+			}
+			if backoff == 0 {
+				// Log once per streak, not once per retry.
+				log.Printf("capture: temporary accept error (backing off): %v", err)
+				backoff = 5 * time.Millisecond
+			} else if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
 			}
 			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -108,17 +187,39 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// cappedReader fails any single message that runs past its budget; handle
+// re-arms it before each request so a well-behaved session can run
+// forever, while one oversized request kills only its own connection.
+type cappedReader struct {
+	r io.Reader
+	n int64
+}
+
+var errMessageTooBig = errors.New("capture: request exceeds message size cap")
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		return 0, errMessageTooBig
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
+}
+
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	defer func() { _ = conn.Close() }()
+	capped := &cappedReader{r: conn}
+	dec := gob.NewDecoder(capped)
 	enc := gob.NewEncoder(conn)
 	for {
+		capped.n = maxWireMessage
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection-level failure; drop the session.
-				return
-			}
+			// EOF, connection teardown, or an over-budget/garbled request:
+			// the gob stream is unrecoverable either way, drop the session.
 			return
 		}
 		resp := s.dispatch(&req)
@@ -130,12 +231,16 @@ func (s *Server) handle(conn net.Conn) {
 
 func (s *Server) dispatch(req *wireRequest) *wireResponse {
 	resp := &wireResponse{}
+	fail := func(err error) *wireResponse {
+		resp.Err = err.Error()
+		resp.ErrCode = wireerr.Code(err)
+		return resp
+	}
 	switch req.Kind {
 	case "info":
 		cols, rows, err := s.backend.TableInfo(req.Table)
 		if err != nil {
-			resp.Err = err.Error()
-			return resp
+			return fail(err)
 		}
 		resp.Cols, resp.Rows = cols, rows
 	case "fit":
@@ -151,37 +256,46 @@ func (s *Server) dispatch(req *wireRequest) *wireResponse {
 		if req.WhereSrc != "" {
 			w, err := expr.Parse(req.WhereSrc)
 			if err != nil {
-				resp.Err = fmt.Sprintf("parsing where: %v", err)
-				return resp
+				return fail(fmt.Errorf("parsing where: %w", err))
 			}
 			spec.Where = w
 		}
 		sum, err := s.backend.FitModel(spec)
 		if err != nil {
-			resp.Err = err.Error()
-			return resp
+			return fail(err)
 		}
 		resp.Summary = sum
 	case "point":
+		if len(req.Point) > maxPointInputs {
+			return fail(fmt.Errorf("%w: point request carries %d inputs (max %d)",
+				wireerr.ErrBadRequest, len(req.Point), maxPointInputs))
+		}
 		ans, err := s.backend.ApproxPoint(req.Model, req.Group, req.Point, req.Level)
 		if err != nil {
-			resp.Err = err.Error()
-			return resp
+			return fail(err)
 		}
 		resp.Answer = ans
 	default:
-		resp.Err = fmt.Sprintf("unknown request kind %q", req.Kind)
+		return fail(fmt.Errorf("%w: unknown request kind %q", wireerr.ErrBadRequest, req.Kind))
 	}
 	return resp
 }
 
 // Client implements Backend over a TCP connection, so a Strawman in another
 // process behaves identically to an in-process one.
+//
+// The gob encoder and decoder are stateful streams shared by every call:
+// after a transport error mid-call the stream position is undefined (a
+// half-written request, a half-read response), so a later call could read
+// garbage frames as its reply. The client therefore poisons itself on the
+// first transport error — subsequent calls fail fast, wrapping the
+// original error — and the caller redials for a fresh session.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	err  error // sticky first transport error; nil while healthy
 }
 
 // Dial connects to a capture server.
@@ -199,17 +313,30 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) call(req *wireRequest) (*wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, fmt.Errorf("capture: client poisoned by earlier transport error: %w", c.err)
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.poison(err)
 		return nil, fmt.Errorf("capture: send: %w", err)
 	}
 	var resp wireResponse
 	if err := c.dec.Decode(&resp); err != nil {
+		c.poison(err)
 		return nil, fmt.Errorf("capture: receive: %w", err)
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		// Server-reported errors are clean request failures: the stream
+		// stayed framed, the session remains usable.
+		return nil, wireerr.Rehydrate(resp.ErrCode, resp.Err)
 	}
 	return &resp, nil
+}
+
+// poison marks the shared gob streams unusable; called with c.mu held.
+func (c *Client) poison(err error) {
+	c.err = err
+	_ = c.conn.Close()
 }
 
 // TableInfo implements Backend.

@@ -1,0 +1,278 @@
+package capture
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datalaws/internal/modelstore"
+	"datalaws/internal/table"
+)
+
+// Regression tests for the wire-protocol bug sweep. Each test pins one
+// fixed bug: before the fix the behaviors asserted here did not hold
+// (accept loop spun, client read garbage after an error, sentinels
+// flattened to strings, unbounded request decode).
+
+// tempNetErr is a retryable accept failure (like a handshake timeout or
+// transient fd exhaustion).
+type tempNetErr struct{}
+
+func (tempNetErr) Error() string   { return "synthetic temporary accept error" }
+func (tempNetErr) Timeout() bool   { return true }
+func (tempNetErr) Temporary() bool { return true }
+
+// fakeListener scripts Accept results for the accept-loop tests.
+type fakeListener struct {
+	accept func(call int) (net.Conn, error)
+	mu     sync.Mutex
+	calls  int
+	once   sync.Once
+	closed chan struct{}
+}
+
+func newFakeListener(accept func(call int) (net.Conn, error)) *fakeListener {
+	return &fakeListener{accept: accept, closed: make(chan struct{})}
+}
+
+func (l *fakeListener) Accept() (net.Conn, error) {
+	select {
+	case <-l.closed:
+		return nil, net.ErrClosed
+	default:
+	}
+	l.mu.Lock()
+	l.calls++
+	n := l.calls
+	l.mu.Unlock()
+	return l.accept(n)
+}
+
+func (l *fakeListener) callCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.calls
+}
+
+func (l *fakeListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *fakeListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestAcceptLoopBacksOffOnTemporaryErrors pins the busy-spin fix: a
+// listener failing persistently with a retryable error used to drive the
+// accept loop at 100% CPU (unbounded Accept calls). With backoff, a 150ms
+// window sees a handful of attempts, and Close still returns promptly
+// even while the loop is sleeping.
+func TestAcceptLoopBacksOffOnTemporaryErrors(t *testing.T) {
+	ln := newFakeListener(func(int) (net.Conn, error) {
+		return nil, tempNetErr{}
+	})
+	srv := NewServer(ln, &fakeBackend{})
+	time.Sleep(150 * time.Millisecond)
+	calls := ln.callCount()
+	// Backoff doubles from 5ms: ~6 attempts fit in 150ms. Anything under
+	// 30 proves the loop is sleeping; the spin bug produced millions.
+	if calls > 30 {
+		t.Fatalf("accept loop spun: %d Accept calls in 150ms", calls)
+	}
+	if calls == 0 {
+		t.Fatal("accept loop never ran")
+	}
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close blocked %v on a backing-off accept loop", d)
+	}
+}
+
+// TestAcceptLoopStopsOnPermanentError pins the other half: a
+// non-retryable Accept error stops the loop instead of retrying (or
+// spinning) forever.
+func TestAcceptLoopStopsOnPermanentError(t *testing.T) {
+	ln := newFakeListener(func(int) (net.Conn, error) {
+		return nil, errors.New("listener torn down by the platform")
+	})
+	srv := NewServer(ln, &fakeBackend{})
+	deadline := time.Now().Add(2 * time.Second)
+	for ln.callCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if calls := ln.callCount(); calls != 1 {
+		t.Fatalf("accept loop kept retrying a permanent error: %d calls", calls)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientPoisonedAfterTransportError pins the gob-desync fix: after a
+// mid-call transport error the shared encoder/decoder streams are at an
+// undefined position, so the client must refuse further calls (wrapping
+// the original error) instead of reading garbage frames.
+func TestClientPoisonedAfterTransportError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	// A byzantine server: answers the first request with a garbage byte
+	// followed by a perfectly valid response, then keeps serving. An
+	// unpoisoned client would desync on the garbage and try to parse the
+	// stale valid response as the reply to its *next* call.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		dec := gob.NewDecoder(conn)
+		var req wireRequest
+		if dec.Decode(&req) != nil {
+			return
+		}
+		if _, err := conn.Write([]byte{0x00}); err != nil {
+			return
+		}
+		enc := gob.NewEncoder(conn)
+		_ = enc.Encode(&wireResponse{Cols: []string{"stale"}, Rows: 1})
+		// Keep the connection open and consume any further traffic.
+		for dec.Decode(&req) == nil {
+			_ = enc.Encode(&wireResponse{Cols: []string{"stale"}, Rows: 1})
+		}
+	}()
+
+	cli, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	_, _, err1 := cli.TableInfo("measurements")
+	if err1 == nil {
+		t.Fatal("first call should fail on the garbled stream")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cli.TableInfo("measurements")
+		done <- err
+	}()
+	select {
+	case err2 := <-done:
+		if err2 == nil {
+			t.Fatal("poisoned client accepted a second call")
+		}
+		if !strings.Contains(err2.Error(), "poisoned") {
+			t.Fatalf("second call error should name the poisoning: %v", err2)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second call on a poisoned client hung instead of failing fast")
+	}
+}
+
+// sentinelBackend returns wrapped engine sentinels, like the real engine.
+type sentinelBackend struct{ *fakeBackend }
+
+func (sentinelBackend) TableInfo(name string) ([]string, int, error) {
+	if name == "measurements" {
+		return []string{"source", "nu", "intensity"}, 10, nil
+	}
+	return nil, 0, fmt.Errorf("datalaws: %w: %q", table.ErrUnknownTable, name)
+}
+
+func (sentinelBackend) FitModel(spec modelstore.Spec) (FitSummary, error) {
+	return FitSummary{}, fmt.Errorf("datalaws: %w: %q", modelstore.ErrNotFound, spec.Name)
+}
+
+func (sentinelBackend) ApproxPoint(model string, group int64, inputs []float64, level float64) (PointAnswer, error) {
+	return PointAnswer{}, fmt.Errorf("datalaws: %w: nothing covers %q", modelstore.ErrNoModel, model)
+}
+
+// TestSentinelErrorsSurviveTheWire pins the errors.Is fix: server errors
+// used to cross as bare strings, so remote backends could never match the
+// engine's sentinels. The wire now carries a code and the client
+// rehydrates the sentinel, message intact.
+func TestSentinelErrorsSurviveTheWire(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", sentinelBackend{&fakeBackend{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	_, _, err = cli.TableInfo("nope")
+	if !errors.Is(err, table.ErrUnknownTable) {
+		t.Fatalf("unknown-table sentinel lost in transit: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("message lost in transit: %v", err)
+	}
+	if _, err := cli.FitModel(modelstore.Spec{Name: "m", Table: "measurements", Formula: "y ~ a*x", Inputs: []string{"x"}}); !errors.Is(err, modelstore.ErrNotFound) {
+		t.Fatalf("unknown-model sentinel lost in transit: %v", err)
+	}
+	if _, err := cli.ApproxPoint("ghost", 1, []float64{1}, 0.95); !errors.Is(err, modelstore.ErrNoModel) {
+		t.Fatalf("no-model sentinel lost in transit: %v", err)
+	}
+	// A healthy call on the same session still works: server-reported
+	// errors must not poison the stream.
+	if _, _, err := cli.TableInfo("measurements"); err != nil {
+		t.Fatalf("session unusable after clean request errors: %v", err)
+	}
+}
+
+// TestServerCapsOversizedRequests pins the allocation-bound fix: a
+// request larger than the message cap is rejected at the transport (the
+// connection drops) without ever reaching the backend, and the server
+// keeps serving other sessions.
+func TestServerCapsOversizedRequests(t *testing.T) {
+	b := &fakeBackend{}
+	srv, err := Serve("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	// 2M float64s ≈ 16MB on the wire, far past the 1MB message cap.
+	huge := make([]float64, 2<<20)
+	_, err = cli.ApproxPoint("spectra", 1, huge, 0.95)
+	if err == nil {
+		t.Fatal("oversized request should fail")
+	}
+	b.mu.Lock()
+	points := b.points
+	b.mu.Unlock()
+	if points != 0 {
+		t.Fatalf("oversized request reached the backend (%d point calls)", points)
+	}
+
+	// The server survives: a fresh, well-behaved session works.
+	cli2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli2.Close() }()
+	if _, err := cli2.ApproxPoint("spectra", 1, []float64{0.14}, 0.95); err != nil {
+		t.Fatalf("server unusable after rejecting an oversized request: %v", err)
+	}
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/wireerr"
+)
+
+// Client is a session against a datalawsd server: one TCP connection,
+// prepared statements bound to server-side ids, streaming cursors pulled
+// batch by batch. A Client serializes its calls internally, so cursors
+// and statements of one client may be used from one goroutine at a time;
+// open one client per concurrent session (they are cheap — the server
+// side is a goroutine and two maps).
+//
+// Like the capture transport, the client poisons itself on the first
+// transport error: the framed protocol cannot desync, but a torn
+// connection cannot say which in-flight request died, so later calls fail
+// fast with the original error and the caller redials.
+type Client struct {
+	// FetchRows is the batch size cursors request per pull (the
+	// client-driven flow control); 0 lets the server choose. Set before
+	// issuing queries.
+	FetchRows int
+
+	mu       sync.Mutex
+	conn     net.Conn
+	maxFrame int
+	err      error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, maxFrame: DefaultMaxFrame}, nil
+}
+
+// Close terminates the session; the server releases its statements and
+// cursors.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call runs one request/response round trip.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, fmt.Errorf("server: client poisoned by earlier transport error: %w", c.err)
+	}
+	if err := writeMsg(c.conn, req, c.maxFrame); err != nil {
+		c.poison(err)
+		return nil, fmt.Errorf("server: send %s: %w", req.Op, err)
+	}
+	resp := new(Response)
+	if err := readMsg(c.conn, resp, c.maxFrame); err != nil {
+		c.poison(err)
+		return nil, fmt.Errorf("server: receive %s: %w", req.Op, err)
+	}
+	if resp.ErrMsg != "" {
+		// A server-reported failure is a clean request outcome: the
+		// session stays framed and usable.
+		return nil, wireerr.Rehydrate(resp.ErrCode, resp.ErrMsg)
+	}
+	return resp, nil
+}
+
+// poison marks the connection unusable; called with c.mu held.
+func (c *Client) poison(err error) {
+	c.err = err
+	_ = c.conn.Close()
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: OpPing})
+	return err
+}
+
+// Query executes one SQL statement and returns its streaming cursor.
+func (c *Client) Query(sql string, args ...any) (*Rows, error) {
+	vals, err := argsToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(&Request{Op: OpQuery, SQL: sql, Args: vals, MaxRows: c.FetchRows})
+	if err != nil {
+		return nil, err
+	}
+	return newRows(c, resp), nil
+}
+
+// Exec executes one statement to completion, discarding any rows, and
+// returns the statement's Info summary — the convenience form for DDL,
+// INSERT and FIT MODEL.
+func (c *Client) Exec(sql string, args ...any) (string, error) {
+	rows, err := c.Query(sql, args...)
+	if err != nil {
+		return "", err
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		_ = rows.Close()
+		return "", err
+	}
+	return rows.Info, rows.Close()
+}
+
+// Prepare parses sql once server-side, returning a reusable handle.
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	resp, err := c.call(&Request{Op: OpPrepare, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: resp.StmtID, numParams: resp.NumParams}, nil
+}
+
+// Stmt is a server-side prepared statement.
+type Stmt struct {
+	c         *Client
+	id        uint64
+	numParams int
+}
+
+// NumParams reports the statement's `?` placeholder count.
+func (st *Stmt) NumParams() int { return st.numParams }
+
+// Query executes the prepared statement with bound args.
+func (st *Stmt) Query(args ...any) (*Rows, error) {
+	vals, err := argsToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := st.c.call(&Request{Op: OpStmtQuery, StmtID: st.id, Args: vals, MaxRows: st.c.FetchRows})
+	if err != nil {
+		return nil, err
+	}
+	return newRows(st.c, resp), nil
+}
+
+// Close releases the server-side statement id.
+func (st *Stmt) Close() error {
+	_, err := st.c.call(&Request{Op: OpCloseStmt, StmtID: st.id})
+	return err
+}
+
+// Rows is a client-side streaming cursor: Next pulls batches from the
+// server on demand (each pull bounded by the client's FetchRows), so an
+// abandoned or LIMITed read never ships — or materializes — the rest of
+// the result.
+type Rows struct {
+	// Statement metadata from the first response (mirrors datalaws.Rows).
+	Info             string
+	Model            string
+	ModelVersion     int
+	SEInflation      float64
+	ExactFallback    bool
+	Hybrid           bool
+	Partitions       int
+	PartitionsPruned int
+
+	c        *Client
+	cursorID uint64
+	cols     []string
+	buf      [][]expr.Value
+	pos      int
+	cur      []expr.Value
+	done     bool
+	err      error
+	closed   bool
+}
+
+func newRows(c *Client, resp *Response) *Rows {
+	return &Rows{
+		Info:             resp.Info,
+		Model:            resp.Model,
+		ModelVersion:     resp.ModelVersion,
+		SEInflation:      resp.SEInflation,
+		ExactFallback:    resp.ExactFallback,
+		Hybrid:           resp.Hybrid,
+		Partitions:       resp.Partitions,
+		PartitionsPruned: resp.PartitionsPruned,
+		c:                c,
+		cursorID:         resp.CursorID,
+		cols:             resp.Columns,
+		buf:              resp.Rows,
+		done:             resp.Done,
+	}
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances the cursor, fetching the next batch from the server when
+// the local buffer drains. It reports false at end of stream or on error
+// (check Err afterwards).
+func (r *Rows) Next() bool {
+	if r.err != nil || r.closed {
+		return false
+	}
+	for r.pos >= len(r.buf) {
+		if r.done {
+			return false
+		}
+		resp, err := r.c.call(&Request{Op: OpFetch, CursorID: r.cursorID, MaxRows: r.c.FetchRows})
+		if err != nil {
+			r.err = err
+			r.done = true
+			return false
+		}
+		r.buf, r.pos = resp.Rows, 0
+		r.done = resp.Done
+		if r.done {
+			r.cursorID = 0 // server already released the cursor
+		}
+	}
+	r.cur = r.buf[r.pos]
+	r.pos++
+	return true
+}
+
+// Row returns the current row; valid until the next call to Next.
+func (r *Rows) Row() []expr.Value { return r.cur }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Scan copies the current row into dest, one pointer per column.
+// Supported targets: *int64, *float64 (INT coerces), *string, *bool,
+// *expr.Value, *any.
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("server: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("server: Scan got %d targets for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.cur[i], d); err != nil {
+			return fmt.Errorf("server: Scan column %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the cursor, telling the server to free it if the stream
+// was abandoned early. Idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cursorID == 0 || r.done || r.err != nil {
+		return nil
+	}
+	_, err := r.c.call(&Request{Op: OpCloseCursor, CursorID: r.cursorID})
+	return err
+}
+
+func scanValue(v expr.Value, dest any) error {
+	switch d := dest.(type) {
+	case *expr.Value:
+		*d = v
+		return nil
+	case *any:
+		switch v.K {
+		case expr.KindInt:
+			*d = v.I
+		case expr.KindFloat:
+			*d = v.F
+		case expr.KindString:
+			*d = v.S
+		case expr.KindBool:
+			*d = v.B
+		default:
+			*d = nil
+		}
+		return nil
+	case *int64:
+		if v.K != expr.KindInt {
+			return fmt.Errorf("cannot scan %s into *int64", v.K)
+		}
+		*d = v.I
+		return nil
+	case *float64:
+		switch v.K {
+		case expr.KindFloat:
+			*d = v.F
+		case expr.KindInt:
+			*d = float64(v.I)
+		default:
+			return fmt.Errorf("cannot scan %s into *float64", v.K)
+		}
+		return nil
+	case *string:
+		if v.K != expr.KindString {
+			return fmt.Errorf("cannot scan %s into *string", v.K)
+		}
+		*d = v.S
+		return nil
+	case *bool:
+		if v.K != expr.KindBool {
+			return fmt.Errorf("cannot scan %s into *bool", v.K)
+		}
+		*d = v.B
+		return nil
+	}
+	return fmt.Errorf("unsupported Scan target %T", dest)
+}
+
+// argsToValues boxes Go arguments as wire values.
+func argsToValues(args []any) ([]expr.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]expr.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = expr.Null()
+		case expr.Value:
+			out[i] = v
+		case int:
+			out[i] = expr.Int(int64(v))
+		case int32:
+			out[i] = expr.Int(int64(v))
+		case int64:
+			out[i] = expr.Int(v)
+		case float32:
+			out[i] = expr.Float(float64(v))
+		case float64:
+			out[i] = expr.Float(v)
+		case string:
+			out[i] = expr.Str(v)
+		case bool:
+			out[i] = expr.Bool(v)
+		default:
+			return nil, fmt.Errorf("server: unsupported argument type %T (argument %d)", a, i+1)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"fmt"
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"datalaws/internal/refit"
+)
+
+// Route classifies how a query was answered, the paper's central
+// distinction surfaced as an operational signal: approximate traffic
+// served from captured models vs exact traffic scanning measurements.
+type Route uint8
+
+// Query routes.
+const (
+	// RouteExact: answered by the exact pipeline.
+	RouteExact Route = iota
+	// RouteApprox: answered from a captured model's parameter table.
+	RouteApprox
+	// RouteFallback: an APPROX query answered exactly because no trusted
+	// model covered it.
+	RouteFallback
+	// RouteOther: statements without a row stream (DDL, INSERT, FIT, ...).
+	RouteOther
+	numRoutes
+)
+
+// Latency histogram: bucket i holds durations in [2^(i-1), 2^i) µs, so 36
+// buckets cover sub-µs to ~9.5 hours.
+const histBuckets = 36
+
+// qps is measured over a sliding window of one-second slots.
+const (
+	qpsSlots  = 16
+	qpsWindow = 10 // seconds summed on read
+)
+
+// Metrics aggregates the server's operational counters. All methods are
+// safe for concurrent use from every session; recording is a few atomic
+// adds so it stays off the critical path's lock graph.
+type Metrics struct {
+	start time.Time
+
+	queriesTotal atomic.Uint64
+	fetchesTotal atomic.Uint64
+	errorsTotal  atomic.Uint64
+	routes       [numRoutes]atomic.Uint64
+	rowsSent     atomic.Uint64
+
+	sessionsActive atomic.Int64
+	sessionsTotal  atomic.Uint64
+	cursorsOpen    atomic.Int64
+
+	hist [histBuckets]atomic.Uint64
+
+	qpsSec   [qpsSlots]atomic.Int64
+	qpsCount [qpsSlots]atomic.Uint64
+
+	driftTriggers  atomic.Uint64
+	growthTriggers atomic.Uint64
+	refitsTotal    atomic.Uint64
+	refitFailures  atomic.Uint64
+	lastRefitUnix  atomic.Int64 // nanoseconds; 0 = never
+	lastRefitTook  atomic.Int64 // nanoseconds
+}
+
+// NewMetrics returns a zeroed metrics registry with the uptime clock
+// started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// RecordQuery accounts one executed statement: its answer route, the
+// latency to its first batch, and whether it failed.
+func (m *Metrics) RecordQuery(route Route, d time.Duration, err error) {
+	m.queriesTotal.Add(1)
+	if err != nil {
+		m.errorsTotal.Add(1)
+	} else if route < numRoutes {
+		m.routes[route].Add(1)
+	}
+	m.observeLatency(d)
+	m.tickQPS()
+}
+
+// RecordFetch accounts one cursor pull and the rows it shipped.
+func (m *Metrics) RecordFetch(rows int, err error) {
+	m.fetchesTotal.Add(1)
+	if err != nil {
+		m.errorsTotal.Add(1)
+	}
+	m.rowsSent.Add(uint64(rows))
+}
+
+// RecordRows accounts rows shipped in a query's first batch.
+func (m *Metrics) RecordRows(rows int) { m.rowsSent.Add(uint64(rows)) }
+
+// SessionOpened/SessionClosed maintain the active-session gauge.
+func (m *Metrics) SessionOpened() {
+	m.sessionsActive.Add(1)
+	m.sessionsTotal.Add(1)
+}
+
+// SessionClosed decrements the active-session gauge.
+func (m *Metrics) SessionClosed() { m.sessionsActive.Add(-1) }
+
+// CursorOpened/CursorClosed maintain the open-cursor gauge.
+func (m *Metrics) CursorOpened() { m.cursorsOpen.Add(1) }
+
+// CursorClosed decrements the open-cursor gauge.
+func (m *Metrics) CursorClosed() { m.cursorsOpen.Add(-1) }
+
+// ActiveSessions reports the current session gauge.
+func (m *Metrics) ActiveSessions() int64 { return m.sessionsActive.Load() }
+
+// OpenCursors reports the current cursor gauge.
+func (m *Metrics) OpenCursors() int64 { return m.cursorsOpen.Load() }
+
+// Errors reports the cumulative request-error count.
+func (m *Metrics) Errors() uint64 { return m.errorsTotal.Load() }
+
+// Queries reports the cumulative executed-statement count.
+func (m *Metrics) Queries() uint64 { return m.queriesTotal.Load() }
+
+// RecordRefit observes one background refit attempt; wire it into
+// refit.Options.OnEvent so /metrics exposes the model lifecycle.
+func (m *Metrics) RecordRefit(ev refit.Event) {
+	switch ev.Trigger {
+	case "drift":
+		m.driftTriggers.Add(1)
+	case "growth":
+		m.growthTriggers.Add(1)
+	}
+	if ev.Err != nil {
+		m.refitFailures.Add(1)
+		return
+	}
+	m.refitsTotal.Add(1)
+	m.lastRefitUnix.Store(time.Now().UnixNano())
+	m.lastRefitTook.Store(int64(ev.Took))
+}
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for sub-µs
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	m.hist[b].Add(1)
+}
+
+func (m *Metrics) tickQPS() {
+	now := time.Now().Unix()
+	slot := int(now % qpsSlots)
+	if m.qpsSec[slot].Load() != now {
+		// Racy reset is fine: the slot is approximate by design, and a
+		// lost increment at a second boundary cannot skew a 10s window.
+		m.qpsSec[slot].Store(now)
+		m.qpsCount[slot].Store(0)
+	}
+	m.qpsCount[slot].Add(1)
+}
+
+// QPS reports the query rate over the trailing window.
+func (m *Metrics) QPS() float64 {
+	now := time.Now().Unix()
+	var sum uint64
+	for i := 0; i < qpsSlots; i++ {
+		if sec := m.qpsSec[i].Load(); sec > 0 && now-sec < qpsWindow {
+			sum += m.qpsCount[i].Load()
+		}
+	}
+	return float64(sum) / float64(qpsWindow)
+}
+
+// Quantile estimates the q-th latency quantile (0 < q < 1) from the
+// histogram, reporting each bucket's upper bound — a ≤2× overestimate by
+// construction, stable and allocation-free.
+func (m *Metrics) Quantile(q float64) time.Duration {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range m.hist {
+		counts[i] = m.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(histBuckets-1)) * time.Microsecond
+}
+
+// Handler serves the scrape endpoint: plain-text `name value` lines in
+// Prometheus exposition style, one gauge or counter per line.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		now := time.Now()
+		p := func(name string, format string, v any) {
+			fmt.Fprintf(w, "datalaws_%s "+format+"\n", name, v)
+		}
+		p("uptime_seconds", "%.3f", now.Sub(m.start).Seconds())
+		p("sessions_active", "%d", m.sessionsActive.Load())
+		p("sessions_total", "%d", m.sessionsTotal.Load())
+		p("cursors_open", "%d", m.cursorsOpen.Load())
+		p("queries_total", "%d", m.queriesTotal.Load())
+		p("fetches_total", "%d", m.fetchesTotal.Load())
+		p("query_errors_total", "%d", m.errorsTotal.Load())
+		p("rows_sent_total", "%d", m.rowsSent.Load())
+		p("qps", "%.2f", m.QPS())
+		p("latency_p50_seconds", "%.6f", m.Quantile(0.50).Seconds())
+		p("latency_p90_seconds", "%.6f", m.Quantile(0.90).Seconds())
+		p("latency_p99_seconds", "%.6f", m.Quantile(0.99).Seconds())
+		p("route_approx_total", "%d", m.routes[RouteApprox].Load())
+		p("route_exact_total", "%d", m.routes[RouteExact].Load())
+		p("route_exact_fallback_total", "%d", m.routes[RouteFallback].Load())
+		p("route_other_total", "%d", m.routes[RouteOther].Load())
+		p("drift_triggers_total", "%d", m.driftTriggers.Load())
+		p("growth_triggers_total", "%d", m.growthTriggers.Load())
+		p("refits_total", "%d", m.refitsTotal.Load())
+		p("refit_failures_total", "%d", m.refitFailures.Load())
+		// Refit lag: how long the most recent background refit took from
+		// trigger to atomic swap, and how long ago it finished.
+		p("refit_lag_seconds", "%.3f", time.Duration(m.lastRefitTook.Load()).Seconds())
+		if last := m.lastRefitUnix.Load(); last > 0 {
+			p("last_refit_age_seconds", "%.3f", now.Sub(time.Unix(0, last)).Seconds())
+		} else {
+			p("last_refit_age_seconds", "%.3f", -1.0)
+		}
+	})
+}

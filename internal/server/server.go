@@ -1,0 +1,527 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"datalaws"
+	"datalaws/internal/expr"
+	"datalaws/internal/wireerr"
+)
+
+// Config tunes a Server. The zero value takes defaults.
+type Config struct {
+	// MaxFrame caps a single frame's payload bytes (default
+	// DefaultMaxFrame). Oversized frames drop the connection before any
+	// payload allocation.
+	MaxFrame int
+	// FetchRows is the row-batch size used when a client sends
+	// MaxRows = 0 (default DefaultFetchRows).
+	FetchRows int
+	// Logf sinks server diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{MaxFrame: DefaultMaxFrame, FetchRows: DefaultFetchRows, Logf: log.Printf}
+	if c == nil {
+		return out
+	}
+	if c.MaxFrame > 0 {
+		out.MaxFrame = c.MaxFrame
+	}
+	if c.FetchRows > 0 {
+		out.FetchRows = c.FetchRows
+	}
+	if c.Logf != nil {
+		out.Logf = c.Logf
+	}
+	return out
+}
+
+// Server hosts concurrent sessions over the framed protocol, one session
+// per TCP connection, all sharing one Engine (whose catalog, model store
+// and plan cache are already internally synchronized — including the plan
+// LRU that serves repeated unprepared texts across every session).
+type Server struct {
+	eng     *datalaws.Engine
+	cfg     Config
+	metrics *Metrics
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	draining bool
+	closed   bool
+}
+
+// New builds a server over an engine. Call Serve (or ServeListener) to
+// start accepting.
+func New(eng *datalaws.Engine, cfg *Config) *Server {
+	return &Server{
+		eng:      eng,
+		cfg:      cfg.withDefaults(),
+		metrics:  NewMetrics(),
+		done:     make(chan struct{}),
+		sessions: map[*session]struct{}{},
+	}
+}
+
+// Metrics exposes the server's counters (mount Metrics().Handler() on an
+// HTTP mux for the scrape endpoint).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve listens on addr ("127.0.0.1:0" for an ephemeral port) and starts
+// the accept loop.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	return s.ServeListener(ln)
+}
+
+// ServeListener starts the accept loop on an existing listener, which the
+// server then owns.
+func (s *Server) ServeListener(ln net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		_ = ln.Close()
+		return errors.New("server: already shut down")
+	}
+	if s.ln != nil {
+		_ = ln.Close()
+		return errors.New("server: already serving")
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr reports the bound listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ActiveSessions reports the live session count.
+func (s *Server) ActiveSessions() int { return int(s.metrics.ActiveSessions()) }
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// temporaryAcceptErr mirrors the capture transport's classification:
+// timeouts, aborted handshakes and descriptor exhaustion recover on their
+// own and deserve a backoff-retry; anything else means the listener is
+// gone for good.
+func temporaryAcceptErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.ENOMEM)
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	backoff := time.Duration(0)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if !temporaryAcceptErr(err) {
+				s.cfg.Logf("server: accept failed permanently, stopping listener loop: %v", err)
+				return
+			}
+			if backoff == 0 {
+				s.cfg.Logf("server: temporary accept error (backing off): %v", err)
+				backoff = 5 * time.Millisecond
+			} else if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// session is one connection's state: its prepared statements, its open
+// cursors, and the context that cancels every in-flight execution the
+// moment the client disconnects. The stmts/cursors maps are touched only
+// by the handler goroutine; openCursors is atomic because drain reads it
+// from outside.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	stmts      map[uint64]*datalaws.Stmt
+	cursors    map[uint64]*datalaws.Rows
+	nextStmt   uint64
+	nextCursor uint64
+
+	openCursors atomic.Int64
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &session{
+		srv:     s,
+		conn:    conn,
+		ctx:     ctx,
+		cancel:  cancel,
+		stmts:   map[uint64]*datalaws.Stmt{},
+		cursors: map[uint64]*datalaws.Rows{},
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		_ = conn.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	s.metrics.SessionOpened()
+	defer func() {
+		cancel()
+		sess.teardown()
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.metrics.SessionClosed()
+	}()
+
+	// The reader goroutine is the disconnect watchdog: it blocks on the
+	// socket while the handler executes, so a client that vanishes
+	// mid-query fails the read immediately and the cancel propagates —
+	// via exec.BindContext — into every operator the session is running.
+	reqs := make(chan *Request, 4)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(reqs)
+		for {
+			req := new(Request)
+			if err := readMsg(conn, req, s.cfg.MaxFrame); err != nil {
+				cancel()
+				return
+			}
+			select {
+			case reqs <- req:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for req := range reqs {
+		resp := sess.handle(req)
+		if err := writeMsg(conn, resp, s.cfg.MaxFrame); err != nil {
+			break
+		}
+		if s.isDraining() && sess.openCursors.Load() == 0 {
+			// Drain: this session's in-flight cursors are finished;
+			// closing the connection lets Shutdown complete.
+			break
+		}
+	}
+	cancel()
+	_ = conn.Close()
+	// Unblock the reader if it is parked on a channel send, then wait for
+	// it to observe the closed connection.
+	for range reqs {
+	}
+}
+
+// teardown releases every cursor the session still holds; their lazy Rows
+// close their operator trees, freeing scans mid-stream.
+func (sess *session) teardown() {
+	for id, rows := range sess.cursors {
+		_ = rows.Close()
+		delete(sess.cursors, id)
+		sess.openCursors.Add(-1)
+		sess.srv.metrics.CursorClosed()
+	}
+}
+
+// kickIfIdle force-closes the session's connection when it holds no open
+// cursors; used at drain start so idle sessions don't hold shutdown
+// hostage. Sessions mid-cursor are left to finish.
+func (sess *session) kickIfIdle() {
+	if sess.openCursors.Load() == 0 {
+		_ = sess.conn.Close()
+	}
+}
+
+func errResponse(err error) *Response {
+	return &Response{ErrCode: wireerr.Code(err), ErrMsg: err.Error(), Done: true}
+}
+
+func (sess *session) handle(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{Done: true}
+	case OpPrepare:
+		if sess.srv.isDraining() {
+			return errResponse(fmt.Errorf("server: %w", wireerr.ErrDraining))
+		}
+		st, err := sess.srv.eng.Prepare(req.SQL)
+		if err != nil {
+			return errResponse(err)
+		}
+		sess.nextStmt++
+		sess.stmts[sess.nextStmt] = st
+		return &Response{StmtID: sess.nextStmt, NumParams: st.NumParams(), Done: true}
+	case OpQuery, OpStmtQuery:
+		return sess.handleQuery(req)
+	case OpFetch:
+		rows, ok := sess.cursors[req.CursorID]
+		if !ok {
+			return errResponse(fmt.Errorf("server: %w: unknown cursor %d", wireerr.ErrBadRequest, req.CursorID))
+		}
+		resp := sess.pullBatch(rows, req.MaxRows)
+		if resp.Done {
+			sess.releaseCursor(req.CursorID)
+		} else {
+			resp.CursorID = req.CursorID
+		}
+		sess.srv.metrics.RecordFetch(len(resp.Rows), wireerr.Rehydrate(resp.ErrCode, resp.ErrMsg))
+		return resp
+	case OpCloseCursor:
+		if rows, ok := sess.cursors[req.CursorID]; ok {
+			_ = rows.Close()
+			sess.releaseCursor(req.CursorID)
+		}
+		return &Response{Done: true}
+	case OpCloseStmt:
+		delete(sess.stmts, req.StmtID)
+		return &Response{Done: true}
+	}
+	return errResponse(fmt.Errorf("server: %w: unknown opcode %d", wireerr.ErrBadRequest, uint8(req.Op)))
+}
+
+func (sess *session) releaseCursor(id uint64) {
+	delete(sess.cursors, id)
+	sess.openCursors.Add(-1)
+	sess.srv.metrics.CursorClosed()
+}
+
+func (sess *session) handleQuery(req *Request) *Response {
+	if sess.srv.isDraining() {
+		return errResponse(fmt.Errorf("server: %w", wireerr.ErrDraining))
+	}
+	start := time.Now()
+	var rows *datalaws.Rows
+	var err error
+	switch req.Op {
+	case OpQuery:
+		rows, err = sess.srv.eng.Query(sess.ctx, req.SQL, valuesToArgs(req.Args)...)
+	default: // OpStmtQuery
+		st, ok := sess.stmts[req.StmtID]
+		if !ok {
+			return errResponse(fmt.Errorf("server: %w: unknown statement %d", wireerr.ErrBadRequest, req.StmtID))
+		}
+		rows, err = st.Query(sess.ctx, valuesToArgs(req.Args)...)
+	}
+	if err != nil {
+		sess.srv.metrics.RecordQuery(RouteOther, time.Since(start), err)
+		return errResponse(err)
+	}
+	resp := sess.pullBatch(rows, req.MaxRows)
+	resp.Columns = rows.Columns()
+	resp.Info = rows.Info
+	resp.Model = rows.Model
+	resp.ModelVersion = rows.ModelVersion
+	resp.SEInflation = rows.SEInflation
+	resp.ExactFallback = rows.ExactFallback
+	resp.Hybrid = rows.Hybrid
+	resp.Partitions = rows.Partitions
+	resp.PartitionsPruned = rows.PartitionsPruned
+	sess.srv.metrics.RecordQuery(routeOf(rows), time.Since(start), wireerr.Rehydrate(resp.ErrCode, resp.ErrMsg))
+	sess.srv.metrics.RecordRows(len(resp.Rows))
+	if !resp.Done {
+		sess.nextCursor++
+		sess.cursors[sess.nextCursor] = rows
+		sess.openCursors.Add(1)
+		sess.srv.metrics.CursorOpened()
+		resp.CursorID = sess.nextCursor
+	}
+	return resp
+}
+
+// pullBatch advances rows by up to n (clamped; the client's flow
+// control), deep-copying each row out of the cursor's reuse buffer. When
+// the stream ends — exhaustion or error — the underlying Rows has closed
+// itself and Done is set.
+func (sess *session) pullBatch(rows *datalaws.Rows, n int) *Response {
+	if n <= 0 {
+		n = sess.srv.cfg.FetchRows
+	}
+	if n > maxFetchRows {
+		n = maxFetchRows
+	}
+	resp := &Response{}
+	for len(resp.Rows) < n {
+		if !rows.Next() {
+			resp.Done = true
+			if err := rows.Err(); err != nil {
+				resp.ErrCode, resp.ErrMsg = wireerr.Code(err), err.Error()
+			}
+			break
+		}
+		r := rows.Row()
+		cp := make([]expr.Value, len(r))
+		copy(cp, r)
+		resp.Rows = append(resp.Rows, cp)
+	}
+	return resp
+}
+
+// routeOf classifies how a statement was answered, for the
+// approx-vs-exact route counters.
+func routeOf(rows *datalaws.Rows) Route {
+	switch {
+	case rows.Model != "":
+		return RouteApprox
+	case rows.ExactFallback:
+		return RouteFallback
+	case len(rows.Columns()) > 0:
+		return RouteExact
+	default:
+		return RouteOther
+	}
+}
+
+// valuesToArgs lifts wire values into Query arguments (the engine's
+// binder accepts expr.Value directly).
+func valuesToArgs(vals []expr.Value) []any {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+// Shutdown drains the server gracefully: stop accepting, reject new
+// statements with wireerr.CodeDraining, close idle sessions immediately,
+// let sessions with in-flight cursors finish streaming, and force-close
+// whatever remains when ctx expires (returning ctx.Err()). The engine is
+// not closed — that is the caller's decision, after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	if !alreadyDraining {
+		close(s.done)
+	}
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.kickIfIdle()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.forceCloseSessions()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
+// Close shuts the server down immediately: no drain, every connection
+// force-closed. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if !alreadyDraining {
+		close(s.done)
+	}
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.forceCloseSessions()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) forceCloseSessions() {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.cancel()
+		_ = sess.conn.Close()
+	}
+}

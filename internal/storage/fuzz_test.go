@@ -132,9 +132,9 @@ func FuzzEncodeColumn(f *testing.F) {
 	f.Add([]byte{})                                            // empty input → empty column
 	f.Add([]byte{0})                                           // empty int column
 	f.Add([]byte{1})                                           // empty float column
-	f.Add([]byte{0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 8, 0})   // ints with NULLs interleaved
+	f.Add([]byte{0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 8, 0})    // ints with NULLs interleaved
 	f.Add([]byte{0, 9, 1, 2, 3, 1, 2, 3})                      // single-run RLE: one value, stride 0 repeats
-	f.Add([]byte{1, 12, 0, 0, 0, 0, 0, 0, 248, 127, 1, 1, 1}) // +Inf then zero-delta repeats
+	f.Add([]byte{1, 12, 0, 0, 0, 0, 0, 0, 248, 127, 1, 1, 1})  // +Inf then zero-delta repeats
 	f.Add([]byte{1, 0, 0, 0})                                  // all-NULL float column
 	f.Add([]byte{2, 3, 'a', 'b', 'c', 3, 'a', 'b', 'c', 0, 5}) // dict strings with dup + NULL
 	f.Add([]byte{3, 1, 3, 0, 1, 3})                            // bools with NULL

@@ -168,7 +168,7 @@ func TestZoneMapSurvivors(t *testing.T) {
 		{"id < 8", []int{0, 4}},
 		{"id > 7 AND id <= 16", []int{1, 2, 4}},
 		{"cf.id = 20", []int{2, 4}},
-		{"id > 100", []int{4}},            // everything sealed pruned; tail stays
+		{"id > 100", []int{4}},             // everything sealed pruned; tail stays
 		{"s = 's3'", []int{0, 1, 2, 3, 4}}, // non-numeric: no pruning
 	}
 	for _, tc := range cases {

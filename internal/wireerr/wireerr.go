@@ -1,0 +1,100 @@
+// Package wireerr carries the engine's sentinel errors across process
+// boundaries. An error flattened to its message string survives a network
+// hop readable but untestable: errors.Is(err, modelstore.ErrNoModel) is
+// false on the client even though the server returned exactly that
+// sentinel, so remote backends silently lose the fallback and retry
+// behavior local ones get. Instead, the wire carries a small stable code
+// alongside the message; the client rehydrates the code into an error that
+// unwraps to the original sentinel while keeping the server's message.
+package wireerr
+
+import (
+	"errors"
+
+	"datalaws/internal/modelstore"
+	"datalaws/internal/table"
+)
+
+// Stable wire codes. These are protocol surface: renaming one breaks
+// mixed-version deployments, so codes are append-only.
+const (
+	// CodeNone marks success (the empty string, so zero values are clean).
+	CodeNone = ""
+	// CodeOther marks an error with no sentinel identity: the message is
+	// all the client gets.
+	CodeOther = "other"
+	// CodeNoModel maps modelstore.ErrNoModel (no trusted model can answer).
+	CodeNoModel = "no_model"
+	// CodeUnknownTable maps table.ErrUnknownTable.
+	CodeUnknownTable = "unknown_table"
+	// CodeUnknownModel maps modelstore.ErrNotFound.
+	CodeUnknownModel = "unknown_model"
+	// CodeDraining marks a server refusing new work during graceful
+	// shutdown; clients may retry against another replica.
+	CodeDraining = "draining"
+	// CodeBadRequest marks a protocol-level rejection (unknown opcode,
+	// oversized payload, bad cursor/statement id). Not retryable.
+	CodeBadRequest = "bad_request"
+)
+
+// ErrDraining is the client-side sentinel for CodeDraining.
+var ErrDraining = errors.New("server draining")
+
+// ErrBadRequest is the client-side sentinel for CodeBadRequest.
+var ErrBadRequest = errors.New("bad request")
+
+// sentinels maps each wire code to the error it rehydrates into. Order in
+// Code matters instead: more specific sentinels are probed first.
+var sentinels = map[string]error{
+	CodeNoModel:      modelstore.ErrNoModel,
+	CodeUnknownTable: table.ErrUnknownTable,
+	CodeUnknownModel: modelstore.ErrNotFound,
+	CodeDraining:     ErrDraining,
+	CodeBadRequest:   ErrBadRequest,
+}
+
+// Code classifies err for the wire: the code of the innermost known
+// sentinel, CodeOther for unrecognized errors, CodeNone for nil.
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return CodeNone
+	case errors.Is(err, modelstore.ErrNoModel):
+		return CodeNoModel
+	case errors.Is(err, table.ErrUnknownTable):
+		return CodeUnknownTable
+	case errors.Is(err, modelstore.ErrNotFound):
+		return CodeUnknownModel
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	}
+	return CodeOther
+}
+
+// Rehydrate rebuilds a client-side error from its wire form: the message is
+// preserved verbatim, and when the code names a known sentinel the result
+// unwraps to it, so errors.Is behaves identically for local and remote
+// backends. Unknown codes (a newer server) degrade to a plain message
+// error rather than failing.
+func Rehydrate(code, msg string) error {
+	if code == CodeNone && msg == "" {
+		return nil
+	}
+	if sentinel, ok := sentinels[code]; ok {
+		return &remoteError{msg: msg, sentinel: sentinel}
+	}
+	return errors.New(msg)
+}
+
+// remoteError is a server-produced error crossing the wire: the server's
+// message with the sentinel's identity grafted back on.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
+func (e *remoteError) Unwrap() error { return e.sentinel }

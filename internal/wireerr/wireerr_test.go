@@ -1,0 +1,74 @@
+package wireerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"datalaws/internal/modelstore"
+	"datalaws/internal/table"
+)
+
+func TestCodeClassifiesSentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, CodeNone},
+		{errors.New("boom"), CodeOther},
+		{modelstore.ErrNoModel, CodeNoModel},
+		{fmt.Errorf("datalaws: %w: wrapped twice", modelstore.ErrNoModel), CodeNoModel},
+		{fmt.Errorf("x: %w", table.ErrUnknownTable), CodeUnknownTable},
+		{fmt.Errorf("x: %w", modelstore.ErrNotFound), CodeUnknownModel},
+		{ErrDraining, CodeDraining},
+		{ErrBadRequest, CodeBadRequest},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRehydrateRoundTrip(t *testing.T) {
+	orig := fmt.Errorf("datalaws: %w: no model covers column x", modelstore.ErrNoModel)
+	back := Rehydrate(Code(orig), orig.Error())
+	if back == nil {
+		t.Fatal("rehydrated error is nil")
+	}
+	if !errors.Is(back, modelstore.ErrNoModel) {
+		t.Fatalf("errors.Is lost the sentinel: %v", back)
+	}
+	if back.Error() != orig.Error() {
+		t.Fatalf("message changed: %q != %q", back.Error(), orig.Error())
+	}
+
+	// Every known code survives the hop.
+	for code, sentinel := range sentinels {
+		e := Rehydrate(code, "msg for "+code)
+		if !errors.Is(e, sentinel) {
+			t.Errorf("code %q does not rehydrate to its sentinel", code)
+		}
+		if e.Error() != "msg for "+code {
+			t.Errorf("code %q message mangled: %q", code, e.Error())
+		}
+	}
+}
+
+func TestRehydrateEdgeCases(t *testing.T) {
+	if err := Rehydrate(CodeNone, ""); err != nil {
+		t.Fatalf("empty wire error should be nil, got %v", err)
+	}
+	// A plain message without a sentinel still comes back as an error.
+	if err := Rehydrate(CodeOther, "plain failure"); err == nil || err.Error() != "plain failure" {
+		t.Fatalf("CodeOther = %v", err)
+	}
+	// Unknown codes (newer server) degrade gracefully.
+	if err := Rehydrate("code_from_the_future", "m"); err == nil || err.Error() != "m" {
+		t.Fatalf("unknown code = %v", err)
+	}
+	// Legacy peers may send a message with no code at all.
+	if err := Rehydrate(CodeNone, "legacy error"); err == nil || err.Error() != "legacy error" {
+		t.Fatalf("no-code error = %v", err)
+	}
+}

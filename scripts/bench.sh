@@ -40,6 +40,13 @@ fi
 if [ "$pattern" = "wal" ]; then
   pattern='GroupCommit'
 fi
+# Shorthand for the network server: prepared point lookups, cursor
+# streaming across batch sizes, and prepared ingest — each through a real
+# TCP session, so the spread against the in-process benchmarks is the
+# wire's price.
+if [ "$pattern" = "serve" ]; then
+  pattern='ServePointQuery|ServeScanCursor|ServeIngest'
+fi
 # Shorthand for chunked column storage: selective and full scans over a
 # 16-chunk table vs the same rows held entirely in the mutable hot tail
 # (the selective spread is zone-map pruning; the full spread is decode

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network server: boot datalawsd on ephemeral
+# ports, fire a loadgen burst at it (64 concurrent sessions, mixed
+# point/scan/ingest), scrape /metrics, and assert the run was clean —
+# loadgen saw zero protocol errors, the server recorded zero request
+# errors, and the scrape reports qps and latency percentiles. Matches the
+# CI "serve smoke" step.
+#
+# Usage: scripts/serve-smoke.sh [duration] [conns]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+duration="${1:-5s}"
+conns="${2:-64}"
+
+workdir="$(mktemp -d)"
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/datalawsd" ./cmd/datalawsd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+"$workdir/datalawsd" -listen 127.0.0.1:0 -metrics 127.0.0.1:0 \
+  -portfile "$workdir/ports" >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the portfile (the server writes it once both listeners bind).
+for _ in $(seq 1 100); do
+  [ -s "$workdir/ports" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/server.log"; exit 1; }
+  sleep 0.1
+done
+[ -s "$workdir/ports" ] || { echo "server never published its ports" >&2; exit 1; }
+
+addr="$(sed -n 1p "$workdir/ports")"
+metrics="$(sed -n 2p "$workdir/ports")"
+echo "serve-smoke: server on $addr, metrics on $metrics"
+
+"$workdir/loadgen" -addr "$addr" -conns "$conns" -duration "$duration" -rate 1000
+
+scrape="$(curl -fsS "http://$metrics/metrics")"
+echo "$scrape" | grep -E '^datalaws_(qps|latency_p50_seconds|latency_p99_seconds) ' || {
+  echo "serve-smoke: scrape missing qps/latency series" >&2; exit 1; }
+errors="$(echo "$scrape" | awk '/^datalaws_query_errors_total /{print $2}')"
+if [ "$errors" != "0" ]; then
+  echo "serve-smoke: server recorded $errors request errors" >&2
+  exit 1
+fi
+
+# Graceful drain: SIGTERM must stop the server cleanly.
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "serve-smoke: server ignored SIGTERM" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "$workdir/server.log" || {
+  echo "serve-smoke: drain did not complete cleanly:" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+}
+echo "serve-smoke: OK (zero errors, clean drain)"
