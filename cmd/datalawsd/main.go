@@ -48,16 +48,42 @@ func run(argv []string) int {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight cursors")
 	fetchRows := fs.Int("fetch-rows", server.DefaultFetchRows, "default cursor batch size when clients do not choose")
 	portFile := fs.String("portfile", "", "write the bound query and metrics addresses here, one per line")
+	replicaOf := fs.String("replica-of", "", "primary's query address; serve as a model-only read replica (excludes -data/-init/-autorefit)")
+	lagInflate := fs.Float64("lag-inflate", 0.01, "replica SE widening per second of feed lag (with -replica-of)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 
 	logf := log.New(os.Stderr, "datalawsd: ", log.LstdFlags).Printf
 
-	eng, err := openEngine(*dataDir)
-	if err != nil {
-		logf("open engine: %v", err)
-		return 1
+	// A replica's state is the primary's changefeed: it has no rows to
+	// persist, no schema to bootstrap, nothing local to refit. Flags that
+	// would give it independent state contradict the topology.
+	if *replicaOf != "" {
+		for flagName, set := range map[string]bool{
+			"-data": *dataDir != "", "-init": *initFile != "", "-autorefit": *autorefit,
+		} {
+			if set {
+				logf("%s cannot be combined with -replica-of: a replica holds models, not rows", flagName)
+				return 2
+			}
+		}
+	}
+
+	var eng *datalaws.Engine
+	var rep *server.Replicator
+	var err error
+	if *replicaOf != "" {
+		eng, rep = server.OpenReplica(*replicaOf, &server.ReplicaConfig{
+			LagInflate: *lagInflate,
+			Logf:       logf,
+		})
+	} else {
+		eng, err = openEngine(*dataDir)
+		if err != nil {
+			logf("open engine: %v", err)
+			return 1
+		}
 	}
 	defer func() {
 		if err := eng.Close(); err != nil {
@@ -83,11 +109,20 @@ func run(argv []string) int {
 			OnEvent:  srv.Metrics().RecordRefit,
 		})
 	}
+	if rep != nil {
+		rep.UseMetrics(srv.Metrics())
+		rep.Start()
+		defer rep.Stop()
+	}
 	if err := srv.Serve(*listen); err != nil {
 		logf("%v", err)
 		return 1
 	}
-	logf("serving on %s (data=%s autorefit=%v)", srv.Addr(), orMemory(*dataDir), *autorefit)
+	if rep != nil {
+		logf("serving on %s (replica of %s)", srv.Addr(), *replicaOf)
+	} else {
+		logf("serving on %s (data=%s autorefit=%v)", srv.Addr(), orMemory(*dataDir), *autorefit)
+	}
 
 	var metricsLn net.Listener
 	if *metricsAddr != "" {

@@ -99,6 +99,10 @@ type Engine struct {
 	// reads go through execOptions/aqpOptions. Sessions that assign the
 	// exported fields directly should do so before serving traffic.
 	knobMu sync.RWMutex
+	// replica marks a model-only read replica (SetReplica): mutations and
+	// exact SELECTs are rejected, APPROX never falls back. Guarded by
+	// knobMu with the rest of the knobs.
+	replica bool
 
 	// refitter is the optional background maintenance loop (EnableAutoRefit);
 	// guarded by refitMu so ingestion can read it from any session.
@@ -518,6 +522,37 @@ func (e *Engine) SetParallelism(n int) {
 	e.AQP.Parallelism = n
 	e.knobMu.Unlock()
 	e.Models.SetFitParallelism(n)
+}
+
+// SetReplica switches the engine into model-only replica mode: mutations
+// and exact SELECTs are rejected with wireerr.ErrReplicaReadOnly (the
+// catalog holds zero-row stub tables — there are no rows to scan or append
+// to), APPROX queries never fall back to exact plans, and WITH ERROR bounds
+// are widened by inflate (the replication layer's measured primary
+// staleness plus feed lag) instead of local table growth. Call before
+// serving traffic; inflate's dynamic type must be comparable (Options is
+// compared with ==).
+func (e *Engine) SetReplica(inflate aqp.Inflator) {
+	e.knobMu.Lock()
+	e.replica = true
+	e.AQP.FallbackExact = false
+	e.AQP.StaleInflate = true
+	e.AQP.Inflate = inflate
+	e.knobMu.Unlock()
+}
+
+// IsReplica reports whether the engine is in model-only replica mode.
+func (e *Engine) IsReplica() bool {
+	e.knobMu.RLock()
+	defer e.knobMu.RUnlock()
+	return e.replica
+}
+
+// AQPOptions snapshots the engine's approximate-query options (the exported
+// surface the network server's delta builder uses, so shipped domains and
+// legal sets are built with exactly the knobs local planning would use).
+func (e *Engine) AQPOptions() aqp.Options {
+	return e.aqpOptions()
 }
 
 // SetChunkCacheBudget bounds the decoded-chunk cache: scans over sealed

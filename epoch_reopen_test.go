@@ -1,0 +1,83 @@
+package datalaws
+
+import (
+	"path/filepath"
+	"testing"
+
+	"datalaws/internal/expr"
+	"datalaws/internal/wal"
+)
+
+// Regression for restart epoch aliasing: plan-cache keys compare raw
+// (catalog epoch, model epoch) pairs, and any cache or changefeed cursor
+// keyed on an epoch observed before a restart must be invalid after it. A
+// reopened engine used to rebuild both epochs from near zero (loading N
+// tables produced epoch N, Store.Load bumped once), so a pre-restart epoch
+// could collide with a post-restart one describing different state. Both
+// epochs now persist in the snapshot and resume strictly above every
+// pre-restart value.
+func TestReopenEpochsNeverAlias(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	e, err := Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec(`CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)`)
+	e.MustExec(`CREATE TABLE scratch (a BIGINT)`)
+	var rows [][]expr.Value
+	for s := 0; s < 3; s++ {
+		for i := 1; i <= 8; i++ {
+			nu := 0.5 * float64(i)
+			rows = append(rows, []expr.Value{
+				expr.Int(int64(s)), expr.Float(nu), expr.Float(float64(2+s)*nu + float64(s)),
+			})
+		}
+	}
+	if _, err := e.Append("m", rows); err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec(`FIT MODEL law ON m AS 'intensity ~ a * nu + b'
+		INPUTS (nu) GROUP BY source START (a = 1, b = 0)`)
+	e.MustExec(`REFIT MODEL law`)
+	e.MustExec(`DROP TABLE scratch`)
+
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint mutations live only in the WAL: replay after reopen
+	// re-runs them as epoch bumps, which is exactly where the aliasing
+	// window was (persisted floor + replayed bumps must still clear the
+	// pre-restart maximum).
+	e.MustExec(`CREATE TABLE late (b BIGINT)`)
+	e.MustExec(`REFIT MODEL law`)
+
+	maxCat, maxMod := e.Catalog.Epoch(), e.Models.Epoch()
+	if maxCat == 0 || maxMod == 0 {
+		t.Fatal("fixture produced zero epochs")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := e2.Catalog.Epoch(); got <= maxCat {
+		t.Fatalf("catalog epoch %d after reopen aliases pre-restart range [0,%d]", got, maxCat)
+	}
+	if got := e2.Models.Epoch(); got <= maxMod {
+		t.Fatalf("model epoch %d after reopen aliases pre-restart range [0,%d]", got, maxMod)
+	}
+	// And both keep strictly increasing from there.
+	catBefore, modBefore := e2.Catalog.Epoch(), e2.Models.Epoch()
+	e2.MustExec(`CREATE TABLE post (c BIGINT)`)
+	e2.MustExec(`DROP MODEL law`)
+	if got := e2.Catalog.Epoch(); got <= catBefore {
+		t.Fatalf("catalog epoch stuck at %d after reopen DDL", got)
+	}
+	if got := e2.Models.Epoch(); got <= modBefore {
+		t.Fatalf("model epoch stuck at %d after reopen drop", got)
+	}
+}

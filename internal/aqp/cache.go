@@ -80,6 +80,47 @@ func (c *Cache) domainsFor(t *table.Table, m *modelstore.CapturedModel, maxDisti
 	return doms, nil
 }
 
+// PrimeDomains installs precomputed domains for (model, maxDistinct) at the
+// table's current version, as if domainsFor had built them locally. Read
+// replicas use it: their stub tables hold zero rows, so a local enumeration
+// would yield empty domains (and silently empty grids) — the primary ships
+// its enumerated domains with each model delta instead. The stub table's
+// version never changes, so a primed entry stays valid until the next delta
+// re-primes it.
+func (c *Cache) PrimeDomains(t *table.Table, m *modelstore.CapturedModel, maxDistinct int, domains []Domain) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.domains[domainsKey(m, maxDistinct)] = cachedDomains{tableVersion: t.Version(), domains: domains}
+	c.mu.Unlock()
+}
+
+// PrimeLegal installs a precomputed legal set for (model, useBloom, fpRate)
+// at the table's current version — the legal-set counterpart of
+// PrimeDomains.
+func (c *Cache) PrimeLegal(t *table.Table, m *modelstore.CapturedModel, useBloom bool, fpRate float64, legal LegalSet) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.legal[legalKey(m, useBloom, fpRate)] = cachedLegal{tableVersion: t.Version(), legal: legal}
+	c.mu.Unlock()
+}
+
+// Domains returns (possibly cached) enumerated domains for the model's
+// inputs — the exported surface the server's delta builder uses so shipped
+// domains reuse the planner's cache.
+func (c *Cache) Domains(t *table.Table, m *modelstore.CapturedModel, maxDistinct int) ([]Domain, error) {
+	return c.domainsFor(t, m, maxDistinct)
+}
+
+// Legal returns a (possibly cached) legal set for the model — the exported
+// counterpart of Domains.
+func (c *Cache) Legal(t *table.Table, m *modelstore.CapturedModel, useBloom bool, fpRate float64) (LegalSet, error) {
+	return c.legalFor(t, m, useBloom, fpRate)
+}
+
 // legalFor returns a (possibly cached) legal set for the model at the
 // table's current version.
 func (c *Cache) legalFor(t *table.Table, m *modelstore.CapturedModel, useBloom bool, fpRate float64) (LegalSet, error) {

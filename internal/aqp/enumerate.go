@@ -229,3 +229,46 @@ func BuildLegalSet(t *table.Table, groupCol string, inputCols []string, useBloom
 	}
 	return &ExactLegalSet{set: set}, nil
 }
+
+// ExportLegalCombos flattens an exact legal set for the replication wire:
+// one group key plus width input values per combination, inputs
+// concatenated row-major. ok is false for inexact sets (Bloom, AllowAll) —
+// their combinations cannot be enumerated, so replicas receiving such a
+// model fall back to AllowAll.
+func ExportLegalCombos(ls LegalSet) (groups []int64, inputs []float64, width int, ok bool) {
+	els, isExact := ls.(*ExactLegalSet)
+	if !isExact {
+		return nil, nil, 0, false
+	}
+	for k := range els.set {
+		w := len(k)/8 - 1
+		if width == 0 {
+			width = w
+		}
+		groups = append(groups, int64(getUint64(k)))
+		for i := 0; i < w; i++ {
+			inputs = append(inputs, math.Float64frombits(getUint64(k[8+8*i:])))
+		}
+	}
+	return groups, inputs, width, true
+}
+
+// LegalSetFromCombos rebuilds an exact legal set from ExportLegalCombos
+// output — the replica-side constructor, no table scan involved.
+func LegalSetFromCombos(groups []int64, inputs []float64, width int) LegalSet {
+	set := make(map[string]struct{}, len(groups))
+	row := make([]float64, width)
+	for i, g := range groups {
+		copy(row, inputs[i*width:(i+1)*width])
+		set[comboKey(g, row)] = struct{}{}
+	}
+	return &ExactLegalSet{set: set}
+}
+
+func getUint64(s string) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(s[i]) << (8 * i)
+	}
+	return v
+}

@@ -49,6 +49,20 @@ type Options struct {
 	// not here: BuildApproxSelect still reports ErrNoModel so callers can
 	// distinguish the routes.
 	FallbackExact bool
+	// Inflate, when non-nil, supplies an extra per-model SE inflation floor
+	// combined (by max) with the growth-based factor when StaleInflate is
+	// on. Read replicas use it to widen bounds by the primary's measured
+	// staleness plus replication lag — the local stub tables never grow, so
+	// growth-based inflation alone would claim false freshness. The dynamic
+	// type must be comparable: Options is compared with == to detect knob
+	// changes.
+	Inflate Inflator
+}
+
+// Inflator supplies a staleness inflation factor (≥ 1) for a model by name;
+// values at or below 1 add nothing.
+type Inflator interface {
+	InflationFor(model string) float64
 }
 
 // DefaultOptions are sensible defaults: exact legal set, 95 % intervals.
@@ -195,14 +209,18 @@ func (p *Prepared) revalidateLocked() error {
 // stale: prediction SEs scale by 1 + growth fraction since the fit. A fresh
 // model (or StaleInflate off) keeps factor 1.
 func staleInflation(m *modelstore.CapturedModel, t *table.Table, opts Options) float64 {
-	if !opts.StaleInflate {
-		return 1
+	factor := 1.0
+	if opts.StaleInflate {
+		if st := m.StalenessAgainst(t); st.GrowthFrac > 0 {
+			factor = 1 + st.GrowthFrac
+		}
+		if opts.Inflate != nil {
+			if f := opts.Inflate.InflationFor(m.Spec.Name); f > factor {
+				factor = f
+			}
+		}
 	}
-	st := m.StalenessAgainst(t)
-	if st.GrowthFrac <= 0 {
-		return 1
-	}
-	return 1 + st.GrowthFrac
+	return factor
 }
 
 // Bind instantiates one execution's operator tree from the prepared

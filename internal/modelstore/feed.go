@@ -1,0 +1,178 @@
+package modelstore
+
+import "sort"
+
+// The changefeed is the replication surface of the catalog: every mutation
+// that bumps the epoch also appends a Change entry, so a subscriber (a
+// model-shipping read replica) can follow captures, refit swaps and drops
+// without ever seeing a raw row. Positions are (term, seq) pairs: seq
+// increases within one store incarnation, term increases across Load
+// boundaries (persisted in the snapshot), so a cursor issued before a
+// restart can never alias a position after it — the follower is told to
+// resync instead.
+
+// Cursor identifies a position in the model changefeed. The zero Cursor is
+// "before everything" and always triggers a resync.
+type Cursor struct {
+	Term uint64
+	Seq  uint64
+}
+
+// ChangeKind classifies a changefeed entry.
+type ChangeKind uint8
+
+const (
+	// ChangeCapture is a newly captured (or newly visible, after load or
+	// resync) model.
+	ChangeCapture ChangeKind = iota + 1
+	// ChangeRefit is an atomic swap of a model's fitted parameters.
+	ChangeRefit
+	// ChangeDrop removes a model; Model is nil.
+	ChangeDrop
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeCapture:
+		return "capture"
+	case ChangeRefit:
+		return "refit"
+	case ChangeDrop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Change is one changefeed entry. Model is the post-change captured model
+// (immutable once published) or nil for drops. Partition-family members
+// appear as individual entries under their qualified "model#part" names.
+type Change struct {
+	Pos   Cursor
+	Kind  ChangeKind
+	Name  string
+	Model *CapturedModel
+}
+
+// feedRingCap bounds the retained change log. Followers that fall further
+// behind than the ring get a resync (full catalog) instead of history.
+const feedRingCap = 1024
+
+// publishLocked records one catalog change: it advances the sequence, bumps
+// the epoch (every published change invalidates plans), appends to the
+// bounded ring and wakes watchers. Callers hold s.mu.
+func (s *Store) publishLocked(kind ChangeKind, name string, m *CapturedModel) {
+	s.seq++
+	s.epoch++
+	c := Change{Pos: Cursor{Term: s.term, Seq: s.seq}, Kind: kind, Name: name, Model: m}
+	s.changeLog = append(s.changeLog, c)
+	if len(s.changeLog) > feedRingCap {
+		s.changeLog = append(s.changeLog[:0:0], s.changeLog[len(s.changeLog)-feedRingCap:]...)
+	}
+	if s.notify != nil {
+		close(s.notify)
+	}
+	s.notify = make(chan struct{})
+}
+
+// FeedPos returns the current end-of-feed position. A follower that applies
+// a full snapshot of the catalog may start polling from here.
+func (s *Store) FeedPos() Cursor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Cursor{Term: s.term, Seq: s.seq}
+}
+
+// Watch returns a channel that is closed on the next catalog change. Callers
+// re-arm by calling Watch again after the close; the usual loop is
+// ChangesSince → (empty) → select on Watch/timeout → ChangesSince.
+func (s *Store) Watch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify == nil {
+		s.notify = make(chan struct{})
+	}
+	return s.notify
+}
+
+// ChangesSince returns the changes after cur, at most max entries (max <= 0
+// means no bound), plus the cursor to poll from next. When cur is from an
+// older incarnation (term mismatch) or predates the retained ring, resync is
+// true and the returned changes are the full current catalog as synthetic
+// capture entries, all stamped at the current feed position — the follower
+// must replace its state wholesale, dropping anything absent from the set.
+func (s *Store) ChangesSince(cur Cursor, max int) (changes []Change, next Cursor, resync bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pos := Cursor{Term: s.term, Seq: s.seq}
+	needResync := cur.Term != s.term || cur.Seq > s.seq
+	if !needResync && cur.Seq < s.seq {
+		// Entries (cur.Seq, s.seq] must all still be in the ring.
+		if len(s.changeLog) == 0 || s.changeLog[0].Pos.Seq > cur.Seq+1 {
+			needResync = true
+		}
+	}
+	if needResync {
+		names := make([]string, 0, len(s.models))
+		for name := range s.models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			changes = append(changes, Change{Pos: pos, Kind: ChangeCapture, Name: name, Model: s.models[name]})
+		}
+		return changes, pos, true
+	}
+	for _, c := range s.changeLog {
+		if c.Pos.Seq <= cur.Seq {
+			continue
+		}
+		if max > 0 && len(changes) >= max {
+			break
+		}
+		changes = append(changes, c)
+	}
+	next = cur
+	if n := len(changes); n > 0 {
+		next = changes[n-1].Pos
+	}
+	return changes, next, false
+}
+
+// Install puts a model into the catalog without fitting, replacing any
+// same-name entry — the replica-side apply of a changefeed capture or refit.
+// The shipped ID and Version are kept so a replica's catalog mirrors the
+// primary's. Replicas have no WAL (their state is reconstructible from the
+// primary's feed), which is why Install sits outside the engine's
+// log-then-apply gate.
+func (s *Store) Install(cm *CapturedModel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.installLocked(cm)
+}
+
+func (s *Store) installLocked(cm *CapturedModel) {
+	kind := ChangeCapture
+	if old, ok := s.models[cm.Spec.Name]; ok {
+		kind = ChangeRefit
+		tbl := s.byTable[old.Spec.Table]
+		for i := range tbl {
+			if tbl[i] == old {
+				s.byTable[old.Spec.Table] = append(tbl[:i], tbl[i+1:]...)
+				break
+			}
+		}
+	}
+	s.models[cm.Spec.Name] = cm
+	s.byTable[cm.Spec.Table] = append(s.byTable[cm.Spec.Table], cm)
+	if cm.ID > s.nextID {
+		s.nextID = cm.ID
+	}
+	s.publishLocked(kind, cm.Spec.Name, cm)
+}
+
+// Uninstall removes a model by name on a replica, publishing the drop. It is
+// Drop without the durability contract: replica catalogs are rebuilt from
+// the primary's changefeed, never from a local log.
+func (s *Store) Uninstall(name string) bool {
+	return s.Drop(name)
+}

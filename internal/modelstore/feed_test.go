@@ -1,0 +1,327 @@
+package modelstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Regression for the restart-aliasing bug: Load used to merely increment
+// the in-memory epoch, so a reopened store restarted near zero and
+// epoch-keyed plan caches (and changefeed cursors) could alias pre-restart
+// positions. capture→refit→save→reopen must yield a strictly greater epoch
+// than any value observed before the restart.
+func TestLoadEpochStrictlyAboveAllPreRestartValues(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	if _, err := s.Capture(tb, powerSpec("spectra")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refit("spectra", tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Capture(tb, powerSpec("other")); err != nil {
+		t.Fatal(err)
+	}
+	maxEpoch := s.Epoch()
+	if maxEpoch < 3 {
+		t.Fatalf("expected at least 3 epoch bumps, got %d", maxEpoch)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore()
+	if e := s2.Epoch(); e >= maxEpoch {
+		t.Fatalf("fresh store epoch %d already past %d — fixture too weak", e, maxEpoch)
+	}
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Epoch(); got <= maxEpoch {
+		t.Fatalf("reopened epoch %d not strictly greater than pre-restart max %d", got, maxEpoch)
+	}
+	// And the reopened store keeps strictly increasing from there.
+	before := s2.Epoch()
+	if !s2.Drop("other") {
+		t.Fatal("drop failed")
+	}
+	if got := s2.Epoch(); got <= before {
+		t.Fatalf("epoch %d did not advance past %d after drop", got, before)
+	}
+}
+
+// A cursor issued before a restart must never be a valid position after it:
+// the term persists and strictly increases across Load, forcing a resync.
+func TestLoadTermStrictlyIncreasesAcrossRestarts(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	if _, err := s.Capture(tb, powerSpec("spectra")); err != nil {
+		t.Fatal(err)
+	}
+	oldPos := s.FeedPos()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore()
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	newPos := s2.FeedPos()
+	if newPos.Term <= oldPos.Term {
+		t.Fatalf("term %d not strictly greater than pre-restart term %d", newPos.Term, oldPos.Term)
+	}
+	// The old cursor resyncs rather than silently reading the new feed.
+	changes, next, resync := s2.ChangesSince(oldPos, 0)
+	if !resync {
+		t.Fatal("pre-restart cursor must trigger resync")
+	}
+	if len(changes) != 1 || changes[0].Name != "spectra" || changes[0].Kind != ChangeCapture {
+		t.Fatalf("resync should list the full catalog, got %+v", changes)
+	}
+	if next != newPos {
+		t.Fatalf("resync cursor %+v != feed pos %+v", next, newPos)
+	}
+
+	// Two generations deep: save the reopened store, load again, terms keep
+	// climbing (term was persisted, not reset).
+	var buf2 bytes.Buffer
+	if err := s2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewStore()
+	if err := s3.Load(bytes.NewReader(buf2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.FeedPos().Term; got <= newPos.Term {
+		t.Fatalf("generation-3 term %d not strictly greater than %d", got, newPos.Term)
+	}
+}
+
+func TestChangesSinceStreamsCaptureRefitDrop(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	start := s.FeedPos()
+
+	if _, err := s.Capture(tb, powerSpec("spectra")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refit("spectra", tb); err != nil {
+		t.Fatal(err)
+	}
+	s.Drop("spectra")
+
+	changes, next, resync := s.ChangesSince(start, 0)
+	if resync {
+		t.Fatal("fresh-from-start cursor should not resync")
+	}
+	kinds := []ChangeKind{ChangeCapture, ChangeRefit, ChangeDrop}
+	if len(changes) != len(kinds) {
+		t.Fatalf("got %d changes, want %d", len(changes), len(kinds))
+	}
+	for i, c := range changes {
+		if c.Kind != kinds[i] || c.Name != "spectra" {
+			t.Fatalf("change %d: kind=%v name=%q", i, c.Kind, c.Name)
+		}
+		if c.Kind == ChangeDrop && c.Model != nil {
+			t.Fatal("drop entries carry no model")
+		}
+		if c.Kind != ChangeDrop && c.Model == nil {
+			t.Fatalf("%v entry missing model", c.Kind)
+		}
+		if i > 0 && changes[i].Pos.Seq <= changes[i-1].Pos.Seq {
+			t.Fatal("positions not strictly increasing")
+		}
+	}
+	if next != changes[len(changes)-1].Pos {
+		t.Fatal("next cursor should be the last entry's position")
+	}
+	// Caught up: polling again returns nothing.
+	more, again, resync := s.ChangesSince(next, 0)
+	if len(more) != 0 || resync || again != next {
+		t.Fatalf("caught-up poll returned %d changes resync=%v", len(more), resync)
+	}
+}
+
+func TestChangesSinceMaxBatches(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	cur := s.FeedPos()
+	if _, err := s.Capture(tb, powerSpec("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Capture(tb, powerSpec("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Capture(tb, powerSpec("c")); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for {
+		changes, next, resync := s.ChangesSince(cur, 2)
+		if resync {
+			t.Fatal("unexpected resync")
+		}
+		if len(changes) == 0 {
+			break
+		}
+		if len(changes) > 2 {
+			t.Fatalf("batch of %d exceeds max 2", len(changes))
+		}
+		for _, c := range changes {
+			names = append(names, c.Name)
+		}
+		cur = next
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("paged names: %v", names)
+	}
+}
+
+func TestChangesSinceResyncsPastTrimmedRing(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	early := s.FeedPos()
+	if _, err := s.Capture(tb, powerSpec("keeper")); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the ring with churn on a second name.
+	if _, err := s.Capture(tb, powerSpec("churn")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < feedRingCap+8; i++ {
+		if _, err := s.Refit("churn", tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changes, next, resync := s.ChangesSince(early, 0)
+	if !resync {
+		t.Fatal("cursor behind the retained ring must resync")
+	}
+	if len(changes) != 2 {
+		t.Fatalf("resync catalog has %d entries, want 2", len(changes))
+	}
+	if next != s.FeedPos() {
+		t.Fatal("resync cursor should be the current feed position")
+	}
+}
+
+func TestWatchWakesOnPublish(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	ch := s.Watch()
+	select {
+	case <-ch:
+		t.Fatal("watch fired before any change")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := s.Capture(tb, powerSpec("spectra")); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch did not wake on capture")
+	}
+	<-done
+}
+
+func TestInstallReplacesAndPublishes(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	primary := NewStore()
+	m1, err := primary.Capture(tb, powerSpec("spectra"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := primary.Refit("spectra", tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replica := NewStore()
+	cur := replica.FeedPos()
+	replica.Install(m1)
+	got, ok := replica.Get("spectra")
+	if !ok || got.ID != m1.ID || got.Version != m1.Version {
+		t.Fatalf("installed model mismatch: %+v", got)
+	}
+	if len(replica.ForTable(m1.Spec.Table)) != 1 {
+		t.Fatal("byTable index not maintained by Install")
+	}
+	replica.Install(m2)
+	got, _ = replica.Get("spectra")
+	if got.Version != m2.Version {
+		t.Fatalf("replace kept version %d, want %d", got.Version, m2.Version)
+	}
+	if n := len(replica.ForTable(m1.Spec.Table)); n != 1 {
+		t.Fatalf("replace left %d byTable entries, want 1", n)
+	}
+	changes, _, resync := replica.ChangesSince(cur, 0)
+	if resync || len(changes) != 2 || changes[0].Kind != ChangeCapture || changes[1].Kind != ChangeRefit {
+		t.Fatalf("install feed: resync=%v changes=%+v", resync, changes)
+	}
+	if !replica.Uninstall("spectra") {
+		t.Fatal("uninstall failed")
+	}
+	if _, ok := replica.Get("spectra"); ok {
+		t.Fatal("model still present after Uninstall")
+	}
+}
+
+func TestDropForTablePublishesPerModel(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	if _, err := s.Capture(tb, powerSpec("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Capture(tb, powerSpec("b")); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.FeedPos()
+	dropped := s.DropForTable("measurements")
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %v", dropped)
+	}
+	changes, _, resync := s.ChangesSince(cur, 0)
+	if resync || len(changes) != 2 {
+		t.Fatalf("want 2 drop entries, got %d (resync=%v)", len(changes), resync)
+	}
+	for _, c := range changes {
+		if c.Kind != ChangeDrop {
+			t.Fatalf("kind %v", c.Kind)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	tb, _ := lofarFixture(t)
+	s := NewStore()
+	m, err := s.Capture(tb, powerSpec("spectra"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ModelFromRecord(RecordOf(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.ID != m.ID || rebuilt.Version != m.Version || rebuilt.Spec.Formula != m.Spec.Formula {
+		t.Fatalf("record round trip lost identity: %+v", rebuilt)
+	}
+	if len(rebuilt.Groups) != len(m.Groups) {
+		t.Fatalf("groups %d vs %d", len(rebuilt.Groups), len(m.Groups))
+	}
+	g, ok := rebuilt.GroupFor(1)
+	if !ok {
+		t.Fatal("group 1 unusable after round trip")
+	}
+	if v := rebuilt.Model.Eval(g.Params, []float64{0.14}); v <= 0 {
+		t.Fatalf("rebuilt model evaluates to %g", v)
+	}
+}

@@ -13,9 +13,12 @@ import (
 // The catalog persists as JSON: models travel in their source-code form
 // (formula and WHERE predicate as text, §3: "we can store the models in
 // their source code form inside the database") plus the numeric parameter
-// tables; compiled evaluators and Jacobians are rebuilt on load.
+// tables; compiled evaluators and Jacobians are rebuilt on load. The same
+// record types ship over the replication wire (gob), which is why they are
+// exported: a model delta is exactly a persisted model, minus the rows.
 
-type persistGroup struct {
+// GroupRecord is the serialized form of one GroupParams row.
+type GroupRecord struct {
 	Key        int64       `json:"key"`
 	Params     []float64   `json:"params,omitempty"`
 	ResidualSE float64     `json:"residual_se,omitempty"`
@@ -28,7 +31,9 @@ type persistGroup struct {
 	FitErr     string      `json:"fit_err,omitempty"`
 }
 
-type persistModel struct {
+// ModelRecord is the serialized form of one CapturedModel: the spec in
+// source form plus the fitted parameter table.
+type ModelRecord struct {
 	ID            int                `json:"id"`
 	Name          string             `json:"name"`
 	Table         string             `json:"table"`
@@ -38,49 +43,64 @@ type persistModel struct {
 	WhereSrc      string             `json:"where,omitempty"`
 	Start         map[string]float64 `json:"start,omitempty"`
 	Method        string             `json:"method,omitempty"`
-	Groups        []persistGroup     `json:"groups"`
+	Groups        []GroupRecord      `json:"groups"`
 	FittedVersion uint64             `json:"fitted_version"`
 	FittedRows    int                `json:"fitted_rows"`
 	Version       int                `json:"version"`
 }
 
 type persistFile struct {
-	FormatVersion int            `json:"format_version"`
-	NextID        int            `json:"next_id"`
-	Models        []persistModel `json:"models"`
+	FormatVersion int           `json:"format_version"`
+	NextID        int           `json:"next_id"`
+	Epoch         uint64        `json:"epoch,omitempty"`
+	Term          uint64        `json:"term,omitempty"`
+	Models        []ModelRecord `json:"models"`
 }
 
-// Save writes the catalog as JSON.
+// RecordOf serializes a captured model. Captured models are immutable after
+// the store swap, so no lock is needed.
+func RecordOf(m *CapturedModel) ModelRecord {
+	r := ModelRecord{
+		ID:            m.ID,
+		Name:          m.Spec.Name,
+		Table:         m.Spec.Table,
+		Formula:       m.Spec.Formula,
+		Inputs:        m.Spec.Inputs,
+		GroupBy:       m.Spec.GroupBy,
+		Start:         m.Spec.Start,
+		Method:        m.Spec.Method,
+		FittedVersion: m.FittedVersion,
+		FittedRows:    m.FittedRows,
+		Version:       m.Version,
+	}
+	if m.Spec.Where != nil {
+		r.WhereSrc = m.Spec.Where.String()
+	}
+	for _, key := range m.Order {
+		g := m.Groups[key]
+		r.Groups = append(r.Groups, GroupRecord{
+			Key: g.Key, Params: g.Params, ResidualSE: g.ResidualSE,
+			R2: g.R2, N: g.N, DF: g.DF, Iters: g.Iters, Retained: g.Retained,
+			Cov: g.Cov, FitErr: g.FitErr,
+		})
+	}
+	return r
+}
+
+// ModelFromRecord rebuilds a captured model from its serialized form,
+// re-parsing the formula and WHERE source and recomputing quality.
+func ModelFromRecord(r ModelRecord) (*CapturedModel, error) {
+	return rebuildModel(r)
+}
+
+// Save writes the catalog as JSON, including the feed position (epoch and
+// term) so a reopened store resumes strictly past every pre-restart value.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pf := persistFile{FormatVersion: 1, NextID: s.nextID}
+	pf := persistFile{FormatVersion: 1, NextID: s.nextID, Epoch: s.epoch, Term: s.term}
 	for _, m := range s.models {
-		pm := persistModel{
-			ID:            m.ID,
-			Name:          m.Spec.Name,
-			Table:         m.Spec.Table,
-			Formula:       m.Spec.Formula,
-			Inputs:        m.Spec.Inputs,
-			GroupBy:       m.Spec.GroupBy,
-			Start:         m.Spec.Start,
-			Method:        m.Spec.Method,
-			FittedVersion: m.FittedVersion,
-			FittedRows:    m.FittedRows,
-			Version:       m.Version,
-		}
-		if m.Spec.Where != nil {
-			pm.WhereSrc = m.Spec.Where.String()
-		}
-		for _, key := range m.Order {
-			g := m.Groups[key]
-			pm.Groups = append(pm.Groups, persistGroup{
-				Key: g.Key, Params: g.Params, ResidualSE: g.ResidualSE,
-				R2: g.R2, N: g.N, DF: g.DF, Iters: g.Iters, Retained: g.Retained,
-				Cov: g.Cov, FitErr: g.FitErr,
-			})
-		}
-		pf.Models = append(pf.Models, pm)
+		pf.Models = append(pf.Models, RecordOf(m))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -90,6 +110,13 @@ func (s *Store) Save(w io.Writer) error {
 // Load reads a catalog written by Save, rebuilding compiled models from
 // their source formulas. It fails on duplicate names against the current
 // contents.
+//
+// Load advances the store strictly past the persisted feed position: the
+// epoch continues above max(current, persisted) — never resetting toward
+// zero, so epoch-keyed plan caches cannot alias across a restart — and the
+// term increments past max(current, persisted), invalidating every cursor
+// issued by the previous incarnation (followers resync; WAL replay after
+// Load republishes in the new term, so nothing is missed).
 func (s *Store) Load(r io.Reader) error {
 	var pf persistFile
 	if err := json.NewDecoder(r).Decode(&pf); err != nil {
@@ -113,20 +140,26 @@ func (s *Store) Load(r io.Reader) error {
 			return fmt.Errorf("%w: %q", ErrDuplicate, cm.Spec.Name)
 		}
 	}
-	for _, cm := range loaded {
-		s.models[cm.Spec.Name] = cm
-		s.byTable[cm.Spec.Table] = append(s.byTable[cm.Spec.Table], cm)
-	}
 	if pf.NextID > s.nextID {
 		s.nextID = pf.NextID
 	}
-	if len(loaded) > 0 {
-		s.epoch++
+	if pf.Epoch > s.epoch {
+		s.epoch = pf.Epoch
+	}
+	s.epoch++
+	if pf.Term > s.term {
+		s.term = pf.Term
+	}
+	s.term++
+	s.seq = 0
+	s.changeLog = nil
+	for _, cm := range loaded {
+		s.installLocked(cm)
 	}
 	return nil
 }
 
-func rebuildModel(pm persistModel) (*CapturedModel, error) {
+func rebuildModel(pm ModelRecord) (*CapturedModel, error) {
 	model, err := fit.ParseModel(pm.Formula, pm.Inputs)
 	if err != nil {
 		return nil, err

@@ -190,17 +190,33 @@ type Store struct {
 	nextID  int
 	epoch   uint64 // bumped on every capture/refit/drop/load
 	fitPar  int    // GroupedFit worker bound; 0 = GOMAXPROCS
+
+	// Changefeed state (feed.go): term increases across Load boundaries,
+	// seq within one incarnation; changeLog is the bounded entry ring and
+	// notify wakes pollers on every publish.
+	term      uint64
+	seq       uint64
+	changeLog []Change
+	notify    chan struct{}
 }
 
 // NewStore returns an empty catalog.
 func NewStore() *Store {
-	return &Store{models: map[string]*CapturedModel{}, byTable: map[string][]*CapturedModel{}}
+	return &Store{
+		models:  map[string]*CapturedModel{},
+		byTable: map[string][]*CapturedModel{},
+		term:    1,
+		notify:  make(chan struct{}),
+	}
 }
 
 // Epoch returns a counter that increases whenever the model catalog changes
 // (capture, refit swap, drop, load). Plan caches record the epoch a plan was
 // compiled under and discard entries on mismatch, so cached plans never
-// outlive the models they were planned against.
+// outlive the models they were planned against. The epoch is persisted by
+// Save and restored as a floor by Load, so a reopened store's epochs are
+// strictly greater than any value observed before the restart — cached keys
+// can never alias across a restart.
 func (s *Store) Epoch() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -247,7 +263,7 @@ func (s *Store) Capture(t *table.Table, spec Spec) (*CapturedModel, error) {
 	cm.Version = 1
 	s.models[spec.Name] = cm
 	s.byTable[spec.Table] = append(s.byTable[spec.Table], cm)
-	s.epoch++
+	s.publishLocked(ChangeCapture, spec.Name, cm)
 	return cm, nil
 }
 
@@ -310,7 +326,7 @@ func (s *Store) refit(name string, t *table.Table, warm bool) (*CapturedModel, e
 			break
 		}
 	}
-	s.epoch++
+	s.publishLocked(ChangeRefit, name, cm)
 	return cm, nil
 }
 
@@ -338,7 +354,7 @@ func (s *Store) Drop(name string) bool {
 			break
 		}
 	}
-	s.epoch++
+	s.publishLocked(ChangeDrop, name, nil)
 	return true
 }
 
@@ -355,7 +371,10 @@ func (s *Store) DropForTable(tableName string) []string {
 	}
 	if len(dropped) > 0 {
 		delete(s.byTable, tableName)
-		s.epoch++
+		// One feed entry per model: a follower applies drops by name.
+		for _, name := range dropped {
+			s.publishLocked(ChangeDrop, name, nil)
+		}
 	}
 	return dropped
 }

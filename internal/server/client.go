@@ -1,13 +1,19 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"datalaws/internal/expr"
 	"datalaws/internal/wireerr"
 )
+
+// errClientClosed poisons calls after an explicit Close, distinguishing a
+// deliberate shutdown from a torn connection.
+var errClientClosed = errors.New("server: client closed")
 
 // Client is a session against a datalawsd server: one TCP connection,
 // prepared statements bound to server-side ids, streaming cursors pulled
@@ -30,6 +36,7 @@ type Client struct {
 	conn     net.Conn
 	maxFrame int
 	err      error
+	closed   bool
 }
 
 // Dial connects to a server.
@@ -42,10 +49,19 @@ func Dial(addr string) (*Client, error) {
 }
 
 // Close terminates the session; the server releases its statements and
-// cursors.
+// cursors. Idempotent, and later calls on the client (including a
+// Rows.Close racing this) fail fast with errClientClosed instead of
+// writing to a dead socket.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.err == nil {
+		c.err = errClientClosed
+	}
 	return c.conn.Close()
 }
 
@@ -54,6 +70,9 @@ func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
+		if errors.Is(c.err, errClientClosed) {
+			return nil, c.err
+		}
 		return nil, fmt.Errorf("server: client poisoned by earlier transport error: %w", c.err)
 	}
 	if err := writeMsg(c.conn, req, c.maxFrame); err != nil {
@@ -315,6 +334,58 @@ func scanValue(v expr.Value, dest any) error {
 		return nil
 	}
 	return fmt.Errorf("unsupported Scan target %T", dest)
+}
+
+// DeltaBatch is one reply from the model changefeed: deltas to apply, the
+// cursor to poll from next, and the primary's current growth snapshot.
+type DeltaBatch struct {
+	Deltas []ModelDelta
+	Term   uint64
+	Seq    uint64
+	// Resync marks a batch that replaces the subscriber's whole model
+	// catalog: models absent from it no longer exist on the primary.
+	Resync bool
+	// Growth maps model name → unmodeled-row growth fraction on the
+	// primary, the staleness signal a row-less replica cannot measure.
+	Growth map[string]float64
+}
+
+func deltaBatch(resp *Response) *DeltaBatch {
+	return &DeltaBatch{
+		Deltas: resp.Deltas,
+		Term:   resp.FeedTerm,
+		Seq:    resp.FeedSeq,
+		Resync: resp.Resync,
+		Growth: resp.Growth,
+	}
+}
+
+// SubscribeModels fetches the primary's full model catalog as a resync
+// batch; poll the returned cursor with PollDeltas for increments.
+func (c *Client) SubscribeModels() (*DeltaBatch, error) {
+	resp, err := c.call(&Request{Op: OpSubscribeModels})
+	if err != nil {
+		return nil, err
+	}
+	return deltaBatch(resp), nil
+}
+
+// PollDeltas long-polls the model changefeed from (term, seq), blocking
+// server-side up to wait for new deltas; an empty batch after wait is a
+// healthy caught-up poll, not an error. max caps the deltas per reply
+// (0 takes the server default).
+func (c *Client) PollDeltas(term, seq uint64, wait time.Duration, max int) (*DeltaBatch, error) {
+	resp, err := c.call(&Request{
+		Op:         OpModelDelta,
+		FeedTerm:   term,
+		FeedSeq:    seq,
+		WaitMillis: int(wait / time.Millisecond),
+		MaxDeltas:  max,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deltaBatch(resp), nil
 }
 
 // argsToValues boxes Go arguments as wire values.

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// Client lifecycle regression tests: closing a client — in any order
+// relative to its cursors, and racing transport failure — must leave no
+// session goroutine behind server-side and fail fast (not write to a dead
+// socket) client-side.
+
+func TestClientCloseIdempotent(t *testing.T) {
+	srv, _ := newTestServer(t, 100, nil)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.FetchRows = 8
+	rows, err := cli.Query("SELECT a FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+
+	if err := cli.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	// A cursor released after its client closed must fail fast with the
+	// closed sentinel, not attempt the wire.
+	if err := rows.Close(); !errors.Is(err, errClientClosed) {
+		t.Fatalf("Rows.Close after Client.Close = %v, want errClientClosed", err)
+	}
+	if err := cli.Ping(); !errors.Is(err, errClientClosed) {
+		t.Fatalf("Ping after Close = %v, want errClientClosed", err)
+	}
+}
+
+func TestClientLifecycleNoGoroutineLeak(t *testing.T) {
+	srv, _ := newTestServer(t, 2000, nil)
+	// Warm one full cycle so lazily-started runtime goroutines don't count
+	// against the baseline.
+	func() {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = cli.Close() }()
+		if err := cli.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	waitFor(t, "warmup session to drain", func() bool { return srv.ActiveSessions() == 0 })
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 30; i++ {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.FetchRows = 16
+		rows, err := cli.Query("SELECT a, b FROM big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("iteration %d: no rows: %v", i, rows.Err())
+		}
+		// The cursor is mid-stream (2000 rows, batch 16). Exercise every
+		// teardown order, including Rows.Close racing a client already
+		// torn down.
+		switch i % 3 {
+		case 0:
+			_ = rows.Close()
+			_ = cli.Close()
+		case 1:
+			_ = cli.Close()
+			_ = rows.Close()
+		case 2:
+			_ = cli.Close()
+			_ = cli.Close()
+		}
+	}
+
+	waitFor(t, "sessions to drain", func() bool { return srv.ActiveSessions() == 0 })
+	waitFor(t, "goroutines to return to baseline", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+3
+	})
+}

@@ -1,0 +1,238 @@
+package server
+
+// Model replication, the paper's client/server split taken to its
+// conclusion: a replica that never holds a raw measurement row can still
+// answer approximate queries, because everything the planner needs — model
+// parameters, table manifests, enumerated input domains, observed-combo
+// legal sets — is kilobytes, not gigabytes. The primary publishes its model
+// store's changefeed over the session protocol: OpSubscribeModels replies
+// with a full catalog snapshot plus a feed cursor, OpModelDelta long-polls
+// that cursor for increments. Rows never cross this wire.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datalaws/internal/aqp"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/wireerr"
+)
+
+// defaultMaxDeltas bounds one OpModelDelta reply when the client sends
+// MaxDeltas = 0; a resync (full snapshot) is never split.
+const defaultMaxDeltas = 256
+
+// maxWaitMillis caps how long one OpModelDelta poll may park server-side,
+// bounding what a hostile WaitMillis can pin.
+const maxWaitMillis = 60_000
+
+// ModelDelta is one changefeed entry on the wire: a captured model's
+// parameters plus the planning artifacts a row-less replica cannot derive
+// itself. For drops only Kind and Name are set.
+type ModelDelta struct {
+	Kind  modelstore.ChangeKind
+	Name  string
+	Model *modelstore.ModelRecord
+
+	// Table manifests the model's table (a partition child carries its
+	// parent's partitioning so the replica can rebuild the family shape).
+	// Nil when the primary's table vanished between publish and build.
+	Table *TableMeta
+
+	// Domains are the model's enumerated input domains and LegalGroups/
+	// LegalInputs/LegalWidth the observed (group, inputs) combinations —
+	// both scanned from rows the replica will never see. DomainsOK is
+	// false when a domain exceeded the primary's MaxDistinct (the model
+	// then serves only what the replica can answer without a grid);
+	// LegalOK is false when the primary's legal set is inexact (Bloom),
+	// in which case the replica falls back to admitting every combination.
+	Domains     []aqp.Domain
+	DomainsOK   bool
+	LegalGroups []int64
+	LegalInputs []float64
+	LegalWidth  int
+	LegalOK     bool
+}
+
+// TableMeta is a table's shape without its rows: enough for a replica to
+// register a zero-row stub the planner can bind models against.
+type TableMeta struct {
+	// Name is the table the model references — a partition child's
+	// "<parent>#<partition>" name when Parent is set.
+	Name string
+	// Parent/Column/Ranges carry the partitioned parent's declaration;
+	// empty for plain tables.
+	Parent string
+	Column string
+	Ranges []PartRange
+	// Cols is the schema, types in storage.ColType encoding.
+	Cols []ColMeta
+}
+
+// ColMeta is one schema column on the wire.
+type ColMeta struct {
+	Name string
+	Type uint8
+}
+
+// PartRange mirrors table.RangePartition on the wire.
+type PartRange struct {
+	Name  string
+	Upper float64
+	Max   bool
+}
+
+// buildDelta turns one changefeed entry into its wire form, attaching the
+// table manifest and the enumeration artifacts built with exactly the
+// planner knobs the primary itself queries under.
+func (s *Server) buildDelta(c modelstore.Change) ModelDelta {
+	d := ModelDelta{Kind: c.Kind, Name: c.Name}
+	if c.Kind == modelstore.ChangeDrop || c.Model == nil {
+		return d
+	}
+	rec := modelstore.RecordOf(c.Model)
+	d.Model = &rec
+	t, ok := s.eng.Catalog.Get(c.Model.Spec.Table)
+	if !ok {
+		return d
+	}
+	d.Table = s.tableMeta(c.Model.Spec.Table)
+	opts := s.eng.AQPOptions()
+	cache := opts.Cache
+	if cache == nil {
+		cache = aqp.NewCache()
+	}
+	if doms, err := cache.Domains(t, c.Model, opts.MaxDistinct); err == nil {
+		d.Domains, d.DomainsOK = doms, true
+	}
+	if ls, err := cache.Legal(t, c.Model, opts.UseBloom, opts.FPRate); err == nil {
+		if groups, inputs, width, exact := aqp.ExportLegalCombos(ls); exact {
+			d.LegalGroups, d.LegalInputs, d.LegalWidth, d.LegalOK = groups, inputs, width, true
+		}
+	}
+	return d
+}
+
+// tableMeta manifests one catalog table; nil if it does not exist.
+func (s *Server) tableMeta(name string) *TableMeta {
+	t, ok := s.eng.Catalog.Get(name)
+	if !ok {
+		return nil
+	}
+	tm := &TableMeta{Name: name}
+	for _, c := range t.Schema().Cols {
+		tm.Cols = append(tm.Cols, ColMeta{Name: c.Name, Type: uint8(c.Type)})
+	}
+	if parent, _, found := strings.Cut(name, "#"); found {
+		if pt, ok := s.eng.Catalog.GetPartitioned(parent); ok {
+			tm.Parent = parent
+			tm.Column = pt.Column()
+			for _, rg := range pt.Ranges() {
+				tm.Ranges = append(tm.Ranges, PartRange{Name: rg.Name, Upper: rg.Upper, Max: rg.Max})
+			}
+		}
+	}
+	return tm
+}
+
+// growthMap snapshots each model's unmodeled-row growth fraction. Shipped
+// on every feed reply — growth moves on ingest, not on feed entries, so a
+// replica polling an idle feed still learns its models are going stale.
+func (s *Server) growthMap() map[string]float64 {
+	models := s.eng.Models.List()
+	if len(models) == 0 {
+		return nil
+	}
+	g := make(map[string]float64, len(models))
+	for _, m := range models {
+		t, ok := s.eng.Catalog.Get(m.Spec.Table)
+		if !ok {
+			continue
+		}
+		if st := m.StalenessAgainst(t); st.GrowthFrac > 0 {
+			g[m.Spec.Name] = st.GrowthFrac
+		}
+	}
+	return g
+}
+
+// feedResponse assembles one subscribe/poll reply.
+func (s *Server) feedResponse(changes []modelstore.Change, next modelstore.Cursor, resync bool) *Response {
+	resp := &Response{
+		Done:     true,
+		Resync:   resync,
+		FeedTerm: next.Term,
+		FeedSeq:  next.Seq,
+		Growth:   s.growthMap(),
+	}
+	if len(changes) > 0 {
+		resp.Deltas = make([]ModelDelta, 0, len(changes))
+		for _, c := range changes {
+			resp.Deltas = append(resp.Deltas, s.buildDelta(c))
+		}
+	}
+	s.metrics.RecordDeltasSent(len(resp.Deltas))
+	return resp
+}
+
+// handleSubscribe answers OpSubscribeModels: the full current catalog as
+// capture deltas, stamped with the cursor to poll from.
+func (sess *session) handleSubscribe() *Response {
+	srv := sess.srv
+	if srv.isDraining() {
+		return errResponse(fmt.Errorf("server: %w", wireerr.ErrDraining))
+	}
+	srv.metrics.RecordSubscribe()
+	// A zero cursor can never match the store's term (terms start at 1),
+	// so this is always the resync path: the whole catalog plus FeedPos.
+	changes, next, _ := srv.eng.Models.ChangesSince(modelstore.Cursor{}, 0)
+	return srv.feedResponse(changes, next, true)
+}
+
+// handleModelDelta answers OpModelDelta: deltas past the client's cursor,
+// long-polling up to WaitMillis when the feed is caught up. The poll parks
+// inside the session's request loop — the protocol is strictly
+// request/response, so a subscriber session runs no other statements while
+// waiting — and wakes on publish, timeout, client disconnect, or drain.
+func (sess *session) handleModelDelta(req *Request) *Response {
+	srv := sess.srv
+	store := srv.eng.Models
+	cur := modelstore.Cursor{Term: req.FeedTerm, Seq: req.FeedSeq}
+	max := req.MaxDeltas
+	if max <= 0 {
+		max = defaultMaxDeltas
+	}
+	var timeout <-chan time.Time
+	if w := req.WaitMillis; w > 0 {
+		if w > maxWaitMillis {
+			w = maxWaitMillis
+		}
+		timer := time.NewTimer(time.Duration(w) * time.Millisecond)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		if srv.isDraining() {
+			return errResponse(fmt.Errorf("server: %w", wireerr.ErrDraining))
+		}
+		// Watch before ChangesSince: a publish in the gap closes this
+		// channel, so the select below cannot sleep through it.
+		wake := store.Watch()
+		changes, next, resync := store.ChangesSince(cur, max)
+		if len(changes) > 0 || resync || timeout == nil {
+			return srv.feedResponse(changes, next, resync)
+		}
+		select {
+		case <-wake:
+		case <-timeout:
+			// Caught up: an empty reply hands the cursor back unchanged
+			// (next == cur here) with a fresh growth snapshot.
+			return srv.feedResponse(nil, next, false)
+		case <-sess.ctx.Done():
+			return errResponse(fmt.Errorf("server: %w: session closed", wireerr.ErrBadRequest))
+		case <-srv.done:
+			return errResponse(fmt.Errorf("server: %w", wireerr.ErrDraining))
+		}
+	}
+}

@@ -66,6 +66,18 @@ type Metrics struct {
 	refitFailures  atomic.Uint64
 	lastRefitUnix  atomic.Int64 // nanoseconds; 0 = never
 	lastRefitTook  atomic.Int64 // nanoseconds
+
+	// Model-feed counters: the primary side of replication.
+	feedSubscribes atomic.Uint64
+	feedDeltasSent atomic.Uint64
+
+	// Replica counters, emitted only once a Replicator wires itself in
+	// (primaries keep a clean scrape).
+	replicaWired     atomic.Bool
+	replicaConnected atomic.Int64 // 0/1 gauge
+	replicaApplied   atomic.Uint64
+	replicaResyncs   atomic.Uint64
+	replicaLastSync  atomic.Int64 // nanoseconds; 0 = never synced
 }
 
 // NewMetrics returns a zeroed metrics registry with the uptime clock
@@ -143,6 +155,36 @@ func (m *Metrics) RecordRefit(ev refit.Event) {
 	m.lastRefitUnix.Store(time.Now().UnixNano())
 	m.lastRefitTook.Store(int64(ev.Took))
 }
+
+// RecordSubscribe counts one OpSubscribeModels (a replica attaching).
+func (m *Metrics) RecordSubscribe() { m.feedSubscribes.Add(1) }
+
+// RecordDeltasSent counts model deltas shipped to subscribers.
+func (m *Metrics) RecordDeltasSent(n int) { m.feedDeltasSent.Add(uint64(n)) }
+
+// WireReplica marks this process as a replica so Handler emits the
+// replica_* lines; called by Replicator.UseMetrics.
+func (m *Metrics) WireReplica() { m.replicaWired.Store(true) }
+
+// SetReplicaConnected maintains the replica's primary-link gauge.
+func (m *Metrics) SetReplicaConnected(up bool) {
+	var v int64
+	if up {
+		v = 1
+	}
+	m.replicaConnected.Store(v)
+}
+
+// RecordDeltasApplied counts model deltas a replica installed locally.
+func (m *Metrics) RecordDeltasApplied(n int) { m.replicaApplied.Add(uint64(n)) }
+
+// RecordReplicaSync stamps one successful feed poll — empty or not — the
+// reference point for the replica_lag_seconds gauge.
+func (m *Metrics) RecordReplicaSync() { m.replicaLastSync.Store(time.Now().UnixNano()) }
+
+// RecordReplicaResync counts full-catalog resyncs (first attach, cursor
+// fallen off the feed ring, primary restart).
+func (m *Metrics) RecordReplicaResync() { m.replicaResyncs.Add(1) }
 
 func (m *Metrics) observeLatency(d time.Duration) {
 	us := uint64(d / time.Microsecond)
@@ -243,6 +285,20 @@ func (m *Metrics) Handler() http.Handler {
 			p("last_refit_age_seconds", "%.3f", now.Sub(time.Unix(0, last)).Seconds())
 		} else {
 			p("last_refit_age_seconds", "%.3f", -1.0)
+		}
+		p("feed_subscribes_total", "%d", m.feedSubscribes.Load())
+		p("feed_deltas_sent_total", "%d", m.feedDeltasSent.Load())
+		if m.replicaWired.Load() {
+			p("replica_connected", "%d", m.replicaConnected.Load())
+			p("replica_deltas_applied_total", "%d", m.replicaApplied.Load())
+			p("replica_resyncs_total", "%d", m.replicaResyncs.Load())
+			// Replication lag: age of the last successful feed poll; -1
+			// means the replica has never reached its primary.
+			if last := m.replicaLastSync.Load(); last > 0 {
+				p("replica_lag_seconds", "%.3f", now.Sub(time.Unix(0, last)).Seconds())
+			} else {
+				p("replica_lag_seconds", "%.3f", -1.0)
+			}
 		}
 	})
 }

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"datalaws"
+	"datalaws/internal/expr"
+	"datalaws/internal/modelstore"
+	"datalaws/internal/wal"
+	"datalaws/internal/wireerr"
+)
+
+// Replica tests: a model-only replica follows the primary's changefeed and
+// answers APPROX queries whose intervals contain the primary's own
+// fresh-model answers, while rejecting anything that needs raw rows.
+
+// lawRows synthesizes intensity = (2+s)*nu + s + noise for sources
+// 0..groups-1 over nu = 0.25..2.0.
+func lawRows(groups int, noise float64, seed int64) [][]expr.Value {
+	rng := rand.New(rand.NewSource(seed))
+	var rows [][]expr.Value
+	for s := 0; s < groups; s++ {
+		for i := 1; i <= 8; i++ {
+			nu := 0.25 * float64(i)
+			y := (2+float64(s))*nu + float64(s) + noise*rng.NormFloat64()
+			rows = append(rows, []expr.Value{expr.Int(int64(s)), expr.Float(nu), expr.Float(y)})
+		}
+	}
+	return rows
+}
+
+// newPrimary boots a primary server over table m with a fitted grouped
+// model "law".
+func newPrimary(t *testing.T) (*Server, *datalaws.Engine) {
+	t.Helper()
+	eng := datalaws.NewEngine()
+	eng.MustExec("CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)")
+	if _, err := eng.Append("m", lawRows(4, 0.05, 11)); err != nil {
+		t.Fatal(err)
+	}
+	eng.MustExec(`FIT MODEL law ON m AS 'intensity ~ a * nu + b'
+		INPUTS (nu) GROUP BY source START (a = 1, b = 0)`)
+	srv := New(eng, &Config{Logf: t.Logf})
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, eng
+}
+
+// newReplica attaches a replica to addr and serves it on its own port,
+// returning the replica engine, its replicator, and a wire client against
+// the replica's server.
+func newReplica(t *testing.T, addr string) (*datalaws.Engine, *Replicator, *Client) {
+	t.Helper()
+	reng, rep := OpenReplica(addr, &ReplicaConfig{PollWait: 25 * time.Millisecond, Logf: t.Logf})
+	rep.Start()
+	t.Cleanup(rep.Stop)
+	rsrv := New(reng, &Config{Logf: t.Logf})
+	if err := rsrv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rsrv.Close() })
+	return reng, rep, dialTest(t, rsrv)
+}
+
+// replicaHasModel waits for name to arrive (at minimum version v) over the
+// feed.
+func replicaHasModel(t *testing.T, reng *datalaws.Engine, name string, v int) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("replica model %q v%d", name, v), func() bool {
+		m, ok := reng.Models.Get(name)
+		return ok && m.Version >= v
+	})
+}
+
+// approxInterval runs one WITH ERROR point query over the wire and returns
+// (value, lo, hi).
+func approxInterval(t *testing.T, cli *Client, source int64, nu float64) (y, lo, hi float64) {
+	t.Helper()
+	rows, err := cli.Query(fmt.Sprintf(
+		"APPROX SELECT intensity, intensity_lo, intensity_hi FROM m WHERE source = %d AND nu = %g WITH ERROR",
+		source, nu))
+	if err != nil {
+		t.Fatalf("replica approx (%d, %g): %v", source, nu, err)
+	}
+	defer func() { _ = rows.Close() }()
+	if !rows.Next() {
+		t.Fatalf("replica approx (%d, %g): no row (err=%v)", source, nu, rows.Err())
+	}
+	if err := rows.Scan(&y, &lo, &hi); err != nil {
+		t.Fatal(err)
+	}
+	return y, lo, hi
+}
+
+// primaryApprox returns the primary's fresh-model point prediction.
+func primaryApprox(t *testing.T, eng *datalaws.Engine, source int64, nu float64) float64 {
+	t.Helper()
+	res := eng.MustExec(fmt.Sprintf(
+		"APPROX SELECT intensity FROM m WHERE source = %d AND nu = %g", source, nu))
+	if len(res.Rows) != 1 {
+		t.Fatalf("primary approx (%d, %g): %d rows", source, nu, len(res.Rows))
+	}
+	return res.Rows[0][0].F
+}
+
+func TestReplicaServesModelAnswersWithoutRows(t *testing.T) {
+	srv, peng := newPrimary(t)
+	reng, _, cli := newReplica(t, srv.Addr())
+	replicaHasModel(t, reng, "law", 1)
+
+	// The replica holds zero rows, yet answers point queries with
+	// intervals containing the primary's fresh prediction.
+	if tb, ok := reng.Catalog.Get("m"); !ok || tb.NumRows() != 0 {
+		t.Fatalf("replica stub table: ok=%v rows=%d, want empty stub", ok, tb.NumRows())
+	}
+	for s := int64(0); s < 4; s++ {
+		want := primaryApprox(t, peng, s, 0.5)
+		_, lo, hi := approxInterval(t, cli, s, 0.5)
+		if want < lo || want > hi {
+			t.Fatalf("source %d: primary %g outside replica interval [%g, %g]", s, want, lo, hi)
+		}
+	}
+
+	// Aggregates ride the same model grid.
+	rows, err := cli.Query("APPROX SELECT avg(intensity) FROM m WHERE source = 2 WITH ERROR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("aggregate: no row (err=%v)", rows.Err())
+	}
+	var avg float64
+	if err := rows.Scan(&avg); err != nil {
+		t.Fatal(err)
+	}
+	_ = rows.Close()
+	pres := peng.MustExec("APPROX SELECT avg(intensity) FROM m WHERE source = 2")
+	if got, want := avg, pres.Rows[0][0].F; got != want {
+		t.Fatalf("aggregate from identical model params: replica %g != primary %g", got, want)
+	}
+	if rows.Model == "" {
+		t.Fatal("replica answer did not come from a model")
+	}
+}
+
+func TestReplicaRejectsRowsAndWrites(t *testing.T) {
+	srv, _ := newPrimary(t)
+	reng, _, cli := newReplica(t, srv.Addr())
+	replicaHasModel(t, reng, "law", 1)
+
+	for _, stmt := range []string{
+		"INSERT INTO m VALUES (9, 0.1, 0.2)",
+		"SELECT count(*) FROM m",
+		"CREATE TABLE scratch (x BIGINT)",
+		"FIT MODEL law2 ON m AS 'intensity ~ a * nu' INPUTS (nu) START (a = 1)",
+		"DROP MODEL law",
+	} {
+		_, err := cli.Exec(stmt)
+		if err == nil {
+			t.Fatalf("%q succeeded on a model-only replica", stmt)
+		}
+		if !errors.Is(err, wireerr.ErrReplicaReadOnly) {
+			t.Fatalf("%q: error %v does not unwrap to ErrReplicaReadOnly", stmt, err)
+		}
+	}
+}
+
+func TestReplicaFollowsRefitAndDrop(t *testing.T) {
+	srv, peng := newPrimary(t)
+	reng, _, cli := newReplica(t, srv.Addr())
+	replicaHasModel(t, reng, "law", 1)
+
+	// Refit after more data: the replica picks up the new version and its
+	// intervals track the refreshed parameters.
+	if _, err := peng.Append("m", lawRows(4, 0.05, 12)); err != nil {
+		t.Fatal(err)
+	}
+	peng.MustExec("REFIT MODEL law")
+	replicaHasModel(t, reng, "law", 2)
+	want := primaryApprox(t, peng, 1, 0.75)
+	_, lo, hi := approxInterval(t, cli, 1, 0.75)
+	if want < lo || want > hi {
+		t.Fatalf("post-refit: primary %g outside replica interval [%g, %g]", want, lo, hi)
+	}
+
+	// Drop propagates; with FallbackExact forced off the replica then has
+	// no way to answer.
+	peng.MustExec("DROP MODEL law")
+	waitFor(t, "model drop to replicate", func() bool {
+		_, ok := reng.Models.Get("law")
+		return !ok
+	})
+	if _, err := cli.Exec("APPROX SELECT intensity FROM m WHERE source = 1 AND nu = 0.75"); err == nil {
+		t.Fatal("APPROX query answered after its model was dropped")
+	} else if !errors.Is(err, modelstore.ErrNoModel) {
+		t.Fatalf("want ErrNoModel after drop, got %v", err)
+	}
+}
+
+// TestReplicaDifferentialContainment is the consistency harness: across the
+// whole fitted grid, every replica interval contains the primary's
+// fresh-model answer — first in steady state, then through a staleness
+// window where the primary has ingested and refitted but the replica is
+// frozen on the old model with only its growth-widened bounds.
+func TestReplicaDifferentialContainment(t *testing.T) {
+	srv, peng := newPrimary(t)
+	reng, rep, cli := newReplica(t, srv.Addr())
+	replicaHasModel(t, reng, "law", 1)
+
+	sweep := func(phase string) {
+		t.Helper()
+		for s := int64(0); s < 4; s++ {
+			for i := 1; i <= 8; i++ {
+				nu := 0.25 * float64(i)
+				want := primaryApprox(t, peng, s, nu)
+				_, lo, hi := approxInterval(t, cli, s, nu)
+				if want < lo || want > hi {
+					t.Fatalf("%s (%d, %g): primary %g outside replica [%g, %g]",
+						phase, s, nu, want, lo, hi)
+				}
+			}
+		}
+	}
+	sweep("steady state")
+
+	// Staleness window: the primary ingests a slightly drifted batch; the
+	// replica learns the growth fraction (its inflation floor rises) and
+	// is then frozen — exactly the state of a replica mid-refit. After the
+	// primary refits, the frozen replica's widened stale intervals must
+	// still contain the primary's fresh answers.
+	rng := rand.New(rand.NewSource(13))
+	var drifted [][]expr.Value
+	for s := 0; s < 4; s++ {
+		for i := 1; i <= 8; i++ {
+			nu := 0.25 * float64(i)
+			y := (2+float64(s))*nu + float64(s) + 0.02 + 0.05*rng.NormFloat64()
+			drifted = append(drifted, []expr.Value{expr.Int(int64(s)), expr.Float(nu), expr.Float(y)})
+		}
+	}
+	if _, err := peng.Append("m", drifted); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "growth to reach replica", func() bool {
+		return rep.InflationFor("law") > 1.0
+	})
+	rep.Stop()
+	peng.MustExec("REFIT MODEL law")
+	if m, _ := reng.Models.Get("law"); m.Version != 1 {
+		t.Fatalf("replica refitted while frozen: version %d", m.Version)
+	}
+	sweep("staleness window")
+
+	// The widening is visible in the answer metadata.
+	rows, err := cli.Query("APPROX SELECT intensity FROM m WHERE source = 1 AND nu = 0.75 WITH ERROR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	_ = rows.Close()
+	if rows.SEInflation <= 1.0 {
+		t.Fatalf("stale replica answered with SEInflation %g, want > 1", rows.SEInflation)
+	}
+}
+
+func TestReplicaPartitionedFamily(t *testing.T) {
+	eng := datalaws.NewEngine()
+	eng.MustExec(`CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE) PARTITION BY RANGE(source) (
+		PARTITION p0 VALUES LESS THAN (2),
+		PARTITION p1 VALUES LESS THAN (MAXVALUE))`)
+	if _, err := eng.Append("m", lawRows(4, 0.05, 14)); err != nil {
+		t.Fatal(err)
+	}
+	eng.MustExec(`FIT MODEL law ON m AS 'intensity ~ a * nu + b'
+		INPUTS (nu) GROUP BY source START (a = 1, b = 0)`)
+	srv := New(eng, &Config{Logf: t.Logf})
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	reng, _, cli := newReplica(t, srv.Addr())
+	replicaHasModel(t, reng, "law#p0", 1)
+	replicaHasModel(t, reng, "law#p1", 1)
+	if _, ok := reng.Catalog.GetPartitioned("m"); !ok {
+		t.Fatal("replica did not rebuild the partitioned parent")
+	}
+
+	// One query per partition: routing and pruning work on the stub shape.
+	for _, s := range []int64{0, 3} {
+		want := primaryApprox(t, eng, s, 0.5)
+		_, lo, hi := approxInterval(t, cli, s, 0.5)
+		if want < lo || want > hi {
+			t.Fatalf("partitioned source %d: primary %g outside replica [%g, %g]", s, want, lo, hi)
+		}
+	}
+}
+
+// TestPrimaryRestartResumesFeed reboots the primary from its data directory
+// on the same address: the replica's old cursor belongs to a previous feed
+// term, so it must resync — never alias — and keep serving the model.
+func TestPrimaryRestartResumesFeed(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := datalaws.Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.MustExec("CREATE TABLE m (source BIGINT, nu DOUBLE, intensity DOUBLE)")
+	if _, err := eng.Append("m", lawRows(4, 0.05, 15)); err != nil {
+		t.Fatal(err)
+	}
+	eng.MustExec(`FIT MODEL law ON m AS 'intensity ~ a * nu + b'
+		INPUTS (nu) GROUP BY source START (a = 1, b = 0)`)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := New(eng, &Config{Logf: t.Logf})
+	if err := srv.ServeListener(ln); err != nil {
+		t.Fatal(err)
+	}
+
+	reng, rep, cli := newReplica(t, addr)
+	replicaHasModel(t, reng, "law", 1)
+
+	// Restart the primary on the same address from its durable state.
+	_ = srv.Close()
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := datalaws.Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln2 net.Listener
+	waitFor(t, "restart listener on "+addr, func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	srv2 := New(eng2, &Config{Logf: t.Logf})
+	if err := srv2.ServeListener(ln2); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	// The replica redials, resyncs against the new term, and still serves.
+	_, preResyncs := rep.Stats()
+	waitFor(t, "replica resync after primary restart", func() bool {
+		_, resyncs := rep.Stats()
+		return resyncs > preResyncs && rep.Connected()
+	})
+	replicaHasModel(t, reng, "law", 1)
+	want := primaryApprox(t, eng2, 2, 0.5)
+	_, lo, hi := approxInterval(t, cli, 2, 0.5)
+	if want < lo || want > hi {
+		t.Fatalf("post-restart: primary %g outside replica [%g, %g]", want, lo, hi)
+	}
+}
+
+// TestDrainUnblocksFeedLongPoll: a subscriber parked in a long poll must
+// not hold graceful shutdown hostage.
+func TestDrainUnblocksFeedLongPoll(t *testing.T) {
+	srv, _ := newPrimary(t)
+	cli := dialTest(t, srv)
+	sub, err := cli.SubscribeModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pollDone := make(chan error, 1)
+	go func() {
+		_, err := cli.PollDeltas(sub.Term, sub.Seq, 30*time.Second, 0)
+		pollDone <- err
+	}()
+	// Let the poll park server-side before draining.
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- srv.Shutdown(ctx) }()
+
+	select {
+	case err := <-pollDone:
+		if err == nil {
+			t.Fatal("long poll returned deltas during drain, want draining error")
+		}
+		if !errors.Is(err, wireerr.ErrDraining) && !strings.Contains(err.Error(), "receive") {
+			t.Fatalf("long poll failed with %v, want draining or torn connection", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("long poll still parked 3s into drain")
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown did not complete cleanly: %v", err)
+	}
+}

@@ -331,6 +331,10 @@ func (sess *session) handle(req *Request) *Response {
 	case OpCloseStmt:
 		delete(sess.stmts, req.StmtID)
 		return &Response{Done: true}
+	case OpSubscribeModels:
+		return sess.handleSubscribe()
+	case OpModelDelta:
+		return sess.handleModelDelta(req)
 	}
 	return errResponse(fmt.Errorf("server: %w: unknown opcode %d", wireerr.ErrBadRequest, uint8(req.Op)))
 }

@@ -55,6 +55,14 @@ const (
 	OpCloseStmt
 	// OpPing is a liveness no-op.
 	OpPing
+	// OpSubscribeModels starts model replication: the reply is a full
+	// snapshot of the primary's captured models (as deltas) plus the feed
+	// cursor the subscriber polls from.
+	OpSubscribeModels
+	// OpModelDelta long-polls the model changefeed from a cursor position,
+	// replying with the deltas published since — or an empty batch after
+	// WaitMillis with no change.
+	OpModelDelta
 )
 
 func (o Op) String() string {
@@ -73,6 +81,10 @@ func (o Op) String() string {
 		return "close-stmt"
 	case OpPing:
 		return "ping"
+	case OpSubscribeModels:
+		return "subscribe-models"
+	case OpModelDelta:
+		return "model-delta"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -91,6 +103,17 @@ type Request struct {
 	// MaxRows caps the rows in the reply batch — the client-driven flow
 	// control. 0 takes the server default.
 	MaxRows int
+
+	// FeedTerm/FeedSeq position an OpModelDelta poll on the changefeed
+	// (the cursor returned by the previous subscribe or poll response).
+	FeedTerm uint64
+	FeedSeq  uint64
+	// WaitMillis is how long an OpModelDelta poll may block waiting for
+	// new deltas before replying empty. 0 returns immediately.
+	WaitMillis int
+	// MaxDeltas caps the deltas in one OpModelDelta reply. 0 takes the
+	// server default.
+	MaxDeltas int
 }
 
 // Response is one server frame.
@@ -123,6 +146,20 @@ type Response struct {
 	Hybrid           bool
 	Partitions       int
 	PartitionsPruned int
+
+	// Replication payload (OpSubscribeModels, OpModelDelta). Deltas carry
+	// model parameters and table manifests, never rows; FeedTerm/FeedSeq is
+	// the cursor to poll from next; Resync marks a reply that replaces the
+	// subscriber's whole catalog rather than extending it (first subscribe,
+	// or a poll whose cursor the primary could no longer serve
+	// incrementally). Growth maps model name → fraction of unmodeled rows
+	// appended since that model's fit, shipped on every reply so the
+	// replica can widen its intervals for staleness it cannot observe.
+	Deltas   []ModelDelta
+	FeedTerm uint64
+	FeedSeq  uint64
+	Resync   bool
+	Growth   map[string]float64
 }
 
 // DefaultMaxFrame bounds a single frame's payload. Row batches dominate

@@ -636,6 +636,20 @@ func (c *Catalog) Epoch() uint64 {
 	return c.epoch
 }
 
+// AdvanceEpoch raises the epoch strictly past floor (a persisted pre-restart
+// value). A reopened catalog replays its load as a handful of Add calls, so
+// without this its epoch would restart near zero and epoch-keyed plan caches
+// could alias a pre-restart compilation; advancing past the persisted high
+// water mark makes every post-restart epoch strictly greater than every
+// pre-restart one.
+func (c *Catalog) AdvanceEpoch(floor uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch <= floor {
+		c.epoch = floor + 1
+	}
+}
+
 // Create registers a new empty table; it fails on duplicate names.
 func (c *Catalog) Create(name string, schema *Schema) (*Table, error) {
 	c.mu.Lock()

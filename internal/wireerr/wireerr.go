@@ -35,6 +35,10 @@ const (
 	// CodeBadRequest marks a protocol-level rejection (unknown opcode,
 	// oversized payload, bad cursor/statement id). Not retryable.
 	CodeBadRequest = "bad_request"
+	// CodeReplicaReadOnly marks a mutation or exact query rejected by a
+	// model-only read replica: it holds laws, not rows. Clients should
+	// route the statement to the primary.
+	CodeReplicaReadOnly = "replica_readonly"
 )
 
 // ErrDraining is the client-side sentinel for CodeDraining.
@@ -43,14 +47,19 @@ var ErrDraining = errors.New("server draining")
 // ErrBadRequest is the client-side sentinel for CodeBadRequest.
 var ErrBadRequest = errors.New("bad request")
 
+// ErrReplicaReadOnly is the sentinel for CodeReplicaReadOnly: the statement
+// needs raw rows or mutates state, and this node is a model-only replica.
+var ErrReplicaReadOnly = errors.New("replica is read-only (models, not rows)")
+
 // sentinels maps each wire code to the error it rehydrates into. Order in
 // Code matters instead: more specific sentinels are probed first.
 var sentinels = map[string]error{
-	CodeNoModel:      modelstore.ErrNoModel,
-	CodeUnknownTable: table.ErrUnknownTable,
-	CodeUnknownModel: modelstore.ErrNotFound,
-	CodeDraining:     ErrDraining,
-	CodeBadRequest:   ErrBadRequest,
+	CodeNoModel:         modelstore.ErrNoModel,
+	CodeUnknownTable:    table.ErrUnknownTable,
+	CodeUnknownModel:    modelstore.ErrNotFound,
+	CodeDraining:        ErrDraining,
+	CodeBadRequest:      ErrBadRequest,
+	CodeReplicaReadOnly: ErrReplicaReadOnly,
 }
 
 // Code classifies err for the wire: the code of the innermost known
@@ -69,6 +78,8 @@ func Code(err error) string {
 		return CodeDraining
 	case errors.Is(err, ErrBadRequest):
 		return CodeBadRequest
+	case errors.Is(err, ErrReplicaReadOnly):
+		return CodeReplicaReadOnly
 	}
 	return CodeOther
 }

@@ -22,6 +22,8 @@ func TestCodeClassifiesSentinels(t *testing.T) {
 		{fmt.Errorf("x: %w", modelstore.ErrNotFound), CodeUnknownModel},
 		{ErrDraining, CodeDraining},
 		{ErrBadRequest, CodeBadRequest},
+		{ErrReplicaReadOnly, CodeReplicaReadOnly},
+		{fmt.Errorf("x: %w", ErrReplicaReadOnly), CodeReplicaReadOnly},
 	}
 	for _, c := range cases {
 		if got := Code(c.err); got != c.want {

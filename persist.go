@@ -73,6 +73,16 @@ type partitionRange struct {
 	Max   bool    `json:"max,omitempty"`
 }
 
+// catalogMeta is catalog.json inside a snapshot: the table-catalog epoch at
+// save time. Load uses it as a floor so a reopened engine's catalog epochs
+// are strictly greater than any pre-restart value — the same restart
+// aliasing guard the model store gets from persisting its own epoch (plan
+// caches key on both raw epochs, see plancache.go).
+type catalogMeta struct {
+	FormatVersion int    `json:"format_version"`
+	Epoch         uint64 `json:"epoch"`
+}
+
 // SaveDir persists the engine to a directory: every table as a binary
 // column file (<name>.dltab, inheriting the lightweight column encodings),
 // the partition manifest, and the captured model catalog as models.json
@@ -140,6 +150,13 @@ func (e *Engine) saveSnapshot(dir string) error {
 		return e.Models.Save(f)
 	}); err != nil {
 		return fmt.Errorf("datalaws: saving models: %w", err)
+	}
+	if err := writeFileSynced(filepath.Join(stage, "catalog.json"), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(catalogMeta{FormatVersion: 1, Epoch: e.Catalog.Epoch()})
+	}); err != nil {
+		return fmt.Errorf("datalaws: saving catalog metadata: %w", err)
 	}
 	if walStartSeg >= 0 {
 		if err := writeFileSynced(filepath.Join(stage, "checkpoint.json"), func(f *os.File) error {
@@ -380,6 +397,16 @@ func (e *Engine) loadFlat(dir string) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
+	var catEpoch uint64
+	if b, err := os.ReadFile(filepath.Join(dir, "catalog.json")); err == nil {
+		var meta catalogMeta
+		if err := json.Unmarshal(b, &meta); err != nil {
+			return fmt.Errorf("datalaws: parsing catalog.json: %w", err)
+		}
+		catEpoch = meta.Epoch
+	} else if !os.IsNotExist(err) {
+		return err
+	}
 
 	// Commit tables, rolling back the ones added here on any failure.
 	// Partition children commit through their parent, not individually.
@@ -416,6 +443,10 @@ func (e *Engine) loadFlat(dir string) error {
 			return err
 		}
 	}
+	// The load replayed as a handful of Add calls; jump the catalog epoch
+	// past the persisted high water mark so no post-restart epoch can alias
+	// a pre-restart plan-cache key. (Store.Load does the same internally.)
+	e.Catalog.AdvanceEpoch(catEpoch)
 	return nil
 }
 

@@ -47,6 +47,12 @@ fi
 if [ "$pattern" = "serve" ]; then
   pattern='ServePointQuery|ServeScanCursor|ServeIngest'
 fi
+# Shorthand for model-shipping replication: end-to-end delta propagation
+# (REFIT on the primary until installed on the replica) and APPROX point
+# queries served by a row-less replica over the wire.
+if [ "$pattern" = "replica" ]; then
+  pattern='ReplicaDeltaApply|ReplicaPointQuery'
+fi
 # Shorthand for chunked column storage: selective and full scans over a
 # 16-chunk table vs the same rows held entirely in the mutable hot tail
 # (the selective spread is zone-map pruning; the full spread is decode

@@ -1,0 +1,101 @@
+//go:build ignore
+
+// replica_check probes a model-only replica for scripts/replica-smoke.sh:
+// it waits for the model to replicate, asserts an APPROX point query
+// answers with a sane WITH ERROR interval, and asserts exact and ingest
+// statements are rejected with the replica_readonly sentinel.
+//
+//	go run scripts/replica_check.go -replica 127.0.0.1:PORT
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"datalaws/internal/server"
+	"datalaws/internal/wireerr"
+)
+
+func main() {
+	addr := flag.String("replica", "", "replica query address")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "replica_check: -replica is required")
+		os.Exit(2)
+	}
+	if err := check(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "replica_check: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("replica_check: OK")
+}
+
+func check(addr string) error {
+	// The replica serves before its first sync completes; retry the point
+	// query until the model lands or the budget expires.
+	deadline := time.Now().Add(10 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		err := pointQuery(addr)
+		if err == nil {
+			return readonly(addr)
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("model never became queryable: %w", lastErr)
+}
+
+func pointQuery(addr string) error {
+	cli, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	rows, err := cli.Query(
+		"APPROX SELECT intensity, intensity_lo, intensity_hi FROM m WHERE source = 2 AND nu = 0.5 WITH ERROR")
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		return fmt.Errorf("point query returned no rows (err=%v)", rows.Err())
+	}
+	var y, lo, hi float64
+	if err := rows.Scan(&y, &lo, &hi); err != nil {
+		return err
+	}
+	// intensity = (2+2)*0.5 + 2 = 4 exactly (the init data is noiseless).
+	if hi < lo || y < lo || y > hi {
+		return fmt.Errorf("malformed interval: y=%g [%g, %g]", y, lo, hi)
+	}
+	if y < 3.9 || y > 4.1 {
+		return fmt.Errorf("prediction %g far from the law's 4.0", y)
+	}
+	if rows.Model == "" {
+		return fmt.Errorf("answer did not come from a model")
+	}
+	return nil
+}
+
+func readonly(addr string) error {
+	cli, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	for _, stmt := range []string{
+		"SELECT count(*) FROM m",
+		"INSERT INTO m VALUES (9, 0.25, 1)",
+	} {
+		if _, err := cli.Exec(stmt); err == nil {
+			return fmt.Errorf("%q succeeded on a replica", stmt)
+		} else if !errors.Is(err, wireerr.ErrReplicaReadOnly) {
+			return fmt.Errorf("%q: got %v, want replica_readonly", stmt, err)
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"datalaws/internal/expr"
 	"datalaws/internal/modelstore"
 	"datalaws/internal/sql"
+	"datalaws/internal/wireerr"
 )
 
 // Rows is a streaming result cursor, shaped like database/sql.Rows: call
@@ -352,6 +353,12 @@ func (s *Stmt) querySelect(ctx context.Context, sel *sql.SelectStmt) (*Rows, err
 			rows.PartitionsPruned = plan.PartsPruned
 		}
 	} else {
+		// A replica's tables are zero-row stubs: an exact scan would not
+		// fail, it would answer wrongly (empty). Reject with the routing
+		// sentinel instead so clients send exact traffic to the primary.
+		if s.eng.IsReplica() {
+			return nil, fmt.Errorf("datalaws: exact SELECT needs raw rows: %w", wireerr.ErrReplicaReadOnly)
+		}
 		var err error
 		op, err = exec.BuildSelectOpts(s.eng.Catalog, sel, nil, s.eng.execOptions())
 		if err != nil {

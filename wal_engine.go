@@ -12,6 +12,7 @@ import (
 	"datalaws/internal/storage"
 	"datalaws/internal/table"
 	"datalaws/internal/wal"
+	"datalaws/internal/wireerr"
 )
 
 // Durability wiring. A WAL-attached engine logs every mutation — appends
@@ -112,6 +113,12 @@ func (e *Engine) Checkpoint() error {
 // checkpoint's WAL rotation — that record would replay on top of the
 // snapshot and double-apply.
 func (e *Engine) mutate(rec *wal.Record, apply func() (*Result, error)) (*Result, error) {
+	// Every mutation funnels through here, so this one check makes a
+	// replica read-only: its state is the primary's changefeed, never local
+	// writes (which would silently diverge and be lost on resync).
+	if e.IsReplica() {
+		return nil, fmt.Errorf("datalaws: %w", wireerr.ErrReplicaReadOnly)
+	}
 	e.walMu.RLock()
 	defer e.walMu.RUnlock()
 	if e.walLog != nil {
